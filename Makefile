@@ -1,0 +1,26 @@
+# Convenience targets for the pBox reproduction.
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report: bench
+	python -m repro report
+
+examples:
+	python examples/quickstart.py
+	python examples/mysql_undo_purge.py
+	python examples/event_driven_proxy.py
+	python examples/static_analyzer_demo.py
+	python examples/baselines_comparison.py
+
+clean:
+	rm -rf results build *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,6 @@
+"""Make the shared benchmark helpers importable as ``_common``."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,67 @@
+"""Figure 1: client B's latency spikes when the UNDO purge triggers.
+
+Reproduces the motivation experiment of Section 2.1 (case 1 there, case
+c5 of Table 3): a read client A holds transactions open; when A commits,
+the purge thread's latch-holding batches multiply client B's write
+latency.  The regenerated series shows B's per-second average latency
+with the same cliff the paper's Figure 1 shows ~10 s after A joins.
+"""
+
+from _common import once, write_result
+
+from repro.apps.mysqlsim import MySQLConfig, MySQLServer
+from repro.core import PBoxManager, PBoxRuntime
+from repro.sim import Kernel
+from repro.sim.clock import seconds
+from repro.workloads import LatencyRecorder, closed_loop_client
+
+JOIN_S = 4
+DURATION_S = 14
+
+
+def run_timeline():
+    kernel = Kernel(cores=2, seed=1)
+    manager = PBoxManager(kernel, enabled=False)
+    runtime = PBoxRuntime(manager, enabled=False)
+    server = MySQLServer(kernel, runtime,
+                         MySQLConfig(purge_batch=16, purge_entry_us=400))
+    stop = seconds(DURATION_S)
+    recorder = LatencyRecorder("B")
+    kernel.spawn(
+        closed_loop_client(
+            kernel, server.connect("B"),
+            lambda: {"kind": "undo_write", "undo_entries": 10, "work_us": 200},
+            recorder, stop_us=stop, think_us=2_000,
+            rng=kernel.rng("b-think"),
+        ),
+        name="clientB",
+    )
+    kernel.spawn(
+        closed_loop_client(
+            kernel, server.connect("A"),
+            lambda: {"kind": "long_txn_read", "hold_open_us": seconds(2)},
+            LatencyRecorder("A"), stop_us=stop, think_us=20_000,
+            rng=kernel.rng("a-think"), start_us=seconds(JOIN_S),
+        ),
+        name="clientA",
+    )
+    kernel.spawn(server.purge_thread_body, name="purge")
+    kernel.run(until_us=stop)
+    return recorder.timeline().mean_series()
+
+
+def test_fig01_undo_purge_latency_cliff(benchmark):
+    series = once(benchmark, run_timeline)
+    lines = ["# Figure 1: client B avg latency (ms) per second",
+             "# read-intensive client A joins at t=%ds" % JOIN_S,
+             "time_s\tlatency_ms"]
+    for t, mean_us in series:
+        lines.append("%.0f\t%.2f" % (t, mean_us / 1_000))
+    write_result("fig01_undo_motivation.txt", lines)
+
+    before = [v for t, v in series if t < JOIN_S]
+    after = [v for t, v in series if t >= JOIN_S + 2]
+    baseline = sum(before) / len(before)
+    peak = max(after)
+    # The paper shows ~4x; the purge cliff must be pronounced.
+    assert peak >= 3 * baseline

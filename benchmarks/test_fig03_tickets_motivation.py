@@ -1,0 +1,76 @@
+"""Figure 3: the read client slows 3x when a fifth client connects.
+
+Reproduces the third motivation experiment of Section 2.1 (case c3):
+four clients share innodb_thread_concurrency = 4 slots; when a fifth
+write-intensive client joins, the read client's latency triples even
+though it queries a different table.
+"""
+
+from _common import once, write_result
+
+from repro.apps.mysqlsim import MySQLConfig, MySQLServer
+from repro.core import PBoxManager, PBoxRuntime
+from repro.sim import Kernel
+from repro.sim.clock import seconds
+from repro.workloads import LatencyRecorder, closed_loop_client
+
+JOIN_S = 5
+DURATION_S = 12
+
+
+def run_timeline():
+    kernel = Kernel(cores=4, seed=1)
+    manager = PBoxManager(kernel, enabled=False)
+    runtime = PBoxRuntime(manager, enabled=False)
+    server = MySQLServer(
+        kernel, runtime,
+        MySQLConfig(thread_concurrency=4, ticket_grant=4),
+    )
+    stop = seconds(DURATION_S)
+    for index in range(3):
+        kernel.spawn(
+            closed_loop_client(
+                kernel, server.connect("writer-%d" % index),
+                lambda: {"kind": "write", "work_us": 3_000},
+                LatencyRecorder("writer-%d" % index), stop_us=stop,
+                think_us=500, rng=kernel.rng("writer-%d" % index),
+            ),
+            name="writer-%d" % index,
+        )
+    reader = LatencyRecorder("reader")
+    kernel.spawn(
+        closed_loop_client(
+            kernel, server.connect("reader"),
+            lambda: {"kind": "read", "work_us": 300},
+            reader, stop_us=stop, think_us=500, rng=kernel.rng("reader"),
+        ),
+        name="reader",
+    )
+    kernel.spawn(
+        closed_loop_client(
+            kernel, server.connect("fifth"),
+            lambda: {"kind": "write", "work_us": 3_000},
+            LatencyRecorder("fifth"), stop_us=stop, think_us=500,
+            rng=kernel.rng("fifth"), start_us=seconds(JOIN_S),
+        ),
+        name="fifth",
+    )
+    kernel.run(until_us=stop)
+    return reader.timeline().mean_series()
+
+
+def test_fig03_fifth_client_slows_reader(benchmark):
+    series = once(benchmark, run_timeline)
+    lines = ["# Figure 3: read client avg latency (ms) per second",
+             "# fifth write-intensive client connects at t=%ds" % JOIN_S,
+             "time_s\tlatency_ms"]
+    for t, mean_us in series:
+        lines.append("%.0f\t%.3f" % (t, mean_us / 1_000))
+    write_result("fig03_tickets_motivation.txt", lines)
+
+    before = [v for t, v in series if 1 <= t < JOIN_S]
+    after = [v for t, v in series if t >= JOIN_S + 1]
+    baseline = sum(before) / len(before)
+    raised = sum(after) / len(after)
+    # The paper measures ~3x; require at least 2x.
+    assert raised >= 2 * baseline

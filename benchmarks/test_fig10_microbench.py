@@ -1,0 +1,135 @@
+"""Figure 10: latency of individual pBox operations.
+
+The paper measures each pBox API call in nanoseconds against getpid and
+pthread_create.  Here the operations are real Python calls into the
+runtime/manager (actual wall-clock time, not virtual time), compared
+against ``os.getpid()`` and ``threading.Thread`` creation, preserving
+the figure's two key shapes: create is ~20x cheaper than thread
+creation, and the per-event operations are within a small factor of a
+trivial syscall.
+"""
+
+import os
+import threading
+
+from repro.core import IsolationRule, OperationCosts, PBoxManager, PBoxRuntime, StateEvent
+from repro.sim import Kernel
+from repro.sim.thread import SimThread
+
+
+def make_runtime():
+    kernel = Kernel(cores=1)
+    manager = PBoxManager(kernel)
+    runtime = PBoxRuntime(manager, costs=OperationCosts.zero())
+    # Give the kernel a current thread so API calls resolve a pBox the
+    # way they would inside a simulated application.
+    thread = SimThread(_idle_body(), name="microbench")
+    kernel.current_thread = thread
+    return kernel, manager, runtime, thread
+
+
+def _idle_body():
+    yield  # pragma: no cover - never driven
+
+
+def test_create_release_pair(benchmark):
+    _kernel, _manager, runtime, _thread = make_runtime()
+    rule = IsolationRule(isolation_level=50)
+
+    def op():
+        psid = runtime.create_pbox(rule)
+        runtime.release_pbox(psid)
+
+    benchmark(op)
+
+
+def test_activate_freeze_pair(benchmark):
+    _kernel, _manager, runtime, _thread = make_runtime()
+    runtime.create_pbox(IsolationRule(isolation_level=50))
+    runtime.activate_pbox()
+
+    def op():
+        runtime.activate_pbox()
+        runtime.freeze_pbox()
+
+    benchmark(op)
+
+
+def test_update_uncontended(benchmark):
+    """update1 in the paper: update_pbox with no interference."""
+    _kernel, _manager, runtime, _thread = make_runtime()
+    runtime.create_pbox(IsolationRule(isolation_level=50))
+    runtime.activate_pbox()
+
+    def op():
+        runtime.update_pbox("resource", StateEvent.HOLD)
+        runtime.update_pbox("resource", StateEvent.UNHOLD)
+
+    benchmark(op)
+
+
+def test_update_contended(benchmark):
+    """update2 in the paper: update_pbox while the key has competitors."""
+    kernel, manager, runtime, thread = make_runtime()
+    runtime.create_pbox(IsolationRule(isolation_level=50))
+    runtime.activate_pbox()
+    # A second pBox parked in the competitor map makes the key contended.
+    other = manager.create(IsolationRule(isolation_level=50), thread=None)
+    manager.activate(other)
+    manager.update(other, "resource", StateEvent.PREPARE)
+
+    def op():
+        runtime.update_pbox("resource", StateEvent.PREPARE)
+        runtime.update_pbox("resource", StateEvent.ENTER)
+
+    benchmark(op)
+
+
+def test_bind_unbind_pair(benchmark):
+    _kernel, _manager, runtime, _thread = make_runtime()
+    runtime.create_pbox(IsolationRule(isolation_level=50))
+
+    def op():
+        runtime.unbind_pbox("conn")
+        runtime.bind_pbox("conn")
+
+    benchmark(op)
+
+
+def test_reference_getpid(benchmark):
+    benchmark(os.getpid)
+
+
+def test_reference_thread_create(benchmark):
+    """The pthread_create reference point (object creation + start/join)."""
+
+    def op():
+        thread = threading.Thread(target=lambda: None)
+        thread.start()
+        thread.join()
+
+    benchmark(op)
+
+
+def test_create_is_much_cheaper_than_thread_create(benchmark):
+    """The figure's headline: pBox creation beats thread creation."""
+    import timeit
+
+    _kernel, _manager, runtime, _thread = make_runtime()
+    rule = IsolationRule(isolation_level=50)
+
+    def pbox_pair():
+        runtime.release_pbox(runtime.create_pbox(rule))
+
+    def thread_pair():
+        thread = threading.Thread(target=lambda: None)
+        thread.start()
+        thread.join()
+
+    def compare():
+        pbox_ns = timeit.timeit(pbox_pair, number=2_000) / 2_000 * 1e9
+        thread_ns = timeit.timeit(thread_pair, number=200) / 200 * 1e9
+        return pbox_ns, thread_ns
+
+    pbox_ns, thread_ns = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert pbox_ns < thread_ns / 3

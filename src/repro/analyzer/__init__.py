@@ -1,0 +1,48 @@
+"""The companion static analyzer (Section 4.5, Algorithm 2).
+
+The paper builds an LLVM pass (~800 SLOC of C++) that finds candidate
+locations for update_pbox calls: callsites of waiting functions (or
+wrappers around them) inside loops whose conditions involve variables
+shared across activities.  Algorithm 2 is pure graph analysis, so this
+package re-implements it language-independently:
+
+- :mod:`repro.analyzer.ir` -- a small SSA-less IR (module / function /
+  basic block / instruction);
+- :mod:`repro.analyzer.cfg` -- control-flow graph, dominators and
+  post-dominators (Cooper-Harvey-Kennedy), natural loops;
+- :mod:`repro.analyzer.parser` -- a mini-C frontend so analyzer inputs
+  can be written the way the paper's Figure 9 code reads;
+- :mod:`repro.analyzer.pyfrontend` -- a Python (:mod:`ast`) frontend so
+  the analyzer also works on Python services;
+- :mod:`repro.analyzer.shared` -- the shared-variable (cross-activity)
+  analysis;
+- :mod:`repro.analyzer.detect` -- Algorithm 2 itself;
+- :mod:`repro.analyzer.corpus` -- mini-C corpora modelling the waiting
+  structure of the five evaluated applications (the Table 5 input).
+"""
+
+from repro.analyzer.cfg import CFG, dominators, natural_loops, post_dominators
+from repro.analyzer.detect import Analyzer, DEFAULT_WAIT_FUNCS, Location
+from repro.analyzer.ir import BasicBlock, Function, Instr, Module
+from repro.analyzer.parser import ParseError, parse_module
+from repro.analyzer.pyfrontend import PY_WAIT_FUNCS, parse_python
+from repro.analyzer.shared import shared_variables
+
+__all__ = [
+    "Analyzer",
+    "BasicBlock",
+    "CFG",
+    "DEFAULT_WAIT_FUNCS",
+    "Function",
+    "Instr",
+    "Location",
+    "Module",
+    "ParseError",
+    "dominators",
+    "natural_loops",
+    "PY_WAIT_FUNCS",
+    "parse_module",
+    "parse_python",
+    "post_dominators",
+    "shared_variables",
+]

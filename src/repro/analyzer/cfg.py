@@ -1,0 +1,168 @@
+"""Control-flow graph analyses: dominators, post-dominators, loops.
+
+Dominators use the Cooper-Harvey-Kennedy iterative algorithm ("A Simple,
+Fast Dominance Algorithm" -- the same reference the paper cites for its
+post-dominator check).  Post-dominators are dominators of the reverse
+CFG with a virtual exit node collecting every return block (and, for
+infinite loops, every block without successors).
+"""
+
+
+class CFG:
+    """Successor/predecessor maps over a function's basic blocks."""
+
+    VIRTUAL_EXIT = "__exit__"
+
+    def __init__(self, function):
+        self.function = function
+        self.succs = {}
+        self.preds = {}
+        for block in function.iter_blocks():
+            self.succs[block.label] = list(block.successors)
+            self.preds.setdefault(block.label, [])
+        for label, succs in self.succs.items():
+            for succ in succs:
+                if succ not in self.preds:
+                    raise ValueError(
+                        "block %r jumps to undefined label %r" % (label, succ)
+                    )
+                self.preds[succ].append(label)
+        self.entry = function.entry_label
+
+    def exit_labels(self):
+        """Blocks that leave the function (no successors or a return)."""
+        exits = []
+        for block in self.function.iter_blocks():
+            returns = any(i.kind == "return" for i in block.instrs)
+            if returns or not self.succs[block.label]:
+                exits.append(block.label)
+        return exits
+
+    def reverse(self):
+        """(succs, preds, entry) of the reversed graph with virtual exit.
+
+        For each original edge u -> v the reverse graph has v -> u, so
+        reverse successors are the original predecessors and vice versa;
+        the virtual exit gains an edge to every exit block.
+        """
+        rsuccs = {label: list(preds) for label, preds in self.preds.items()}
+        rpreds = {label: list(succs) for label, succs in self.succs.items()}
+        exits = self.exit_labels()
+        rsuccs[self.VIRTUAL_EXIT] = list(exits)
+        rpreds[self.VIRTUAL_EXIT] = []
+        for label in exits:
+            rpreds[label].append(self.VIRTUAL_EXIT)
+        return rsuccs, rpreds, self.VIRTUAL_EXIT
+
+
+def _reverse_postorder(succs, entry):
+    order = []
+    seen = set()
+
+    def visit(label):
+        seen.add(label)
+        for succ in succs.get(label, ()):
+            if succ not in seen:
+                visit(succ)
+        order.append(label)
+
+    visit(entry)
+    order.reverse()
+    return order
+
+
+def _dominators_of(succs, preds, entry):
+    """Iterative dominator computation (Cooper-Harvey-Kennedy style).
+
+    Returns ``idom``: mapping label -> immediate dominator label (the
+    entry maps to itself).  Unreachable blocks are omitted.
+    """
+    order = _reverse_postorder(succs, entry)
+    index = {label: i for i, label in enumerate(order)}
+    idom = {entry: entry}
+
+    def intersect(a, b):
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == entry:
+                continue
+            candidates = [p for p in preds.get(label, ()) if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(label) != new_idom:
+                idom[label] = new_idom
+                changed = True
+    return idom
+
+
+def dominators(cfg):
+    """idom map of ``cfg`` (entry dominates everything reachable)."""
+    return _dominators_of(cfg.succs, cfg.preds, cfg.entry)
+
+
+def post_dominators(cfg):
+    """Immediate post-dominator map (over the virtual exit).
+
+    A block B post-dominates A when every path from A to the function
+    exit passes through B -- the property the wrapper check of
+    Algorithm 2 needs.
+    """
+    rsuccs, rpreds, exit_label = cfg.reverse()
+    return _dominators_of(rsuccs, rpreds, exit_label)
+
+
+def dominates(idom, a, b):
+    """True if ``a`` dominates ``b`` under the ``idom`` map."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent is None or parent == node:
+            return a == node
+        node = parent
+
+
+def natural_loops(cfg):
+    """Find natural loops via back edges (tail -> header it dominates).
+
+    Returns a list of (header_label, set_of_body_labels); the body
+    includes the header.  Loops sharing a header are merged.
+    """
+    idom = dominators(cfg)
+    loops = {}
+    for label, succs in cfg.succs.items():
+        if label not in idom:
+            continue  # unreachable
+        for succ in succs:
+            if succ in idom and dominates(idom, succ, label):
+                body = loops.setdefault(succ, {succ})
+                stack = [label]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    stack.extend(cfg.preds.get(node, ()))
+    return sorted(loops.items(), key=lambda kv: kv[0])
+
+
+def innermost_loop_containing(loops, label):
+    """The smallest loop body containing ``label`` (or None)."""
+    best = None
+    for _header, body in loops:
+        if label in body and (best is None or len(body) < len(best)):
+            best = body
+    return best

@@ -1,0 +1,141 @@
+"""Algorithm 2: identify locations to add state events.
+
+The analyzer finds callsites of waiting functions (or of *direct
+wrappers* around them) that sit inside a loop whose branch conditions
+involve cross-activity shared variables.  Each hit is a candidate
+location for the four update_pbox state events, with the shared
+variables as the likely virtual resources.
+
+Faithful to the paper, wrapper detection only looks one level deep
+(a wrapper must call a waiting function on all paths -- checked via
+post-dominance of the callsite's block over the function entry), and a
+loop condition that is the return value of a function call is not
+traced back to shared state.  Those two blind spots account for the
+~19% of state events the paper's analyzer missed (Section 6.7).
+"""
+
+from repro.analyzer.cfg import (
+    CFG,
+    dominates,
+    innermost_loop_containing,
+    natural_loops,
+    post_dominators,
+)
+from repro.analyzer.shared import shared_variables
+
+#: Standard waiting functions and syscalls (Section 4.5 lists semaop,
+#: pthread_sleep, pthread_cond_wait, pthread_yield, apr_sleep, ...).
+DEFAULT_WAIT_FUNCS = frozenset({
+    "semop",
+    "sleep",
+    "usleep",
+    "nanosleep",
+    "select",
+    "poll",
+    "epoll_wait",
+    "futex_wait",
+    "sched_yield",
+    "pthread_yield",
+    "pthread_sleep",
+    "pthread_cond_wait",
+    "pthread_cond_timedwait",
+    "os_thread_sleep",
+    "apr_sleep",
+    "pg_usleep",
+    "WaitLatch",
+})
+
+
+class Location:
+    """A candidate location for update_pbox calls."""
+
+    __slots__ = ("function", "line", "callee", "wait_func", "shared_vars")
+
+    def __init__(self, function, line, callee, wait_func, shared_vars):
+        self.function = function
+        self.line = line
+        self.callee = callee
+        self.wait_func = wait_func
+        self.shared_vars = tuple(shared_vars)
+
+    def __repr__(self):
+        return "Location(%s:%d call %s -> %s, shared=%s)" % (
+            self.function,
+            self.line,
+            self.callee,
+            self.wait_func,
+            list(self.shared_vars),
+        )
+
+
+class Analyzer:
+    """The static analyzer of Section 4.5."""
+
+    def __init__(self, wait_funcs=DEFAULT_WAIT_FUNCS):
+        self.wait_funcs = frozenset(wait_funcs)
+
+    def analyze(self, module):
+        """Run Algorithm 2 over ``module``; returns a list of Locations."""
+        shared = shared_variables(module)
+        wrappers = self.find_wrappers(module)
+        locations = []
+        for function in module.functions.values():
+            cfg = CFG(function)
+            loops = natural_loops(cfg)
+            if not loops:
+                continue
+            for block, instr in function.call_instructions():
+                wait_func = self._resolve_wait(instr.callee, wrappers)
+                if wait_func is None:
+                    continue
+                body = innermost_loop_containing(loops, block.label)
+                if body is None:
+                    continue
+                cond_vars = self._loop_condition_vars(function, body)
+                shared_used = sorted(v for v in cond_vars if v in shared)
+                if shared_used:
+                    locations.append(
+                        Location(function.name, instr.line, instr.callee,
+                                 wait_func, shared_used)
+                    )
+        return locations
+
+    def find_wrappers(self, module):
+        """Map wrapper-function name -> the wait function it wraps.
+
+        ``isWrapper`` (Algorithm 2 line 8): a function is a wrapper when
+        a call to a waiting function sits in a block that post-dominates
+        the entry block, i.e. every path through the function waits.
+        Only direct wrappers are found (the paper's stated limitation).
+        """
+        wrappers = {}
+        for function in module.functions.values():
+            cfg = CFG(function)
+            pdom = post_dominators(cfg)
+            for block, instr in function.call_instructions():
+                if instr.callee not in self.wait_funcs:
+                    continue
+                if block.label not in pdom:
+                    continue
+                if dominates(pdom, block.label, cfg.entry):
+                    wrappers[function.name] = instr.callee
+                    break
+        return wrappers
+
+    def _resolve_wait(self, callee, wrappers):
+        if callee in self.wait_funcs:
+            return callee
+        return wrappers.get(callee)
+
+    @staticmethod
+    def _loop_condition_vars(function, loop_body):
+        """Variables used in branch conditions of the loop's blocks.
+
+        Covers both ``while (shared < limit)`` headers and Figure 9-style
+        ``for (;;)`` loops whose guarding ``if`` tests the shared
+        variable inside the body.
+        """
+        names = set()
+        for label in loop_body:
+            names.update(function.blocks[label].branch_uses())
+        return names

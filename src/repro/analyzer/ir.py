@@ -1,0 +1,150 @@
+"""A small SSA-less intermediate representation.
+
+The IR deliberately mirrors the subset of LLVM IR that Algorithm 2
+consumes: call instructions (with callees), variable uses, and branch
+conditions, organized into basic blocks with explicit successor labels.
+"""
+
+
+class Instr:
+    """One IR instruction.
+
+    Kinds:
+
+    - ``call``: ``callee`` is the target name, ``uses`` the variables
+      passed as arguments;
+    - ``assign``: ``target`` is written, ``uses`` are read;
+    - ``branch``: conditional transfer; ``uses`` are the condition
+      variables (empty for unconditional jumps);
+    - ``return``: function exit, ``uses`` optionally read.
+    """
+
+    KINDS = ("call", "assign", "branch", "return")
+
+    __slots__ = ("kind", "callee", "target", "uses", "line")
+
+    def __init__(self, kind, callee=None, target=None, uses=(), line=0):
+        if kind not in self.KINDS:
+            raise ValueError("unknown instruction kind %r" % kind)
+        self.kind = kind
+        self.callee = callee
+        self.target = target
+        self.uses = tuple(uses)
+        self.line = line
+
+    def __repr__(self):
+        if self.kind == "call":
+            return "Instr(call %s(%s) @%d)" % (
+                self.callee, ", ".join(self.uses), self.line
+            )
+        return "Instr(%s %s uses=%s @%d)" % (
+            self.kind, self.target or "", list(self.uses), self.line
+        )
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions with successor labels."""
+
+    def __init__(self, label):
+        self.label = label
+        self.instrs = []
+        self.successors = []
+
+    def add(self, instr):
+        """Append an instruction."""
+        self.instrs.append(instr)
+        return instr
+
+    def calls(self):
+        """All call instructions in the block."""
+        return [instr for instr in self.instrs if instr.kind == "call"]
+
+    def branch_uses(self):
+        """Variables used by this block's branch condition (if any)."""
+        used = []
+        for instr in self.instrs:
+            if instr.kind == "branch":
+                used.extend(instr.uses)
+        return used
+
+    def __repr__(self):
+        return "BasicBlock(%r, %d instrs, succ=%s)" % (
+            self.label, len(self.instrs), self.successors
+        )
+
+
+class Function:
+    """A function: ordered basic blocks plus parameter and local names."""
+
+    def __init__(self, name, params=()):
+        self.name = name
+        self.params = tuple(params)
+        self.blocks = {}
+        self.block_order = []
+        self.entry_label = None
+        self.locals = set(params)
+
+    def new_block(self, label):
+        """Create and register a block; first block becomes the entry."""
+        if label in self.blocks:
+            raise ValueError("duplicate block label %r" % label)
+        block = BasicBlock(label)
+        self.blocks[label] = block
+        self.block_order.append(label)
+        if self.entry_label is None:
+            self.entry_label = label
+        return block
+
+    def iter_blocks(self):
+        """Blocks in insertion order."""
+        return [self.blocks[label] for label in self.block_order]
+
+    def call_instructions(self):
+        """All (block, instr) call pairs in the function."""
+        pairs = []
+        for block in self.iter_blocks():
+            for instr in block.calls():
+                pairs.append((block, instr))
+        return pairs
+
+    def variables_used(self):
+        """All variable names read or written anywhere in the function."""
+        names = set()
+        for block in self.iter_blocks():
+            for instr in block.instrs:
+                names.update(instr.uses)
+                if instr.target:
+                    names.add(instr.target)
+        return names
+
+    def __repr__(self):
+        return "Function(%r, blocks=%d)" % (self.name, len(self.blocks))
+
+
+class Module:
+    """A translation unit: functions plus module-level (global) variables."""
+
+    def __init__(self, name="module"):
+        self.name = name
+        self.functions = {}
+        self.globals = set()
+
+    def add_function(self, function):
+        """Register a function (unique names)."""
+        if function.name in self.functions:
+            raise ValueError("duplicate function %r" % function.name)
+        self.functions[function.name] = function
+        return function
+
+    def declare_global(self, name):
+        """Declare a module-level variable."""
+        self.globals.add(name)
+
+    def get(self, name):
+        """Look up a function by name (None if external)."""
+        return self.functions.get(name)
+
+    def __repr__(self):
+        return "Module(%r, functions=%d, globals=%d)" % (
+            self.name, len(self.functions), len(self.globals)
+        )

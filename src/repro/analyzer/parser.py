@@ -1,0 +1,428 @@
+"""Mini-C frontend for the static analyzer.
+
+Parses a small C-like language -- just enough to express the waiting
+structures the analyzer cares about (Figure 9 of the paper is valid
+input modulo types) -- and lowers it to the :mod:`repro.analyzer.ir`
+representation.
+
+Supported syntax::
+
+    int g_active, g_limit;              // module-level (global) variables
+
+    void enter(int tid) {
+        int mine = 0;
+        for (;;) {
+            if (g_active < g_limit) {
+                g_active = g_active + 1;
+                return;
+            }
+            os_thread_sleep(100);
+        }
+    }
+
+Statements: local declarations, assignments, call statements, ``if`` /
+``else``, ``while``, ``for (;;)``, ``break``, ``continue``, ``return``.
+Expressions are scanned rather than fully parsed: the IR only needs the
+variables an expression reads and the calls it makes.
+"""
+
+import re
+
+from repro.analyzer.ir import Function, Instr, Module
+
+_TOKEN_RE = re.compile(
+    r"\s*(?://[^\n]*|/\*.*?\*/|\s+)*"
+    r"([A-Za-z_][A-Za-z_0-9]*|\d+|==|!=|<=|>=|&&|\|\||[{}();,=<>!+\-*/&|%])",
+    re.S,
+)
+
+_KEYWORDS = {
+    "int", "void", "if", "else", "while", "for", "return", "break",
+    "continue",
+}
+
+
+class ParseError(Exception):
+    """Raised on malformed mini-C input."""
+
+
+def _tokenize(source):
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if not match:
+            rest = source[pos:].strip()
+            if not rest:
+                break
+            raise ParseError("cannot tokenize near %r" % rest[:40])
+        line += source.count("\n", pos, match.start(1))
+        tokens.append((match.group(1), line))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source, module_name):
+        self.tokens = _tokenize(source)
+        self.pos = 0
+        self.module = Module(module_name)
+
+    # -- token plumbing --------------------------------------------------
+
+    def peek(self, offset=0):
+        index = self.pos + offset
+        if index < len(self.tokens):
+            return self.tokens[index][0]
+        return None
+
+    def line(self):
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos][1]
+        return self.tokens[-1][1] if self.tokens else 0
+
+    def next(self):
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def expect(self, token):
+        got = self.next()
+        if got != token:
+            raise ParseError(
+                "line %d: expected %r, got %r" % (self.line(), token, got)
+            )
+        return got
+
+    # -- module level ------------------------------------------------------
+
+    def parse(self):
+        while self.peek() is not None:
+            type_tok = self.next()
+            if type_tok not in ("int", "void"):
+                raise ParseError(
+                    "line %d: expected declaration, got %r"
+                    % (self.line(), type_tok)
+                )
+            name = self.next()
+            if self.peek() == "(":
+                self._parse_function(name)
+            else:
+                self.module.declare_global(name)
+                while self.peek() == ",":
+                    self.next()
+                    self.module.declare_global(self.next())
+                self.expect(";")
+        return self.module
+
+    def _parse_function(self, name):
+        self.expect("(")
+        params = []
+        while self.peek() != ")":
+            tok = self.next()
+            if tok in ("int", "void", ","):
+                continue
+            params.append(tok)
+        self.expect(")")
+        function = Function(name, params)
+        self.module.add_function(function)
+        lowerer = _Lowerer(function)
+        self.expect("{")
+        self._parse_block(lowerer)
+        lowerer.finish()
+
+    # -- statements -----------------------------------------------------
+
+    def _parse_block(self, lowerer):
+        while True:
+            token = self.peek()
+            if token is None:
+                raise ParseError("unterminated block")
+            if token == "}":
+                self.next()
+                return
+            self._parse_statement(lowerer)
+
+    def _parse_statement(self, lowerer):
+        token = self.peek()
+        line = self.line()
+        if token == "int":
+            self.next()
+            name = self.next()
+            lowerer.function.locals.add(name)
+            if self.peek() == "=":
+                self.next()
+                uses, calls = self._parse_expr((";",))
+                lowerer.emit_expr_calls(calls, line)
+                lowerer.emit(Instr("assign", target=name, uses=uses, line=line))
+            self.expect(";")
+            return
+        if token == "if":
+            self._parse_if(lowerer)
+            return
+        if token == "while":
+            self._parse_while(lowerer)
+            return
+        if token == "for":
+            self._parse_for(lowerer)
+            return
+        if token == "return":
+            self.next()
+            uses, calls = ((), [])
+            if self.peek() != ";":
+                uses, calls = self._parse_expr((";",))
+            self.expect(";")
+            lowerer.emit_expr_calls(calls, line)
+            lowerer.emit(Instr("return", uses=uses, line=line))
+            lowerer.seal_block()
+            return
+        if token == "break":
+            self.next()
+            self.expect(";")
+            lowerer.emit_break(line)
+            return
+        if token == "continue":
+            self.next()
+            self.expect(";")
+            lowerer.emit_continue(line)
+            return
+        # assignment or call statement
+        name = self.next()
+        if self.peek() == "(":
+            self.next()
+            uses, calls = self._parse_call_args(name)
+            self.expect(";")
+            lowerer.emit_expr_calls(calls[:-1], line)
+            inner_callee, inner_uses = calls[-1]
+            lowerer.emit(
+                Instr("call", callee=inner_callee, uses=inner_uses, line=line)
+            )
+            return
+        if self.peek() == "=":
+            self.next()
+            uses, calls = self._parse_expr((";",))
+            self.expect(";")
+            lowerer.emit_expr_calls(calls, line)
+            lowerer.emit(Instr("assign", target=name, uses=uses, line=line))
+            return
+        raise ParseError("line %d: unexpected token %r" % (line, token))
+
+    def _parse_if(self, lowerer):
+        line = self.line()
+        self.expect("if")
+        self.expect("(")
+        uses, calls = self._parse_expr((")",))
+        self.expect(")")
+        lowerer.emit_expr_calls(calls, line)
+        then_label, else_label, join_label = lowerer.begin_if(uses, line)
+        self.expect("{")
+        lowerer.enter_block(then_label)
+        self._parse_block(lowerer)
+        lowerer.jump_to(join_label)
+        if self.peek() == "else":
+            self.next()
+            self.expect("{")
+            lowerer.enter_block(else_label)
+            self._parse_block(lowerer)
+            lowerer.jump_to(join_label)
+        else:
+            lowerer.enter_block(else_label)
+            lowerer.jump_to(join_label)
+        lowerer.enter_block(join_label)
+
+    def _parse_while(self, lowerer):
+        line = self.line()
+        self.expect("while")
+        self.expect("(")
+        uses, calls = self._parse_expr((")",))
+        self.expect(")")
+        header, body, exit_label = lowerer.begin_loop(uses, calls, line)
+        self.expect("{")
+        lowerer.enter_block(body)
+        self._parse_block(lowerer)
+        lowerer.jump_to(header)
+        lowerer.end_loop()
+        lowerer.enter_block(exit_label)
+
+    def _parse_for(self, lowerer):
+        line = self.line()
+        self.expect("for")
+        self.expect("(")
+        self.expect(";")
+        self.expect(";")
+        self.expect(")")
+        header, body, exit_label = lowerer.begin_loop((), [], line,
+                                                      infinite=True)
+        self.expect("{")
+        lowerer.enter_block(body)
+        self._parse_block(lowerer)
+        lowerer.jump_to(header)
+        lowerer.end_loop()
+        lowerer.enter_block(exit_label)
+
+    # -- expressions -------------------------------------------------------
+
+    def _parse_expr(self, terminators):
+        """Scan an expression; returns (variable uses, [(callee, uses)]).
+
+        Consumes tokens up to (not including) the terminator at paren
+        depth zero, collecting identifier reads and call targets.
+        """
+        uses = []
+        calls = []
+        depth = 0
+        while True:
+            token = self.peek()
+            if token is None:
+                raise ParseError("unterminated expression")
+            if depth == 0 and token in terminators:
+                return tuple(uses), calls
+            if token == "(":
+                depth += 1
+                self.next()
+                continue
+            if token == ")":
+                if depth == 0:
+                    return tuple(uses), calls
+                depth -= 1
+                self.next()
+                continue
+            self.next()
+            if token[0].isalpha() or token[0] == "_":
+                if token in _KEYWORDS:
+                    continue
+                if self.peek() == "(":
+                    self.next()
+                    _uses, inner_calls = self._parse_call_args(token)
+                    calls.extend(inner_calls)
+                else:
+                    uses.append(token)
+
+    def _parse_call_args(self, callee):
+        """Parse a call's argument list (opening paren consumed).
+
+        Returns (argument variable uses, calls) where ``calls`` ends
+        with ``(callee, arg_uses)`` after any nested calls.
+        """
+        uses = []
+        calls = []
+        depth = 0
+        while True:
+            token = self.peek()
+            if token is None:
+                raise ParseError("unterminated call to %r" % callee)
+            if token == ")" and depth == 0:
+                self.next()
+                calls.append((callee, tuple(uses)))
+                return tuple(uses), calls
+            self.next()
+            if token == "(":
+                depth += 1
+            elif token == ")":
+                depth -= 1
+            elif token[0].isalpha() or token[0] == "_":
+                if token in _KEYWORDS:
+                    continue
+                if self.peek() == "(":
+                    self.next()
+                    _inner_uses, inner_calls = self._parse_call_args(token)
+                    calls.extend(inner_calls)
+                else:
+                    uses.append(token)
+
+
+class _Lowerer:
+    """Lowers parsed statements into basic blocks."""
+
+    def __init__(self, function):
+        self.function = function
+        self._counter = 0
+        self.current = function.new_block(self._label("entry"))
+        self._sealed = False
+        self.loop_stack = []  # (header_label, exit_label)
+
+    def _label(self, hint):
+        self._counter += 1
+        return "%s_%d" % (hint, self._counter)
+
+    def emit(self, instr):
+        if self._sealed:
+            # Dead code after return/break: park it in a fresh
+            # unreachable block so the CFG stays well-formed.
+            self.current = self.function.new_block(self._label("dead"))
+            self._sealed = False
+        self.current.add(instr)
+
+    def emit_expr_calls(self, calls, line):
+        for callee, uses in calls:
+            self.emit(Instr("call", callee=callee, uses=uses, line=line))
+
+    def seal_block(self):
+        self._sealed = True
+
+    def jump_to(self, label):
+        if not self._sealed:
+            self.current.successors.append(label)
+        self._sealed = True
+
+    def enter_block(self, label):
+        block = self.function.blocks.get(label)
+        if block is None:
+            block = self.function.new_block(label)
+        self.current = block
+        self._sealed = False
+
+    def begin_if(self, cond_uses, line):
+        then_label = self._label("then")
+        else_label = self._label("else")
+        join_label = self._label("join")
+        self.emit(Instr("branch", uses=cond_uses, line=line))
+        self.current.successors.extend([then_label, else_label])
+        self._sealed = True
+        return then_label, else_label, join_label
+
+    def begin_loop(self, cond_uses, cond_calls, line, infinite=False):
+        header_label = self._label("loop")
+        body_label = self._label("body")
+        exit_label = self._label("exit")
+        self.jump_to(header_label)
+        self.enter_block(header_label)
+        for callee, uses in cond_calls:
+            self.emit(Instr("call", callee=callee, uses=uses, line=line))
+        self.emit(Instr("branch", uses=cond_uses, line=line))
+        self.current.successors.append(body_label)
+        if not infinite:
+            self.current.successors.append(exit_label)
+        self._sealed = True
+        self.loop_stack.append((header_label, exit_label))
+        return header_label, body_label, exit_label
+
+    def end_loop(self):
+        self.loop_stack.pop()
+
+    def emit_break(self, line):
+        if not self.loop_stack:
+            raise ParseError("line %d: break outside loop" % line)
+        self.jump_to(self.loop_stack[-1][1])
+
+    def emit_continue(self, line):
+        if not self.loop_stack:
+            raise ParseError("line %d: continue outside loop" % line)
+        self.jump_to(self.loop_stack[-1][0])
+
+    def finish(self):
+        if not self._sealed:
+            self.current.add(Instr("return", line=0))
+
+
+def parse_module(source, name="module"):
+    """Parse mini-C ``source`` into an IR :class:`Module`."""
+    return _Parser(source, name).parse()
+
+
+#: Public alias: the block lowerer is reusable by other frontends (the
+#: Python frontend builds on it).
+Lowerer = _Lowerer

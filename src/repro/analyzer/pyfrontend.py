@@ -1,0 +1,240 @@
+"""Python frontend for the static analyzer.
+
+The paper's analyzer is an LLVM pass over C/C++.  Algorithm 2 itself is
+language-independent, and since this reproduction is a Python library,
+this frontend makes the analyzer useful to its own audience: it lowers
+Python source (via :mod:`ast`) into the same IR the mini-C frontend
+produces, so ``Analyzer().analyze(...)`` finds waiting calls inside
+loops guarded by shared state in Python services too::
+
+    from repro.analyzer import Analyzer
+    from repro.analyzer.pyfrontend import parse_python
+
+    module = parse_python(open("worker.py").read())
+    for loc in Analyzer(wait_funcs=PY_WAIT_FUNCS).analyze(module):
+        print(loc)
+
+Supported subset: module-level functions and methods, ``while`` /
+``for`` / ``if`` / ``else`` / ``break`` / ``continue`` / ``return``,
+assignments, and call expressions.  Calls are named by their dotted
+path (``time.sleep``, ``self.cond.wait``); candidate shared variables
+are module-level names plus dotted attribute paths (``self.queue_len``)
+-- an attribute read or written by two or more functions counts as
+cross-activity state, the same heuristic the shared-variable pass
+applies to C globals.
+"""
+
+import ast
+
+from repro.analyzer.ir import Instr, Module
+from repro.analyzer.parser import Lowerer
+
+#: Waiting functions/methods commonly seen in Python services.
+PY_WAIT_FUNCS = frozenset({
+    "time.sleep",
+    "sleep",
+    "wait",                 # bare Condition/Event wait calls
+    "select.select",
+    "queue.Queue.get",
+    "os.wait",
+    "asyncio.sleep",
+})
+
+
+def _dotted_name(node):
+    """Best-effort dotted path of a call target (None if dynamic)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _attribute_path(node):
+    """Dotted path of an attribute *value* expression, or None."""
+    return _dotted_name(node) if isinstance(node, ast.Attribute) else None
+
+
+class _ExprScan(ast.NodeVisitor):
+    """Collect variable uses and calls from an expression subtree."""
+
+    def __init__(self):
+        self.uses = []
+        self.calls = []  # (callee dotted name, argument uses)
+
+    def visit_Name(self, node):
+        if isinstance(node.ctx, ast.Load):
+            self.uses.append(node.id)
+
+    def visit_Attribute(self, node):
+        path = _attribute_path(node)
+        if path is not None and isinstance(node.ctx, ast.Load):
+            self.uses.append(path)
+            return  # don't descend: the path covers the chain
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        callee = _dotted_name(node.func)
+        inner = _ExprScan()
+        for arg in node.args:
+            inner.visit(arg)
+        for keyword in node.keywords:
+            inner.visit(keyword.value)
+        self.calls.extend(inner.calls)
+        self.uses.extend(inner.uses)
+        if callee is not None:
+            self.calls.append((callee, tuple(inner.uses)))
+
+
+def _scan(node):
+    scanner = _ExprScan()
+    if node is not None:
+        scanner.visit(node)
+    return tuple(scanner.uses), scanner.calls
+
+
+class _PyLowerer:
+    """Lower one Python function body into IR basic blocks."""
+
+    def __init__(self, function):
+        self.lowerer = Lowerer(function)
+
+    def lower_body(self, statements):
+        for statement in statements:
+            self._statement(statement)
+        self.lowerer.finish()
+
+    def _emit_calls(self, calls, line):
+        for callee, uses in calls:
+            self.lowerer.emit(Instr("call", callee=callee, uses=uses,
+                                    line=line))
+
+    def _statement(self, node):
+        line = getattr(node, "lineno", 0)
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            value = getattr(node, "value", None)
+            uses, calls = _scan(value)
+            self._emit_calls(calls, line)
+            targets = node.targets if isinstance(node, ast.Assign) else \
+                [node.target]
+            for target in targets:
+                name = (target.id if isinstance(target, ast.Name)
+                        else _attribute_path(target))
+                extra = uses
+                if isinstance(node, ast.AugAssign) and name:
+                    extra = uses + (name,)
+                self.lowerer.emit(Instr("assign", target=name, uses=extra,
+                                        line=line))
+        elif isinstance(node, ast.Expr):
+            uses, calls = _scan(node.value)
+            self._emit_calls(calls, line)
+        elif isinstance(node, ast.Return):
+            uses, calls = _scan(node.value)
+            self._emit_calls(calls, line)
+            self.lowerer.emit(Instr("return", uses=uses, line=line))
+            self.lowerer.seal_block()
+        elif isinstance(node, ast.While):
+            self._while(node, line)
+        elif isinstance(node, ast.For):
+            self._for(node, line)
+        elif isinstance(node, ast.If):
+            self._if(node, line)
+        elif isinstance(node, ast.Break):
+            self.lowerer.emit_break(line)
+        elif isinstance(node, ast.Continue):
+            self.lowerer.emit_continue(line)
+        elif isinstance(node, (ast.Pass, ast.Import, ast.ImportFrom,
+                               ast.Global, ast.Nonlocal)):
+            pass
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass  # nested definitions are not lowered
+        else:
+            # Conservative fallback: record uses/calls, no control flow.
+            uses, calls = _scan(node)
+            self._emit_calls(calls, line)
+
+    def _while(self, node, line):
+        uses, calls = _scan(node.test)
+        infinite = isinstance(node.test, ast.Constant) and bool(node.test.value)
+        header, body, exit_label = self.lowerer.begin_loop(
+            () if infinite else uses, calls, line, infinite=infinite
+        )
+        self.lowerer.enter_block(body)
+        for statement in node.body:
+            self._statement(statement)
+        self.lowerer.jump_to(header)
+        self.lowerer.end_loop()
+        self.lowerer.enter_block(exit_label)
+
+    def _for(self, node, line):
+        uses, calls = _scan(node.iter)
+        header, body, exit_label = self.lowerer.begin_loop(
+            uses, calls, line, infinite=False
+        )
+        self.lowerer.enter_block(body)
+        for statement in node.body:
+            self._statement(statement)
+        self.lowerer.jump_to(header)
+        self.lowerer.end_loop()
+        self.lowerer.enter_block(exit_label)
+
+    def _if(self, node, line):
+        uses, calls = _scan(node.test)
+        self._emit_calls(calls, line)
+        then_label, else_label, join_label = self.lowerer.begin_if(uses, line)
+        self.lowerer.enter_block(then_label)
+        for statement in node.body:
+            self._statement(statement)
+        self.lowerer.jump_to(join_label)
+        self.lowerer.enter_block(else_label)
+        for statement in node.orelse:
+            self._statement(statement)
+        self.lowerer.jump_to(join_label)
+        self.lowerer.enter_block(join_label)
+
+
+def parse_python(source, name="python-module"):
+    """Lower Python ``source`` into an analyzer :class:`Module`.
+
+    Module-level assignments become globals; every dotted attribute
+    path read anywhere is also registered as a shared-variable
+    candidate (instance state crossing activity boundaries).
+    """
+    tree = ast.parse(source)
+    module = Module(name)
+
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    module.declare_global(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target,
+                                                            ast.Name):
+            module.declare_global(node.target.id)
+
+    def lower_function(node, qualname):
+        from repro.analyzer.ir import Function
+
+        params = tuple(arg.arg for arg in node.args.args)
+        function = Function(qualname, params)
+        module.add_function(function)
+        _PyLowerer(function).lower_body(node.body)
+        # Register attribute paths used by this function as shared-
+        # variable candidates (the cross-activity heuristic needs them
+        # in module.globals to count accesses).
+        for used in function.variables_used():
+            if used and "." in used:
+                module.declare_global(used)
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            lower_function(node, node.name)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    lower_function(item, "%s.%s" % (node.name, item.name))
+    return module

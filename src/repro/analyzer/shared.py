@@ -1,0 +1,28 @@
+"""Shared-variable analysis.
+
+A virtual resource candidate is a variable "shared by multiple
+activities" (Section 4.2.2).  Without thread-spawn tracking, the robust
+approximation the analyzer uses is: a module-level (global) variable
+accessed by more than one function.  Function parameters and locals are
+never shared; a global touched by a single function is private state.
+"""
+
+
+def shared_variables(module):
+    """Set of module globals accessed by two or more functions."""
+    access_counts = {name: 0 for name in module.globals}
+    for function in module.functions.values():
+        used = function.variables_used()
+        for name in module.globals:
+            if name in used:
+                access_counts[name] += 1
+    return {name for name, count in access_counts.items() if count >= 2}
+
+
+def functions_accessing(module, name):
+    """Names of the functions that read or write global ``name``."""
+    return sorted(
+        function.name
+        for function in module.functions.values()
+        if name in function.variables_used()
+    )

@@ -1,0 +1,13 @@
+"""Behavioural models of the five evaluated applications.
+
+The paper applies pBox to MySQL, PostgreSQL, Apache, Varnish, and
+Memcached.  Re-implementing those servers is out of scope (and beside the
+point); what each model reproduces faithfully is the *subsystem that the
+interference flows through*: the virtual resources named in Table 3, the
+blocking structure around them (Figures 4 and 9), and the activity
+boundaries where pBox APIs are placed (Figure 8).
+"""
+
+from repro.apps.base import AppConfig, Connection, Instrumentation
+
+__all__ = ["AppConfig", "Connection", "Instrumentation"]

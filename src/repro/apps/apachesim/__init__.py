@@ -1,0 +1,10 @@
+"""Behavioural Apache httpd model (multi-threaded worker MPM).
+
+Covers the pools behind interference cases c11-c13: the worker thread
+pool capped by MaxClients, the mod_fcgid backend process slots, and the
+php-fpm ``pm.max_children`` pool.
+"""
+
+from repro.apps.apachesim.server import ApacheConfig, ApacheConnection, ApacheServer
+
+__all__ = ["ApacheConfig", "ApacheConnection", "ApacheServer"]

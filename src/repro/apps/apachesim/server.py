@@ -1,0 +1,86 @@
+"""Apache server model: worker pool, fcgid slots, php-fpm children.
+
+All three contended resources are counting pools modeled as annotated
+semaphores: a request *holds* a unit for its service time, and waiters
+accumulate deferring time the pBox manager can see.
+"""
+
+from repro.apps.base import AppConfig, Connection, Instrumentation
+from repro.sim.primitives import Semaphore
+from repro.sim.syscalls import Compute, Sleep
+
+
+class ApacheConfig(AppConfig):
+    """Tuning knobs of the Apache model."""
+
+    def __init__(self, isolation_level=50, max_workers=4, fcgid_slots=2,
+                 fpm_children=2, accept_us=30):
+        self.isolation_level = isolation_level
+        self.max_workers = max_workers
+        self.fcgid_slots = fcgid_slots
+        self.fpm_children = fpm_children
+        self.accept_us = accept_us
+
+
+class ApacheServer:
+    """Aggregates the Apache pools (cases c11-c13)."""
+
+    def __init__(self, kernel, runtime, config=None):
+        self.kernel = kernel
+        self.runtime = runtime
+        self.config = config or ApacheConfig()
+        self.instr = Instrumentation(runtime)
+        self.worker_pool = Semaphore(
+            kernel, units=self.config.max_workers, name="apache_workers"
+        )
+        self.fcgid_slots = Semaphore(
+            kernel, units=self.config.fcgid_slots, name="fcgid_slots"
+        )
+        self.fpm_children = Semaphore(
+            kernel, units=self.config.fpm_children, name="fpm_children"
+        )
+
+    def connect(self, name):
+        """Create a client connection."""
+        return ApacheConnection(self, name)
+
+
+class ApacheConnection(Connection):
+    """One HTTP connection; request kinds of cases c11-c13."""
+
+    def _handle(self, request):
+        kind = request["kind"]
+        handler = getattr(self, "_do_" + kind, None)
+        if handler is None:
+            raise ValueError("unknown Apache request kind %r" % kind)
+        yield from handler(request)
+
+    def _do_static(self, request):
+        """Serve a static page from a worker thread (victim of c12)."""
+        yield Compute(us=self.app.config.accept_us)
+        yield from self.instr.acquire_semaphore(self.app.worker_pool)
+        yield Compute(us=request.get("serve_us", 500))
+        self.instr.release_semaphore(self.app.worker_pool)
+
+    def _do_slow_download(self, request):
+        """A slow client occupying a worker for a long time (noisy c12)."""
+        yield Compute(us=self.app.config.accept_us)
+        yield from self.instr.acquire_semaphore(self.app.worker_pool)
+        yield Sleep(us=request.get("serve_us", 100_000))
+        self.instr.release_semaphore(self.app.worker_pool)
+
+    def _do_fcgid(self, request):
+        """A CGI request through mod_fcgid's limited backend slots (c11)."""
+        yield Compute(us=self.app.config.accept_us)
+        yield from self.instr.acquire_semaphore(self.app.fcgid_slots)
+        yield Sleep(us=request.get("script_us", 5_000))
+        self.instr.release_semaphore(self.app.fcgid_slots)
+        yield Compute(us=request.get("render_us", 200))
+
+    def _do_php_fpm(self, request):
+        """A PHP page through php-fpm's pm.max_children pool (c13)."""
+        yield Compute(us=self.app.config.accept_us)
+        yield from self.instr.acquire_semaphore(self.app.fpm_children)
+        yield Sleep(us=request.get("script_us", 5_000))
+        self.instr.release_semaphore(self.app.fpm_children)
+        yield Compute(us=request.get("render_us", 200))

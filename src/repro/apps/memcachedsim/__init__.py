@@ -1,0 +1,9 @@
+"""Behavioural Memcached model (event-driven key-value store, case c16)."""
+
+from repro.apps.memcachedsim.server import (
+    MemcachedConfig,
+    MemcachedConnection,
+    MemcachedServer,
+)
+
+__all__ = ["MemcachedConfig", "MemcachedConnection", "MemcachedServer"]

@@ -1,0 +1,78 @@
+"""Memcached server model: worker threads + the cache/LRU lock (c16).
+
+Case c16 is the one the paper does *not* mitigate: contention on the
+cache-replacement lock is light, requests are tens of microseconds, and
+the cost of the extra pBox operations exceeds the benefit of the rare
+mitigation actions.  The model keeps those proportions: GETs take the
+lock for ~10 us, SETs that evict hold it for ~150 us, and the
+per-operation runtime costs (Figure 10 defaults) are charged as usual.
+"""
+
+from repro.apps.base import AppConfig, Instrumentation
+from repro.apps.eventdriven import EventDrivenConnection, PBoxWorkerPool
+from repro.sim.primitives import Mutex
+from repro.sim.syscalls import Compute
+
+
+class MemcachedConfig(AppConfig):
+    """Tuning knobs of the Memcached model."""
+
+    def __init__(self, isolation_level=50, workers=4, get_us=30, set_us=40,
+                 lock_get_us=10, lock_set_us=20, lock_evict_us=100,
+                 evict_probability=0.7):
+        self.isolation_level = isolation_level
+        self.workers = workers
+        self.get_us = get_us
+        self.set_us = set_us
+        self.lock_get_us = lock_get_us
+        self.lock_set_us = lock_set_us
+        self.lock_evict_us = lock_evict_us
+        self.evict_probability = evict_probability
+
+
+class MemcachedServer:
+    """Event-driven key-value store with a global cache lock."""
+
+    def __init__(self, kernel, runtime, config=None):
+        self.kernel = kernel
+        self.runtime = runtime
+        self.config = config or MemcachedConfig()
+        self.instr = Instrumentation(runtime)
+        self.cache_lock = Mutex(kernel, "cache_lock")
+        self.rng = kernel.rng("memcached-evictions")
+        self.pool = PBoxWorkerPool(
+            kernel, runtime, self.config.workers, self._handle_task,
+            name="memcached",
+        )
+
+    def connect(self, name):
+        """Create a client connection."""
+        return MemcachedConnection(self, name)
+
+    def start(self, spawn=None):
+        """Start the worker pool threads."""
+        return self.pool.start(spawn)
+
+    def _handle_task(self, task):
+        request = task.request
+        kind = request["kind"]
+        config = self.config
+        if kind == "get":
+            yield Compute(us=config.get_us)
+            yield from self.instr.acquire_mutex(self.cache_lock)
+            yield Compute(us=config.lock_get_us)  # LRU bump
+            self.instr.release_mutex(self.cache_lock)
+        elif kind == "set":
+            yield Compute(us=config.set_us)
+            yield from self.instr.acquire_mutex(self.cache_lock)
+            if self.rng.random() < config.evict_probability:
+                yield Compute(us=config.lock_evict_us)  # LRU eviction walk
+            else:
+                yield Compute(us=config.lock_set_us)
+            self.instr.release_mutex(self.cache_lock)
+        else:
+            raise ValueError("unknown Memcached request kind %r" % kind)
+
+
+class MemcachedConnection(EventDrivenConnection):
+    """One Memcached client connection (shared-thread pBox)."""

@@ -1,0 +1,34 @@
+"""Behavioural MySQL/InnoDB model.
+
+Covers the subsystems behind interference cases c1-c5 and the three
+motivation figures:
+
+- the buffer pool with LRU eviction and free-block consumption
+  (Figure 4, case of Figure 2),
+- the UNDO log with a background purge thread (Figure 1 / case c5),
+- the InnoDB thread-concurrency tickets (Figure 9 / case c3),
+- table locks taken by SELECT FOR UPDATE (case c1),
+- the global dictionary mutex contended by primary-key-less inserts
+  (case c2), and
+- the lock-system mutex stressed by SERIALIZABLE reads (case c4).
+"""
+
+from repro.apps.mysqlsim.resources import (
+    BufferPool,
+    ConcurrencyTickets,
+    LockSystem,
+    TableLockManager,
+    UndoLog,
+)
+from repro.apps.mysqlsim.server import MySQLConfig, MySQLConnection, MySQLServer
+
+__all__ = [
+    "BufferPool",
+    "ConcurrencyTickets",
+    "LockSystem",
+    "MySQLConfig",
+    "MySQLConnection",
+    "MySQLServer",
+    "TableLockManager",
+    "UndoLog",
+]

@@ -1,0 +1,284 @@
+"""MySQL virtual resources.
+
+Each class models one of the application-level resources from Table 3
+with the blocking structure described in the paper, annotated with the
+pBox state events a developer would add (PREPARE/ENTER around deferral,
+HOLD/UNHOLD around usage).
+"""
+
+from collections import OrderedDict
+
+from repro.sim.primitives import Mutex
+from repro.sim.syscalls import Compute, Sleep
+
+
+class BufferPool:
+    """The InnoDB buffer pool: pages, LRU list, and free blocks.
+
+    The contended virtual resource is the *free blocks* (Figure 4): the
+    pool latch is released as soon as a block is obtained, so lock
+    optimization would not help; what hurts victims is that obtaining a
+    block under pressure costs an LRU scan, a possible dirty-page flush
+    and a disk read -- all of which the state events expose as deferring
+    time.
+    """
+
+    FREE_KEY = "buf_pool.free_blocks"
+
+    def __init__(self, kernel, instr, capacity, hit_us=20, scan_us=30,
+                 read_io_us=400, flush_io_us=600):
+        self.kernel = kernel
+        self.instr = instr
+        self.capacity = capacity
+        self.hit_us = hit_us
+        self.scan_us = scan_us
+        self.read_io_us = read_io_us
+        self.flush_io_us = flush_io_us
+        self.mutex = Mutex(kernel, "buf_pool_mutex")
+        self.pages = OrderedDict()  # page key -> dirty flag; LRU order
+        self.free_blocks = capacity
+        self._inflight = set()      # pages currently being read in
+        self.misses = 0
+        self.hits = 0
+
+    def access(self, page_key, dirty=False, read_io_us=None):
+        """Access one page; returns True on a buffer-pool hit.
+
+        On a miss the caller pays the Figure 4 path: obtain a free block
+        (possibly evicting and flushing the LRU tail) and read the page.
+        A concurrent miss on a page already being read in waits for that
+        read instead of consuming a second block.  ``read_io_us``
+        overrides the read cost (sequential scans such as mysqldump
+        benefit from read-ahead and stream pages much faster than random
+        point reads).
+        """
+        while page_key in self._inflight:
+            yield from self._wait_for_read(page_key)
+        if page_key in self.pages:
+            self.hits += 1
+            self.pages.move_to_end(page_key)
+            if dirty:
+                self.pages[page_key] = True
+            yield Compute(us=self.hit_us)
+            return True
+        self.misses += 1
+        self._inflight.add(page_key)
+        yield from self._take_free_block()
+        yield Sleep(us=read_io_us if read_io_us is not None else self.read_io_us)
+        self.pages[page_key] = dirty
+        self._inflight.discard(page_key)
+        self.kernel.futex_wake(("bufpool-read", page_key), n=1 << 30)
+        self.instr.unhold(self.FREE_KEY)
+        return False
+
+    def _wait_for_read(self, page_key):
+        """Park until the in-flight read of ``page_key`` completes."""
+        from repro.sim.syscalls import FutexWait
+
+        yield FutexWait(("bufpool-read", page_key), timeout_us=10_000)
+
+    def _take_free_block(self):
+        """buf_LRU_get_free_block: the loop of Figure 4, annotated."""
+        self.instr.prepare(self.FREE_KEY)
+        yield from self.mutex.acquire()
+        if self.free_blocks > 0:
+            self.free_blocks -= 1
+            self.mutex.release()
+        else:
+            _victim, victim_dirty = self.pages.popitem(last=False)
+            self.mutex.release()
+            yield Compute(us=self.scan_us)  # LRU scan from the tail
+            if victim_dirty:
+                yield Sleep(us=self.flush_io_us)  # write back dirty page
+        self.instr.enter(self.FREE_KEY)
+        self.instr.hold(self.FREE_KEY)
+
+    @property
+    def resident(self):
+        """Number of pages currently cached."""
+        return len(self.pages)
+
+
+class UndoLog:
+    """The InnoDB UNDO log plus purge accounting (case c5 / Figure 1).
+
+    Writers append entries under the log latch.  A long-running
+    transaction pins the oldest read view so nothing can be purged; when
+    it commits, the backlog becomes purgeable at once and the purge
+    thread iterates it in batches while holding the latch -- exactly the
+    "purge task gets triggered" cliff of Figure 1.
+    """
+
+    def __init__(self, kernel, instr, append_us=30, purge_entry_us=100,
+                 purge_light_entry_us=2, purge_batch=128, purge_gap_us=200):
+        self.kernel = kernel
+        self.instr = instr
+        self.append_us = append_us
+        self.purge_entry_us = purge_entry_us
+        self.purge_light_entry_us = purge_light_entry_us
+        self.purge_batch = purge_batch
+        self.purge_gap_us = purge_gap_us
+        self.mutex = Mutex(kernel, "undo_log_latch")
+        self.pins = 0
+        # Entries appended while a read view pins the history grow long
+        # version chains and are expensive to purge ("heavy"); ordinary
+        # entries are purged cheaply in the background ("light").
+        self.pending_heavy = 0    # heavy entries not yet purgeable (pinned)
+        self.heavy_backlog = 0    # heavy entries ready to purge
+        self.light_backlog = 0
+        self.purged_total = 0
+
+    @property
+    def entries(self):
+        """Total UNDO entries currently in the log."""
+        return self.pending_heavy + self.heavy_backlog + self.light_backlog
+
+    def append(self):
+        """Append one UNDO entry (called by every write).
+
+        When the purge falls behind, the history list grows and every
+        write pays to traverse longer version chains -- the reason
+        InnoDB cannot simply stop purging (and why over-penalizing the
+        purge thread backfires, Table 4).
+        """
+        yield from self.instr.acquire_mutex(self.mutex)
+        chain_extra = min(self.pending_heavy + self.heavy_backlog, 30_000) // 200
+        yield Compute(us=self.append_us + chain_extra)
+        if self.pins > 0:
+            self.pending_heavy += 1
+        else:
+            self.light_backlog += 1
+        self.instr.release_mutex(self.mutex)
+
+    def pin(self):
+        """A transaction opens a read view: freeze purge progress."""
+        self.pins += 1
+
+    def unpin(self):
+        """The read view closes; the pinned backlog becomes purgeable."""
+        if self.pins <= 0:
+            raise RuntimeError("unpin without pin")
+        self.pins -= 1
+        if self.pins == 0:
+            self.heavy_backlog += self.pending_heavy
+            self.pending_heavy = 0
+
+    def purge_step(self):
+        """Purge one batch under the latch; returns entries purged.
+
+        Heavy entries (long version chains) dominate the cost and are
+        processed first -- this is the expensive cleanup that blocks
+        client B in Figure 1.
+        """
+        if self.heavy_backlog <= 0 and self.light_backlog <= 0:
+            return 0
+        yield from self.instr.acquire_mutex(self.mutex)
+        if self.heavy_backlog > 0:
+            batch = min(self.purge_batch, self.heavy_backlog)
+            yield Compute(us=batch * self.purge_entry_us)
+            self.heavy_backlog -= batch
+        else:
+            batch = min(self.purge_batch, self.light_backlog)
+            yield Compute(us=max(1, batch * self.purge_light_entry_us))
+            self.light_backlog -= batch
+        self.purged_total += batch
+        self.instr.release_mutex(self.mutex)
+        return batch
+
+
+class ConcurrencyTickets:
+    """innodb_thread_concurrency admission (case c3, Figure 9).
+
+    A thread entering InnoDB checks ``n_active`` against the limit; if
+    the limit is reached it sleeps and retries (``os_thread_sleep`` at
+    line 281 of Figure 9).  On admission it receives ``ticket_grant``
+    tickets letting it re-enter that many times without the check.
+    """
+
+    KEY = "srv_conc.n_active"
+
+    def __init__(self, kernel, instr, limit, sleep_us=1_000, ticket_grant=4):
+        self.kernel = kernel
+        self.instr = instr
+        self.limit = limit
+        self.sleep_us = sleep_us
+        self.ticket_grant = ticket_grant
+        self.n_active = 0
+
+    def enter(self, conn):
+        """srv_conc_enter_innodb: admission with the annotated spin."""
+        if conn.tickets > 0:
+            conn.tickets -= 1
+            return
+        self.instr.prepare(self.KEY)
+        while True:
+            if self.n_active < self.limit:
+                self.n_active += 1
+                self.instr.enter(self.KEY)
+                self.instr.hold(self.KEY)
+                conn.tickets = self.ticket_grant - 1
+                conn.in_innodb = True
+                return
+            yield Sleep(us=self.sleep_us)
+
+    def exit(self, conn):
+        """srv_conc_exit_innodb: release the slot when tickets run out."""
+        if conn.tickets > 0:
+            return
+        if conn.in_innodb:
+            self.n_active -= 1
+            conn.in_innodb = False
+            self.instr.unhold(self.KEY)
+
+
+class TableLockManager:
+    """Per-table locks (case c1: SELECT FOR UPDATE vs INSERT)."""
+
+    def __init__(self, kernel, instr):
+        self.kernel = kernel
+        self.instr = instr
+        self._locks = {}
+
+    def lock(self, table):
+        """Acquire the lock of ``table`` (annotated)."""
+        mutex = self._locks.get(table)
+        if mutex is None:
+            mutex = Mutex(self.kernel, "table_lock:%s" % (table,))
+            self._locks[table] = mutex
+        yield from self.instr.acquire_mutex(mutex)
+
+    def unlock(self, table):
+        """Release the lock of ``table``."""
+        self.instr.release_mutex(self._locks[table])
+
+
+class LockSystem:
+    """The lock_sys mutex plus the record-lock list (case c4).
+
+    SERIALIZABLE SELECTs allocate shared record locks under the global
+    lock_sys mutex; every other transaction's lock acquisition then has
+    to walk the grown lock list while holding the same mutex, which is
+    where the 6.6x slowdown of case c4 comes from.
+    """
+
+    def __init__(self, kernel, instr, alloc_us=40, walk_us_per_lock=2,
+                 max_walk_locks=2_000):
+        self.kernel = kernel
+        self.instr = instr
+        self.alloc_us = alloc_us
+        self.walk_us_per_lock = walk_us_per_lock
+        self.max_walk_locks = max_walk_locks
+        self.mutex = Mutex(kernel, "lock_sys_mutex")
+        self.active_locks = 0
+
+    def take_record_lock(self):
+        """Allocate one record lock under the mutex (annotated)."""
+        yield from self.instr.acquire_mutex(self.mutex)
+        walk = min(self.active_locks, self.max_walk_locks)
+        yield Compute(us=self.alloc_us + walk * self.walk_us_per_lock)
+        self.active_locks += 1
+        self.instr.release_mutex(self.mutex)
+
+    def release_locks(self, count):
+        """Drop ``count`` record locks (transaction end)."""
+        self.active_locks = max(0, self.active_locks - count)

@@ -1,0 +1,301 @@
+"""The MySQL server model: connections, request handling, background tasks.
+
+Connections follow the Figure 8 structure: the connection's pBox is
+created when the connection opens, activated per request, frozen when
+the request completes.  Background activities (the purge thread, a
+mysqldump backup task) get their own pBoxes with a looser isolation goal
+-- they are batch, throughput-oriented activities, so a tight latency
+goal would be meaningless for them (see DESIGN.md, "background rules").
+"""
+
+from repro.apps.base import AppConfig, Connection, Instrumentation
+from repro.apps.mysqlsim.resources import (
+    BufferPool,
+    ConcurrencyTickets,
+    LockSystem,
+    TableLockManager,
+    UndoLog,
+)
+from repro.core.rules import IsolationRule
+from repro.sim.primitives import Mutex, RWLock
+from repro.sim.syscalls import Compute, Now, Sleep
+
+
+class MySQLConfig(AppConfig):
+    """Tuning knobs of the MySQL model (defaults suit the 16 cases)."""
+
+    def __init__(self, buffer_pool_blocks=64, thread_concurrency=None,
+                 ticket_grant=4, purge_batch=128, purge_entry_us=100,
+                 purge_gap_us=200, purge_idle_us=10_000,
+                 dict_mutex_nopk_us=300, dict_mutex_pk_us=30,
+                 isolation_level=50, background_isolation_level=500):
+        self.buffer_pool_blocks = buffer_pool_blocks
+        self.thread_concurrency = thread_concurrency
+        self.ticket_grant = ticket_grant
+        self.purge_batch = purge_batch
+        self.purge_entry_us = purge_entry_us
+        self.purge_gap_us = purge_gap_us
+        self.purge_idle_us = purge_idle_us
+        self.dict_mutex_nopk_us = dict_mutex_nopk_us
+        self.dict_mutex_pk_us = dict_mutex_pk_us
+        self.isolation_level = isolation_level
+        self.background_isolation_level = background_isolation_level
+
+    def make_background_rule(self):
+        """Loose rule for batch background activities (purge, dump)."""
+        return IsolationRule(isolation_level=self.background_isolation_level)
+
+
+class MySQLServer:
+    """Aggregates the InnoDB virtual resources and background threads."""
+
+    def __init__(self, kernel, runtime, config=None):
+        self.kernel = kernel
+        self.runtime = runtime
+        self.config = config or MySQLConfig()
+        self.instr = Instrumentation(runtime)
+        self.buffer_pool = BufferPool(
+            kernel, self.instr, capacity=self.config.buffer_pool_blocks
+        )
+        self.undo_log = UndoLog(
+            kernel,
+            self.instr,
+            purge_batch=self.config.purge_batch,
+            purge_entry_us=self.config.purge_entry_us,
+            purge_gap_us=self.config.purge_gap_us,
+        )
+        self.tickets = None
+        if self.config.thread_concurrency:
+            self.tickets = ConcurrencyTickets(
+                kernel,
+                self.instr,
+                limit=self.config.thread_concurrency,
+                ticket_grant=self.config.ticket_grant,
+            )
+        self.table_locks = TableLockManager(kernel, self.instr)
+        self.lock_sys = LockSystem(kernel, self.instr)
+        self.dict_mutex = Mutex(kernel, "dict_sys_mutex")
+        # Record-lock conflicts of case c4: SERIALIZABLE readers hold
+        # shared locks on a row range for the whole transaction; writers
+        # need them exclusively.
+        self.record_locks = RWLock(kernel, "record_lock_range",
+                                   policy="reader_pref")
+        self.stopped = False
+
+    def connect(self, name):
+        """Create a connection (one per client thread)."""
+        return MySQLConnection(self, name)
+
+    def stop(self):
+        """Ask background threads to wind down."""
+        self.stopped = True
+
+    # ------------------------------------------------------------------
+    # Background activities
+    # ------------------------------------------------------------------
+
+    def purge_thread_body(self):
+        """The InnoDB purge thread (the noisy activity of case c5).
+
+        Each latch-holding purge batch is one pBox activity so the
+        manager sees activity boundaries at the same granularity the
+        real purge coordinator works at.
+        """
+        psid = self.runtime.create_pbox(self.config.make_background_rule())
+        while not self.stopped:
+            self.runtime.activate_pbox(psid)
+            purged = yield from self.undo_log.purge_step()
+            self.runtime.freeze_pbox(psid)
+            if purged:
+                yield Sleep(us=self.undo_log.purge_gap_us)
+            else:
+                yield Sleep(us=self.config.purge_idle_us)
+        self.runtime.release_pbox(psid)
+
+    def dump_task_body(self, pages, chunk_pages=16, start_us=0):
+        """A mysqldump-style backup streaming ``pages`` big-table pages.
+
+        This is the noisy activity of the Figure 2 case: it floods the
+        buffer pool with pages of a table that does not fit, evicting
+        the OLTP working set.
+        """
+
+        def body():
+            if start_us:
+                yield Sleep(us=start_us)
+            psid = self.runtime.create_pbox(self.config.make_background_rule())
+            done = 0
+            while done < pages and not self.stopped:
+                self.runtime.activate_pbox(psid)
+                for offset in range(min(chunk_pages, pages - done)):
+                    # Sequential scan: read-ahead makes page reads cheap.
+                    yield from self.buffer_pool.access(
+                        ("big", done + offset), read_io_us=50
+                    )
+                    yield Compute(us=20)  # serialize rows to the dump file
+                done += chunk_pages
+                self.runtime.freeze_pbox(psid)
+            self.runtime.release_pbox(psid)
+
+        return body
+
+
+class MySQLConnection(Connection):
+    """One client connection; dispatches the request kinds of cases c1-c5."""
+
+    def __init__(self, app, name):
+        super().__init__(app, name)
+        self.tickets = 0
+        self.in_innodb = False
+        self.txn_pinned = False
+
+    def _handle(self, request):
+        kind = request["kind"]
+        handler = getattr(self, "_do_" + kind, None)
+        if handler is None:
+            raise ValueError("unknown MySQL request kind %r" % kind)
+        yield from handler(request)
+
+    # -- InnoDB admission --------------------------------------------------
+
+    def _enter_innodb(self):
+        if self.app.tickets is not None:
+            yield from self.app.tickets.enter(self)
+
+    def _exit_innodb(self):
+        if self.app.tickets is not None:
+            self.app.tickets.exit(self)
+
+    # -- request kinds -------------------------------------------------
+
+    def _do_oltp_read(self, request):
+        """Point reads over buffer-pool pages (sysbench OLTP read)."""
+        yield from self._enter_innodb()
+        for page in request["pages"]:
+            yield from self.app.buffer_pool.access(page)
+        yield Compute(us=request.get("work_us", 200))
+        self._exit_innodb()
+
+    def _do_oltp_write(self, request):
+        """Writes: dirty page accesses plus one UNDO entry per row."""
+        yield from self._enter_innodb()
+        for page in request["pages"]:
+            yield from self.app.buffer_pool.access(page, dirty=True)
+        for _ in range(request.get("undo_entries", 1)):
+            yield from self.app.undo_log.append()
+        yield Compute(us=request.get("work_us", 300))
+        self._exit_innodb()
+
+    def _do_read(self, request):
+        """CPU-only read inside the concurrency-regulated section (c3)."""
+        yield from self._enter_innodb()
+        yield Compute(us=request.get("work_us", 300))
+        self._exit_innodb()
+
+    def _do_write(self, request):
+        """CPU-heavy write inside the concurrency-regulated section (c3)."""
+        yield from self._enter_innodb()
+        yield Compute(us=request.get("work_us", 3_000))
+        self._exit_innodb()
+
+    def _do_insert(self, request):
+        """INSERT: takes the table lock briefly (the victim of c1)."""
+        table = request["table"]
+        yield from self.app.table_locks.lock(table)
+        yield Compute(us=request.get("work_us", 300))
+        self.app.table_locks.unlock(table)
+        yield from self.app.undo_log.append()
+
+    def _do_select_for_update(self, request):
+        """SELECT FOR UPDATE scanning many rows under the table lock (c1)."""
+        table = request["table"]
+        yield from self.app.table_locks.lock(table)
+        yield Compute(us=request.get("scan_us", 50_000))
+        self.app.table_locks.unlock(table)
+
+    def _do_serializable_select(self, request):
+        """SERIALIZABLE SELECT taking shared record locks (noisy of c4).
+
+        Row processing happens outside the lock_sys mutex, so the mutex
+        duty cycle is high but not total (victims are delayed, not
+        starved).
+        """
+        rows = request.get("rows", 20)
+        row_work_us = request.get("row_work_us", 60)
+        for _ in range(rows):
+            yield from self.app.lock_sys.take_record_lock()
+            yield Compute(us=row_work_us)
+        yield Compute(us=request.get("work_us", 200))
+        self.app.lock_sys.release_locks(rows)
+
+    def _do_locking_read(self, request):
+        """A locking read that walks the record-lock list (victim of c4)."""
+        rows = request.get("rows", 1)
+        for _ in range(rows):
+            yield from self.app.lock_sys.take_record_lock()
+        yield Compute(us=request.get("work_us", 200))
+        self.app.lock_sys.release_locks(rows)
+
+    def _do_serializable_scan(self, request):
+        """SERIALIZABLE scan holding shared record locks for the whole
+        transaction (noisy of c4)."""
+        yield from self.instr.acquire_shared(self.app.record_locks)
+        yield Compute(us=request.get("scan_us", 15_000))
+        self.instr.release_shared(self.app.record_locks)
+
+    def _do_update_row(self, request):
+        """An UPDATE needing the record locks exclusively (victim of c4)."""
+        yield from self.instr.acquire_exclusive(self.app.record_locks)
+        yield Compute(us=request.get("work_us", 300))
+        self.instr.release_exclusive(self.app.record_locks)
+        yield Compute(us=request.get("post_work_us", 300))
+
+    def _do_nopk_insert(self, request):
+        """INSERT into a table without a primary key (noisy of c2).
+
+        Row-id generation for PK-less tables serializes on the global
+        dict mutex with a long hold per row.
+        """
+        for _ in range(request.get("ops", 1)):
+            yield from self.instr.acquire_mutex(self.app.dict_mutex)
+            yield Compute(us=self.app.config.dict_mutex_nopk_us)
+            self.instr.release_mutex(self.app.dict_mutex)
+        yield Compute(us=request.get("work_us", 200))
+
+    def _do_pk_insert(self, request):
+        """A normal insert briefly touching the dict mutex (victim of c2)."""
+        for _ in range(request.get("ops", 1)):
+            yield from self.instr.acquire_mutex(self.app.dict_mutex)
+            yield Compute(us=self.app.config.dict_mutex_pk_us)
+            self.instr.release_mutex(self.app.dict_mutex)
+        yield Compute(us=request.get("work_us", 5_000))
+
+    def _do_long_txn_read(self, request):
+        """Case c5's client A: a read in a transaction held open for long.
+
+        Pins the UNDO read view, reads, sleeps (the "sleep 10 seconds"
+        of Section 2.1), then commits -- releasing the purge backlog.
+        """
+        self.app.undo_log.pin()
+        self.txn_pinned = True
+        yield from self._enter_innodb()
+        yield Compute(us=request.get("work_us", 1_000))
+        self._exit_innodb()
+        yield Sleep(us=request.get("hold_open_us", 10_000_000))
+        self.app.undo_log.unpin()
+        self.txn_pinned = False
+
+    def _do_undo_write(self, request):
+        """Case c5's client B: a write transaction appending UNDO entries."""
+        yield from self._enter_innodb()
+        for _ in range(request.get("undo_entries", 8)):
+            yield from self.app.undo_log.append()
+        yield Compute(us=request.get("work_us", 1_000))
+        self._exit_innodb()
+
+    def _on_close(self):
+        if self.txn_pinned:
+            self.app.undo_log.unpin()
+            self.txn_pinned = False
+        return
+        yield  # pragma: no cover - keeps this a generator

@@ -1,0 +1,27 @@
+"""Behavioural PostgreSQL model (multi-process architecture).
+
+Covers the subsystems behind interference cases c6-c10:
+
+- the table index with MVCC visibility checks against in-progress
+  inserts (c6),
+- the lock manager serializing table-level locking across tables (c7),
+- LWLocks with shared/exclusive modes and reader preference (c8),
+- VACUUM FULL holding the table lock while compacting dead rows (c9),
+- the write-ahead log with group commit (c10).
+
+PostgreSQL is multi-process; in the simulator each backend process is a
+:class:`~repro.sim.thread.SimThread` (the kernel schedules processes and
+threads identically, which is also true of Linux).
+"""
+
+from repro.apps.pgsim.resources import TableIndex, VacuumState, WriteAheadLog
+from repro.apps.pgsim.server import PGConfig, PGConnection, PostgresServer
+
+__all__ = [
+    "PGConfig",
+    "PGConnection",
+    "PostgresServer",
+    "TableIndex",
+    "VacuumState",
+    "WriteAheadLog",
+]

@@ -1,0 +1,114 @@
+"""PostgreSQL virtual resources for cases c6-c10."""
+
+from repro.sim.primitives import Mutex, RWLock
+from repro.sim.syscalls import Compute, Sleep
+
+
+class TableIndex:
+    """A table index plus MVCC bookkeeping (case c6).
+
+    A large in-progress INSERT transaction leaves index entries whose
+    visibility every concurrent scan has to resolve (checking the
+    inserter's transaction status per tuple), on top of waiting out the
+    inserter's exclusive page-level bursts.
+    """
+
+    def __init__(self, kernel, instr, per_tuple_check_us=0.3,
+                 max_checked_tuples=3_000):
+        self.kernel = kernel
+        self.instr = instr
+        self.per_tuple_check_us = per_tuple_check_us
+        self.max_checked_tuples = max_checked_tuples
+        self.lock = RWLock(kernel, "index_page_lock", policy="reader_pref")
+        self.in_progress_tuples = 0
+
+    def insert_batch(self, rows, batch_work_us):
+        """Insert ``rows`` tuples under the exclusive page lock."""
+        yield from self.instr.acquire_exclusive(self.lock)
+        yield Compute(us=batch_work_us)
+        self.in_progress_tuples += rows
+        self.instr.release_exclusive(self.lock)
+
+    def end_insert_txn(self):
+        """The inserting transaction finished; tuples become resolved."""
+        self.in_progress_tuples = 0
+
+    def scan(self, base_us):
+        """Scan the index, paying the MVCC cost of in-progress tuples."""
+        yield from self.instr.acquire_shared(self.lock)
+        checked = min(self.in_progress_tuples, self.max_checked_tuples)
+        yield Compute(us=base_us + int(checked * self.per_tuple_check_us))
+        self.instr.release_shared(self.lock)
+
+
+class VacuumState:
+    """Dead-row accounting driving VACUUM FULL (case c9)."""
+
+    def __init__(self, kernel, instr, trigger_dead_rows=500,
+                 rows_per_batch=400, batch_us=40_000, gap_us=500):
+        self.kernel = kernel
+        self.instr = instr
+        self.trigger_dead_rows = trigger_dead_rows
+        self.rows_per_batch = rows_per_batch
+        self.batch_us = batch_us
+        self.gap_us = gap_us
+        self.table_lock = RWLock(kernel, "relation_lock", policy="reader_pref")
+        self.dead_rows = 0
+        self.vacuumed_total = 0
+
+    def add_dead_rows(self, rows):
+        """Updates/deletes leave dead row versions behind."""
+        self.dead_rows += rows
+
+    @property
+    def needs_vacuum(self):
+        """True when the dead-row count crosses the trigger."""
+        return self.dead_rows >= self.trigger_dead_rows
+
+    def vacuum_batch(self):
+        """Compact one batch under the exclusive relation lock."""
+        if self.dead_rows <= 0:
+            return 0
+        yield from self.instr.acquire_exclusive(self.table_lock)
+        batch = min(self.rows_per_batch, self.dead_rows)
+        yield Compute(us=self.batch_us)
+        self.dead_rows -= batch
+        self.vacuumed_total += batch
+        self.instr.release_exclusive(self.table_lock)
+        return batch
+
+
+class WriteAheadLog:
+    """The WAL insert/flush path with group commit (case c10).
+
+    Writers copy their records into the WAL buffer under the insert
+    lock; commits flush under the same lock, and a large pending record
+    (the noisy bulk writer) makes the group flush long for everyone.
+    """
+
+    def __init__(self, kernel, instr, copy_us_per_kb=10, flush_us_per_kb=150,
+                 flush_floor_us=500):
+        self.kernel = kernel
+        self.instr = instr
+        self.copy_us_per_kb = copy_us_per_kb
+        self.flush_us_per_kb = flush_us_per_kb
+        self.flush_floor_us = flush_floor_us
+        self.lock = Mutex(kernel, "wal_insert_lock")
+        self.pending_kb = 0
+        self.flushes = 0
+
+    def append(self, record_kb):
+        """Copy a record into the WAL buffer under the insert lock."""
+        yield from self.instr.acquire_mutex(self.lock)
+        yield Compute(us=max(1, record_kb * self.copy_us_per_kb))
+        self.pending_kb += record_kb
+        self.instr.release_mutex(self.lock)
+
+    def flush(self):
+        """Group-commit flush: whoever flushes pays for all pending data."""
+        yield from self.instr.acquire_mutex(self.lock)
+        pending = self.pending_kb
+        self.pending_kb = 0
+        yield Sleep(us=self.flush_floor_us + pending * self.flush_us_per_kb)
+        self.flushes += 1
+        self.instr.release_mutex(self.lock)

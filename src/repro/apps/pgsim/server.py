@@ -1,0 +1,169 @@
+"""The PostgreSQL server model: backends, request kinds, vacuum process."""
+
+from repro.apps.base import AppConfig, Connection, Instrumentation
+from repro.apps.pgsim.resources import TableIndex, VacuumState, WriteAheadLog
+from repro.core.rules import IsolationRule
+from repro.sim.primitives import Mutex, RWLock
+from repro.sim.syscalls import Compute, Sleep
+
+
+class PGConfig(AppConfig):
+    """Tuning knobs of the PostgreSQL model."""
+
+    def __init__(self, isolation_level=50, background_isolation_level=500,
+                 lock_mgr_fast_us=50, index_tuple_check_us=0.3,
+                 vacuum_batch_us=40_000, vacuum_gap_us=500,
+                 vacuum_trigger=500, vacuum_idle_us=20_000):
+        self.isolation_level = isolation_level
+        self.background_isolation_level = background_isolation_level
+        self.lock_mgr_fast_us = lock_mgr_fast_us
+        self.index_tuple_check_us = index_tuple_check_us
+        self.vacuum_batch_us = vacuum_batch_us
+        self.vacuum_gap_us = vacuum_gap_us
+        self.vacuum_trigger = vacuum_trigger
+        self.vacuum_idle_us = vacuum_idle_us
+
+    def make_background_rule(self):
+        """Loose rule for background processes (vacuum)."""
+        return IsolationRule(isolation_level=self.background_isolation_level)
+
+
+class PostgresServer:
+    """Aggregates the PostgreSQL virtual resources and the vacuum worker."""
+
+    def __init__(self, kernel, runtime, config=None):
+        self.kernel = kernel
+        self.runtime = runtime
+        self.config = config or PGConfig()
+        self.instr = Instrumentation(runtime)
+        self.index = TableIndex(
+            kernel, self.instr,
+            per_tuple_check_us=self.config.index_tuple_check_us,
+        )
+        self.lock_manager = Mutex(kernel, "lock_manager_partition")
+        self.lwlock = RWLock(kernel, "lwlock_shared", policy="reader_pref")
+        self.vacuum = VacuumState(
+            kernel, self.instr,
+            trigger_dead_rows=self.config.vacuum_trigger,
+            batch_us=self.config.vacuum_batch_us,
+            gap_us=self.config.vacuum_gap_us,
+        )
+        self.wal = WriteAheadLog(kernel, self.instr)
+        self.stopped = False
+
+    def connect(self, name):
+        """Create a backend connection (one per client process)."""
+        return PGConnection(self, name)
+
+    def stop(self):
+        """Ask background processes to wind down."""
+        self.stopped = True
+
+    def vacuum_process_body(self):
+        """The VACUUM FULL worker (noisy background activity of c9)."""
+        psid = self.runtime.create_pbox(self.config.make_background_rule())
+        while not self.stopped:
+            if self.vacuum.needs_vacuum or self.vacuum.dead_rows > 0:
+                self.runtime.activate_pbox(psid)
+                yield from self.vacuum.vacuum_batch()
+                self.runtime.freeze_pbox(psid)
+                yield Sleep(us=self.vacuum.gap_us)
+            else:
+                yield Sleep(us=self.config.vacuum_idle_us)
+        self.runtime.release_pbox(psid)
+
+
+class PGConnection(Connection):
+    """One backend process; dispatches the request kinds of c6-c10."""
+
+    def _handle(self, request):
+        kind = request["kind"]
+        handler = getattr(self, "_do_" + kind, None)
+        if handler is None:
+            raise ValueError("unknown PostgreSQL request kind %r" % kind)
+        yield from handler(request)
+
+    # -- c6: index MVCC ----------------------------------------------------
+
+    def _do_bulk_insert(self, request):
+        """A long INSERT transaction filling the index (noisy of c6)."""
+        batches = request.get("batches", 10)
+        rows = request.get("rows_per_batch", 200)
+        for _ in range(batches):
+            yield from self.app.index.insert_batch(
+                rows, request.get("batch_work_us", 5_000)
+            )
+            yield Compute(us=request.get("between_batches_us", 300))
+        self.app.index.end_insert_txn()
+
+    def _do_indexed_select(self, request):
+        """A SELECT paying MVCC checks on in-progress tuples (victim c6)."""
+        yield from self.app.index.scan(request.get("base_us", 300))
+        yield Compute(us=request.get("work_us", 100))
+
+    # -- c7: lock manager ---------------------------------------------------
+
+    def _do_lock_table_scan(self, request):
+        """SELECT FOR UPDATE over a big table: holds the lock-manager
+        partition while taking row locks (noisy of c7)."""
+        yield from self.instr.acquire_mutex(self.app.lock_manager)
+        yield Compute(us=request.get("scan_us", 150_000))
+        self.instr.release_mutex(self.app.lock_manager)
+
+    def _do_other_table_query(self, request):
+        """A query on a different table that still needs the lock-manager
+        partition for its table lock (victim of c7)."""
+        yield from self.instr.acquire_mutex(self.app.lock_manager)
+        yield Compute(us=self.app.config.lock_mgr_fast_us)
+        self.instr.release_mutex(self.app.lock_manager)
+        yield Compute(us=request.get("work_us", 300))
+
+    # -- c8: LWLock ----------------------------------------------------------
+
+    def _do_lw_shared(self, request):
+        """Shared-mode LWLock hold (noisy stream of c8)."""
+        yield from self.instr.acquire_shared(self.app.lwlock)
+        yield Compute(us=request.get("hold_us", 8_000))
+        self.instr.release_shared(self.app.lwlock)
+
+    def _do_lw_exclusive(self, request):
+        """Exclusive-mode LWLock acquisition (victim of c8)."""
+        yield from self.instr.acquire_exclusive(self.app.lwlock)
+        yield Compute(us=request.get("hold_us", 200))
+        self.instr.release_exclusive(self.app.lwlock)
+        yield Compute(us=request.get("work_us", 300))
+
+    # -- c9: vacuum full -----------------------------------------------------
+
+    def _do_table_query(self, request):
+        """A query on the vacuumed table (victim of c9).
+
+        Scans pay for dead row versions left behind by churn: if the
+        vacuum is starved (e.g. by an over-long penalty), the bloat
+        slows every query -- the reason stopping the vacuum outright is
+        not a fix (Table 4's over-penalization failure mode).
+        """
+        yield from self.instr.acquire_shared(self.app.vacuum.table_lock)
+        bloat_extra = min(self.app.vacuum.dead_rows, 150_000) // 100
+        yield Compute(us=request.get("work_us", 400) + bloat_extra)
+        self.instr.release_shared(self.app.vacuum.table_lock)
+        self.app.vacuum.add_dead_rows(request.get("dead_rows", 2))
+
+    def _do_fill_dead_rows(self, request):
+        """A churn writer creating dead rows (sets up c9's backlog)."""
+        yield Compute(us=request.get("work_us", 200))
+        self.app.vacuum.add_dead_rows(request.get("dead_rows", 200))
+
+    # -- c10: WAL group commit -------------------------------------------------
+
+    def _do_wal_small_commit(self, request):
+        """A small transaction committing through the WAL (victim c10)."""
+        yield Compute(us=request.get("work_us", 200))
+        yield from self.app.wal.append(request.get("record_kb", 2))
+        yield from self.app.wal.flush()
+
+    def _do_wal_big_commit(self, request):
+        """A bulk writer committing a huge WAL record (noisy c10)."""
+        yield Compute(us=request.get("work_us", 500))
+        yield from self.app.wal.append(request.get("record_kb", 256))
+        yield from self.app.wal.flush()

@@ -1,0 +1,9 @@
+"""Behavioural Varnish model (event-driven proxy, cases c14-c15)."""
+
+from repro.apps.varnishsim.server import (
+    VarnishConfig,
+    VarnishConnection,
+    VarnishServer,
+)
+
+__all__ = ["VarnishConfig", "VarnishConnection", "VarnishServer"]

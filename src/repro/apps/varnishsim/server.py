@@ -1,0 +1,77 @@
+"""Varnish server model: event-driven worker pool + WRK_SumStat lock.
+
+Requests from all connections share a worker thread pool fed by a
+kernel task queue (:class:`~repro.apps.eventdriven.PBoxWorkerPool`).
+Two interference channels are modeled:
+
+- c14: big-object fetches occupy workers for their whole backend fetch,
+  starving small-object requests in the queue;
+- c15: every request completion grabs the global WRK_SumStat statistics
+  lock, which becomes contended at high request rates.
+"""
+
+from repro.apps.base import AppConfig, Instrumentation
+from repro.apps.eventdriven import EventDrivenConnection, PBoxWorkerPool
+from repro.sim.primitives import Mutex
+from repro.sim.syscalls import Compute, Sleep
+
+
+class VarnishConfig(AppConfig):
+    """Tuning knobs of the Varnish model."""
+
+    def __init__(self, isolation_level=50, workers=4, sumstat_hold_us=150,
+                 small_us=500, big_backend_us=100_000, big_deliver_us=2_000):
+        self.isolation_level = isolation_level
+        self.workers = workers
+        self.sumstat_hold_us = sumstat_hold_us
+        self.small_us = small_us
+        self.big_backend_us = big_backend_us
+        self.big_deliver_us = big_deliver_us
+
+
+class VarnishServer:
+    """Event-driven proxy with a shared worker pool."""
+
+    def __init__(self, kernel, runtime, config=None):
+        self.kernel = kernel
+        self.runtime = runtime
+        self.config = config or VarnishConfig()
+        self.instr = Instrumentation(runtime)
+        self.sumstat_lock = Mutex(kernel, "WRK_SumStat")
+        self.pool = PBoxWorkerPool(
+            kernel, runtime, self.config.workers, self._handle_task,
+            name="varnish",
+        )
+
+    def connect(self, name):
+        """Create a client connection (one pBox per connection)."""
+        return VarnishConnection(self, name)
+
+    def start(self, spawn=None):
+        """Start the worker pool threads."""
+        return self.pool.start(spawn)
+
+    def _handle_task(self, task):
+        request = task.request
+        kind = request["kind"]
+        if kind == "small_object":
+            yield Compute(us=request.get("serve_us", self.config.small_us))
+        elif kind == "big_object":
+            # Backend fetch: the worker is parked on backend I/O but the
+            # pool slot stays occupied -- the c14 interference.
+            yield Sleep(us=request.get("backend_us", self.config.big_backend_us))
+            yield Compute(us=request.get("deliver_us", self.config.big_deliver_us))
+        else:
+            raise ValueError("unknown Varnish request kind %r" % kind)
+        yield from self._sum_stats(request)
+
+    def _sum_stats(self, request):
+        """WRK_SumStat: per-completion global statistics merge (c15)."""
+        hold_us = request.get("sumstat_us", self.config.sumstat_hold_us)
+        yield from self.instr.acquire_mutex(self.sumstat_lock)
+        yield Compute(us=hold_us)
+        self.instr.release_mutex(self.sumstat_lock)
+
+
+class VarnishConnection(EventDrivenConnection):
+    """One Varnish client connection (shared-thread pBox)."""

@@ -1,0 +1,33 @@
+"""State-of-the-art baseline solutions compared against pBox (Section 6.3).
+
+Each baseline is a *solution policy* that plugs into the case harness:
+
+- :class:`~repro.baselines.cgroup_policy.CgroupPolicy` -- Linux cgroup
+  CPU bandwidth, an even quota split across activity groups;
+- :class:`~repro.baselines.parties.PartiesPolicy` -- PARTIES-style QoS
+  monitoring with incremental resource shifting on violations;
+- :class:`~repro.baselines.retro.RetroPolicy` -- Retro's BFAIR policy:
+  per-workflow slowdown tracking with token-bucket throttling of the
+  highest-load workflow;
+- :class:`~repro.baselines.darc.DarcPolicy` -- DARC-style request-type
+  profiling with core dedication for short request types.
+
+All of them act on hardware resources (CPU time / cores / admission),
+which is precisely why they struggle on intra-application interference:
+the victims are waiting on *virtual* resources held by the noisy
+activity, and taking CPU away from the holder makes the wait longer.
+"""
+
+from repro.baselines.base import SolutionPolicy
+from repro.baselines.cgroup_policy import CgroupPolicy
+from repro.baselines.darc import DarcPolicy
+from repro.baselines.parties import PartiesPolicy
+from repro.baselines.retro import RetroPolicy
+
+__all__ = [
+    "CgroupPolicy",
+    "DarcPolicy",
+    "PartiesPolicy",
+    "RetroPolicy",
+    "SolutionPolicy",
+]

@@ -1,0 +1,46 @@
+"""The Linux-cgroup baseline (Section 6.3).
+
+Mirrors the paper's methodology: "use a script to dynamically identify
+threads that handle different types of workloads and put them into
+different cgroups ... then configure an even CPU usage quota among the
+cgroups."  Our case harness labels threads with their workload group, so
+the "script" reduces to creating one cgroup per group and splitting the
+machine's CPU bandwidth evenly.
+"""
+
+from repro.baselines.base import SolutionPolicy
+from repro.sim.cgroup import Cgroup
+
+
+class CgroupPolicy(SolutionPolicy):
+    """Even CPU-quota split across workload groups."""
+
+    name = "cgroup"
+
+    def __init__(self, period_us=Cgroup.DEFAULT_PERIOD_US):
+        super().__init__()
+        self.period_us = period_us
+        self._groups = {}
+
+    def thread_options(self, group, role):
+        """Every thread lands in its group's cgroup."""
+        cgroup = self._groups.get(group)
+        if cgroup is None:
+            cgroup = self.kernel.create_cgroup(
+                "cg:%s" % group, quota_us=None, period_us=self.period_us
+            )
+            self._groups[group] = cgroup
+        return {"cgroup": cgroup}
+
+    def finalize(self, groups):
+        """Split total CPU bandwidth evenly across the observed groups."""
+        if not self._groups:
+            return
+        total_us = len(self.kernel.cores) * self.period_us
+        share = max(1, total_us // len(self._groups))
+        for cgroup in self._groups.values():
+            cgroup.set_quota(share)
+
+    def quotas(self):
+        """Mapping group -> quota_us (for tests and reports)."""
+        return {name: cg.quota_us for name, cg in self._groups.items()}

@@ -1,0 +1,108 @@
+"""PARTIES-style baseline (Chen et al., ASPLOS 2019; Section 6.3 here).
+
+PARTIES monitors each interactive service's latency against its QoS
+target and, upon violation, incrementally shifts hardware resources
+toward the violating service, taking them from services with slack.  Per
+the paper's methodology we treat each client (group) as a PARTIES
+control target; the resource being shifted is CPU bandwidth.
+
+The structural reason it fails on intra-app interference is visible in
+the control law: when the victim violates QoS, PARTIES gives the victim
+*more CPU* and takes CPU from the noisy group -- but the victim is
+blocked on a virtual resource held by the noisy activity, so slowing the
+noisy group's CPU makes the hold (and the victim's wait) longer.
+"""
+
+from collections import deque
+
+from repro.baselines.base import SolutionPolicy
+from repro.sim.cgroup import Cgroup
+
+
+class PartiesPolicy(SolutionPolicy):
+    """QoS monitor + incremental CPU shifting between client groups."""
+
+    name = "parties"
+
+    def __init__(self, slo_by_group=None, interval_us=500_000,
+                 step_fraction=0.1, min_fraction=0.05,
+                 period_us=Cgroup.DEFAULT_PERIOD_US, window=64):
+        super().__init__()
+        self.slo_by_group = dict(slo_by_group or {})
+        self.interval_us = interval_us
+        self.step_fraction = step_fraction
+        self.min_fraction = min_fraction
+        self.period_us = period_us
+        self.window = window
+        self._groups = {}
+        self._latencies = {}
+        self.adjustments = 0
+
+    def thread_options(self, group, role):
+        """Place every thread in its group's controllable cgroup."""
+        cgroup = self._groups.get(group)
+        if cgroup is None:
+            cgroup = self.kernel.create_cgroup(
+                "parties:%s" % group, quota_us=None, period_us=self.period_us
+            )
+            self._groups[group] = cgroup
+            self._latencies[group] = deque(maxlen=self.window)
+        return {"cgroup": cgroup}
+
+    def finalize(self, groups):
+        """Start from an even split and begin the control loop."""
+        if not self._groups:
+            return
+        total = self._total_us()
+        share = max(1, total // len(self._groups))
+        for cgroup in self._groups.values():
+            cgroup.set_quota(share)
+        self.kernel.call_every(self.interval_us, self._control_tick)
+
+    def after_request(self, ctx, request, latency_us):
+        """Record latency for the client's group."""
+        window = self._latencies.get(ctx.group)
+        if window is not None:
+            window.append(latency_us)
+
+    # ------------------------------------------------------------------
+
+    def _total_us(self):
+        return len(self.kernel.cores) * self.period_us
+
+    def _mean_latency(self, group):
+        window = self._latencies.get(group)
+        if not window:
+            return None
+        return sum(window) / len(window)
+
+    def _control_tick(self):
+        violators = []
+        satisfied = []
+        for group in self._groups:
+            slo = self.slo_by_group.get(group)
+            mean = self._mean_latency(group)
+            if slo is None or mean is None:
+                satisfied.append(group)
+            elif mean > slo:
+                violators.append(group)
+            else:
+                satisfied.append(group)
+        if not violators:
+            return
+        step = int(self._total_us() * self.step_fraction)
+        floor = int(self._total_us() * self.min_fraction)
+        # Donate from the satisfied group with the largest quota.
+        donors = [g for g in satisfied if self._groups[g].quota_us and
+                  self._groups[g].quota_us - step >= floor]
+        if not donors:
+            return
+        donor = max(donors, key=lambda g: self._groups[g].quota_us)
+        for violator in violators:
+            donor_cg = self._groups[donor]
+            victim_cg = self._groups[violator]
+            if donor_cg.quota_us - step < floor:
+                break
+            donor_cg.set_quota(donor_cg.quota_us - step)
+            victim_cg.set_quota((victim_cg.quota_us or 0) + step)
+            self.adjustments += 1

@@ -1,0 +1,130 @@
+"""Retro-style baseline (Mace et al., NSDI 2015; Section 6.3 here).
+
+Retro attributes resource usage (CPU, locks, thread pools) to workflows
+and lets operators pick a policy; the paper evaluates BFAIR, which
+throttles workflows to bottleneck-fair shares.  Following the paper's
+methodology ("we trace each activity's resource usage ..., calculate the
+slowdown and load factor, and run Retro's BFAIR policy to throttle noisy
+requests"), this implementation:
+
+- tracks, per workflow group, a recent latency window (slowdown =
+  latency / interference-free baseline) and a usage proxy (sum of
+  request service time, i.e. the workflow's load on the bottleneck);
+- every control interval, if some workflow's slowdown exceeds the
+  threshold, the workflow with the highest load factor is throttled by
+  halving its token-bucket rate; when no workflow is slowed, rates
+  recover multiplicatively.
+
+Throttling happens *between* requests (admission), so unlike pBox it
+cannot time its intervention relative to virtual-resource holds; its
+throttle also slows every request of the workflow, not just the
+contending ones.
+"""
+
+from collections import deque
+
+from repro.baselines.base import SolutionPolicy
+from repro.sim.syscalls import Now, Sleep
+
+
+class _Workflow:
+    __slots__ = ("latencies", "usage_us", "rate", "tokens", "last_refill_us")
+
+    def __init__(self, window):
+        self.latencies = deque(maxlen=window)
+        self.usage_us = 0.0
+        self.rate = None          # requests/sec cap; None = unthrottled
+        self.tokens = 0.0
+        self.last_refill_us = 0
+
+
+class RetroPolicy(SolutionPolicy):
+    """BFAIR-style throttling of the highest-load workflow."""
+
+    name = "retro"
+
+    def __init__(self, baseline_by_group=None, slowdown_threshold=1.5,
+                 interval_us=500_000, recovery_factor=1.25, window=64):
+        super().__init__()
+        self.baseline_by_group = dict(baseline_by_group or {})
+        self.slowdown_threshold = slowdown_threshold
+        self.interval_us = interval_us
+        self.recovery_factor = recovery_factor
+        self.window = window
+        self._workflows = {}
+        self.throttle_events = 0
+
+    def thread_options(self, group, role):
+        """Register the thread's workflow."""
+        if group not in self._workflows:
+            self._workflows[group] = _Workflow(self.window)
+        return {}
+
+    def finalize(self, groups):
+        """Ensure every workflow exists and start the control loop."""
+        for group in groups:
+            if group not in self._workflows:
+                self._workflows[group] = _Workflow(self.window)
+        self.kernel.call_every(self.interval_us, self._control_tick)
+
+    def before_request(self, ctx, request):
+        """Token-bucket admission for throttled workflows."""
+        workflow = self._workflows.get(ctx.group)
+        if workflow is None or workflow.rate is None:
+            return
+        while True:
+            now = yield Now()
+            elapsed = now - workflow.last_refill_us
+            workflow.tokens = min(
+                workflow.rate,  # burst of at most 1 second
+                workflow.tokens + workflow.rate * elapsed / 1_000_000.0,
+            )
+            workflow.last_refill_us = now
+            if workflow.tokens >= 1.0:
+                workflow.tokens -= 1.0
+                return
+            deficit = 1.0 - workflow.tokens
+            yield Sleep(us=max(1_000, int(deficit / workflow.rate * 1_000_000)))
+
+    def after_request(self, ctx, request, latency_us):
+        """Track latency (slowdown) and the usage (load) proxy."""
+        workflow = self._workflows.get(ctx.group)
+        if workflow is not None:
+            workflow.latencies.append(latency_us)
+            workflow.usage_us += latency_us
+
+    # ------------------------------------------------------------------
+
+    def _slowdown(self, group, workflow):
+        baseline = self.baseline_by_group.get(group)
+        if not baseline or not workflow.latencies:
+            return 1.0
+        mean = sum(workflow.latencies) / len(workflow.latencies)
+        return mean / baseline
+
+    def _control_tick(self):
+        slowed = [
+            group
+            for group, wf in self._workflows.items()
+            if self._slowdown(group, wf) > self.slowdown_threshold
+        ]
+        if slowed:
+            # Throttle the workflow with the highest load factor.
+            noisy = max(self._workflows, key=lambda g: self._workflows[g].usage_us)
+            workflow = self._workflows[noisy]
+            if workflow.rate is None:
+                recent = len(workflow.latencies) or 1
+                # Start from the observed rate over the window.
+                workflow.rate = max(
+                    1.0, recent / (self.interval_us / 1_000_000.0)
+                )
+            workflow.rate = max(0.5, workflow.rate / 2.0)
+            self.throttle_events += 1
+        else:
+            for workflow in self._workflows.values():
+                if workflow.rate is not None:
+                    workflow.rate *= self.recovery_factor
+                    if workflow.rate > 10_000:
+                        workflow.rate = None
+        for workflow in self._workflows.values():
+            workflow.usage_us *= 0.5  # exponential decay of the load proxy

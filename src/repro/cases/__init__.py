@@ -1,0 +1,29 @@
+"""The 16 real-world interference cases of Table 3.
+
+Each case is a scenario: an application model, one or more victim
+clients, a noisy activity, and the virtual resource they contend on.
+The harness (:mod:`repro.cases.base`) runs a case under each solution
+and computes the paper's metrics (interference level ``p``, reduction
+ratio ``r``).
+"""
+
+from repro.cases.base import (
+    CaseEvaluation,
+    CaseRun,
+    InterferenceCase,
+    Solution,
+    evaluate_case,
+    run_case,
+)
+from repro.cases.registry import ALL_CASES, get_case
+
+__all__ = [
+    "ALL_CASES",
+    "CaseEvaluation",
+    "CaseRun",
+    "InterferenceCase",
+    "Solution",
+    "evaluate_case",
+    "get_case",
+    "run_case",
+]

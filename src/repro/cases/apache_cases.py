@@ -1,0 +1,131 @@
+"""Apache interference cases c11-c13 (Table 3)."""
+
+from repro.apps.apachesim import ApacheConfig, ApacheServer
+from repro.cases.base import InterferenceCase
+
+
+def _make_server(env, **config_kwargs):
+    config_kwargs.setdefault("isolation_level", env.isolation_level)
+    config = ApacheConfig(**config_kwargs)
+    return ApacheServer(env.kernel, env.runtime, config)
+
+
+class FcgidQueueCase(InterferenceCase):
+    """c11: a slow mod_fcgid request blocks fast CGI connections."""
+
+    case_id = "c11"
+    app_name = "apache"
+    from_bug_report = True
+    virtual_resource = "fcgid request queue"
+    description = "slow request in mod_fcgid blocks other fast connections"
+    paper_interference_level = 1621.12
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        server = _make_server(env, fcgid_slots=2)
+        victim = env.recorder("fast-cgi", victim=True)
+        env.spawn_client(
+            "fast-cgi",
+            server.connect("fast-cgi"),
+            lambda: {"kind": "fcgid", "script_us": 5_000, "type": "fast"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=2_000,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            for index in range(3):
+                noisy = env.recorder("slow-cgi-%d" % index, noisy=True)
+                env.spawn_client(
+                    "slow-cgi-%d" % index,
+                    server.connect("slow-cgi-%d" % index),
+                    lambda: {"kind": "fcgid", "script_us": 200_000,
+                             "type": "slow"},
+                    noisy,
+                    group="noisy",
+                    think_us=5_000,
+                    rng=env.kernel.rng("noisy-think-%d" % index),
+                    start_us=200_000,
+                )
+
+
+class MaxClientsCase(InterferenceCase):
+    """c12: slow connections reaching MaxClients lock out fast requests."""
+
+    case_id = "c12"
+    app_name = "apache"
+    from_bug_report = False
+    virtual_resource = "apache thread pools"
+    description = "Apache locks server if reaching maxclient"
+    paper_interference_level = 1429.21
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        server = _make_server(env, max_workers=4)
+        victim = env.recorder("static-client", victim=True)
+        env.spawn_client(
+            "static-client",
+            server.connect("static-client"),
+            lambda: {"kind": "static", "serve_us": 500, "type": "static"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=2_000,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            for index in range(4):
+                noisy = env.recorder("slow-download-%d" % index, noisy=True)
+                env.spawn_client(
+                    "slow-download-%d" % index,
+                    server.connect("slow-download-%d" % index),
+                    lambda: {"kind": "slow_download", "serve_us": 150_000,
+                             "type": "download"},
+                    noisy,
+                    group="noisy",
+                    think_us=2_000,
+                    rng=env.kernel.rng("noisy-think-%d" % index),
+                    start_us=200_000,
+                )
+
+
+class PhpPoolCase(InterferenceCase):
+    """c13: slow PHP scripts exhaust pm.max_children."""
+
+    case_id = "c13"
+    app_name = "apache"
+    from_bug_report = False
+    virtual_resource = "php thread pool"
+    description = ("Apache server suddenly slows when the connection "
+                   "reaches pm.maxchildren")
+    paper_interference_level = 352.38
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        server = _make_server(env, fpm_children=2)
+        victim = env.recorder("fast-php", victim=True)
+        env.spawn_client(
+            "fast-php",
+            server.connect("fast-php"),
+            lambda: {"kind": "php_fpm", "script_us": 4_000, "type": "fast"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=2_000,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            for index in range(3):
+                noisy = env.recorder("slow-php-%d" % index, noisy=True)
+                env.spawn_client(
+                    "slow-php-%d" % index,
+                    server.connect("slow-php-%d" % index),
+                    lambda: {"kind": "php_fpm", "script_us": 120_000,
+                             "type": "slow"},
+                    noisy,
+                    group="noisy",
+                    think_us=5_000,
+                    rng=env.kernel.rng("noisy-think-%d" % index),
+                    start_us=200_000,
+                )

@@ -1,0 +1,56 @@
+"""Memcached interference case c16 (Table 3, event-driven).
+
+This is the paper's one unmitigated case: light contention on the
+cache-replacement lock in a system whose requests complete in tens of
+microseconds, where pBox's own per-operation cost outweighs the benefit
+of its rare mitigation actions.
+"""
+
+from repro.apps.memcachedsim import MemcachedConfig, MemcachedServer
+from repro.cases.base import InterferenceCase
+
+
+class CacheLockCase(InterferenceCase):
+    """c16: cache-replacement (LRU) lock contention."""
+
+    case_id = "c16"
+    app_name = "memcached"
+    from_bug_report = False
+    virtual_resource = "system lock"
+    description = "lock contention in the cache replacement algorithm"
+    paper_interference_level = 0.73
+    duration_s = 6
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        config = MemcachedConfig(isolation_level=env.isolation_level)
+        server = MemcachedServer(env.kernel, env.runtime, config)
+        server.start(
+            spawn=lambda body, name: env.spawn_background(
+                body, name, group="server"
+            )
+        )
+        victim = env.recorder("get-client", victim=True)
+        env.spawn_client(
+            "get-client",
+            server.connect("get-client"),
+            lambda: {"kind": "get", "type": "get"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=200,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            for index in range(2):
+                noisy = env.recorder("set-client-%d" % index, noisy=True)
+                env.spawn_client(
+                    "set-client-%d" % index,
+                    server.connect("set-client-%d" % index),
+                    lambda: {"kind": "set", "type": "set"},
+                    noisy,
+                    group="noisy",
+                    think_us=150,
+                    rng=env.kernel.rng("noisy-think-%d" % index),
+                    start_us=200_000,
+                )

@@ -1,0 +1,228 @@
+"""PostgreSQL interference cases c6-c10 (Table 3)."""
+
+from repro.apps.pgsim import PGConfig, PostgresServer
+from repro.cases.base import InterferenceCase
+
+
+def _make_server(env, **config_kwargs):
+    config_kwargs.setdefault("isolation_level", env.isolation_level)
+    config = PGConfig(**config_kwargs)
+    return PostgresServer(env.kernel, env.runtime, config)
+
+
+class IndexMVCCCase(InterferenceCase):
+    """c6: an in-progress INSERT makes other queries pay MVCC checks."""
+
+    case_id = "c6"
+    app_name = "postgresql"
+    from_bug_report = True
+    virtual_resource = "table index"
+    description = ("In-progress INSERT causes other queries to spend time "
+                   "on MVCC")
+    paper_interference_level = 39.16
+    cores = 2
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        server = _make_server(env)
+        victim = env.recorder("selecter", victim=True)
+        env.spawn_client(
+            "selecter",
+            server.connect("selecter"),
+            lambda: {"kind": "indexed_select", "base_us": 300,
+                     "work_us": 100, "type": "select"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=2_000,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            noisy = env.recorder("bulk-inserter", noisy=True)
+            env.spawn_client(
+                "bulk-inserter",
+                server.connect("bulk-inserter"),
+                lambda: {"kind": "bulk_insert", "batches": 25,
+                         "rows_per_batch": 300, "batch_work_us": 6_000,
+                         "between_batches_us": 300, "type": "insert"},
+                noisy,
+                group="noisy",
+                think_us=1_000,
+                rng=env.kernel.rng("noisy-think"),
+                start_us=200_000,
+            )
+
+
+class LockManagerCase(InterferenceCase):
+    """c7: SELECT FOR UPDATE blocks queries on *other* tables.
+
+    The row-locking scan holds the lock-manager partition; unrelated
+    queries need the same partition for their table locks.  The paper
+    measures a 1204x interference level -- the victims are essentially
+    parked for the scan's duration.
+    """
+
+    case_id = "c7"
+    app_name = "postgresql"
+    from_bug_report = False
+    virtual_resource = "table-level lock"
+    description = "Select for update query blocks the request on other tables"
+    paper_interference_level = 1204.28
+    cores = 2
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        server = _make_server(env)
+        victim = env.recorder("other-table", victim=True)
+        env.spawn_client(
+            "other-table",
+            server.connect("other-table"),
+            lambda: {"kind": "other_table_query", "work_us": 300,
+                     "type": "select"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=2_000,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            noisy = env.recorder("for-update", noisy=True)
+            env.spawn_client(
+                "for-update",
+                server.connect("for-update"),
+                lambda: {"kind": "lock_table_scan", "scan_us": 200_000,
+                         "type": "select"},
+                noisy,
+                group="noisy",
+                think_us=2_000,
+                rng=env.kernel.rng("noisy-think"),
+                start_us=200_000,
+            )
+
+
+class LWLockCase(InterferenceCase):
+    """c8: shared-mode LWLock holders starve exclusive waiters."""
+
+    case_id = "c8"
+    app_name = "postgresql"
+    from_bug_report = False
+    virtual_resource = "table-level lock"
+    description = ("LWlock waiters for exclusive mode are blocked by "
+                   "shared mode locker")
+    paper_interference_level = 1727.95
+    cores = 4
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        server = _make_server(env)
+        victim = env.recorder("exclusive", victim=True)
+        env.spawn_client(
+            "exclusive",
+            server.connect("exclusive"),
+            lambda: {"kind": "lw_exclusive", "hold_us": 200,
+                     "work_us": 300, "type": "write"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=2_000,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            for index in range(2):
+                noisy = env.recorder("shared-%d" % index, noisy=True)
+                env.spawn_client(
+                    "shared-%d" % index,
+                    server.connect("shared-%d" % index),
+                    lambda: {"kind": "lw_shared", "hold_us": 9_000,
+                             "type": "select"},
+                    noisy,
+                    group="noisy",
+                    think_us=2_000,
+                    rng=env.kernel.rng("noisy-think-%d" % index),
+                    start_us=200_000,
+                )
+
+
+class VacuumFullCase(InterferenceCase):
+    """c9: VACUUM FULL's exclusive relation lock blocks other requests."""
+
+    case_id = "c9"
+    app_name = "postgresql"
+    from_bug_report = False
+    virtual_resource = "dead table rows"
+    description = "Vacuum full process blocks other requests"
+    paper_interference_level = 419.14
+    cores = 2
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        server = _make_server(env, vacuum_batch_us=40_000, vacuum_trigger=200)
+        victim = env.recorder("querier", victim=True)
+        env.spawn_client(
+            "querier",
+            server.connect("querier"),
+            lambda: {"kind": "table_query", "work_us": 400, "dead_rows": 0,
+                     "type": "select"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=2_000,
+            rng=env.kernel.rng("victim-think"),
+        )
+        env.spawn_background(server.vacuum_process_body, "vacuum",
+                             group="background")
+        if env.interference:
+            churn = env.recorder("churn-writer", noisy=True)
+            env.spawn_client(
+                "churn-writer",
+                server.connect("churn-writer"),
+                lambda: {"kind": "fill_dead_rows", "work_us": 200,
+                         "dead_rows": 150, "type": "write"},
+                churn,
+                group="noisy",
+                think_us=20_000,
+                rng=env.kernel.rng("noisy-think"),
+                start_us=200_000,
+            )
+
+
+class WALGroupCommitCase(InterferenceCase):
+    """c10: a large WAL record makes the group flush slow for everyone."""
+
+    case_id = "c10"
+    app_name = "postgresql"
+    from_bug_report = False
+    virtual_resource = "write-ahead log"
+    description = ("A large WAL causes the group insertion blocking other "
+                   "requests")
+    paper_interference_level = 3.69
+    cores = 2
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        server = _make_server(env)
+        victim = env.recorder("small-committer", victim=True)
+        env.spawn_client(
+            "small-committer",
+            server.connect("small-committer"),
+            lambda: {"kind": "wal_small_commit", "record_kb": 2,
+                     "work_us": 200, "type": "write"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=2_000,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            noisy = env.recorder("bulk-committer", noisy=True)
+            env.spawn_client(
+                "bulk-committer",
+                server.connect("bulk-committer"),
+                lambda: {"kind": "wal_big_commit", "record_kb": 128,
+                         "work_us": 500, "type": "write"},
+                noisy,
+                group="noisy",
+                think_us=5_000,
+                rng=env.kernel.rng("noisy-think"),
+                start_us=200_000,
+            )

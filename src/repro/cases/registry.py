@@ -1,0 +1,54 @@
+"""Registry of all 16 interference cases (Table 3)."""
+
+from repro.cases.mysql_cases import (
+    CustomLockCase,
+    CustomMutexCase,
+    SerializableCase,
+    TicketsCase,
+    UndoLogCase,
+)
+from repro.cases.apache_cases import (
+    FcgidQueueCase,
+    MaxClientsCase,
+    PhpPoolCase,
+)
+from repro.cases.memcached_cases import CacheLockCase
+from repro.cases.pg_cases import (
+    IndexMVCCCase,
+    LockManagerCase,
+    LWLockCase,
+    VacuumFullCase,
+    WALGroupCommitCase,
+)
+from repro.cases.varnish_cases import BigObjectCase, SumStatCase
+
+_CASE_CLASSES = [
+    CustomLockCase,
+    CustomMutexCase,
+    TicketsCase,
+    SerializableCase,
+    UndoLogCase,
+    IndexMVCCCase,
+    LockManagerCase,
+    LWLockCase,
+    VacuumFullCase,
+    WALGroupCommitCase,
+    FcgidQueueCase,
+    MaxClientsCase,
+    PhpPoolCase,
+    BigObjectCase,
+    SumStatCase,
+    CacheLockCase,
+]
+
+ALL_CASES = {cls.case_id: cls for cls in _CASE_CLASSES}
+
+
+def get_case(case_id):
+    """Instantiate the case registered under ``case_id`` (e.g. 'c5')."""
+    try:
+        return ALL_CASES[case_id]()
+    except KeyError:
+        raise KeyError(
+            "unknown case %r; known: %s" % (case_id, sorted(ALL_CASES))
+        ) from None

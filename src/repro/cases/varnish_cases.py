@@ -1,0 +1,97 @@
+"""Varnish interference cases c14-c15 (Table 3, event-driven)."""
+
+from repro.apps.varnishsim import VarnishConfig, VarnishServer
+from repro.cases.base import InterferenceCase
+
+
+def _make_server(env, **config_kwargs):
+    config_kwargs.setdefault("isolation_level", env.isolation_level)
+    config = VarnishConfig(**config_kwargs)
+    server = VarnishServer(env.kernel, env.runtime, config)
+    server.start(
+        spawn=lambda body, name: env.spawn_background(body, name, group="server")
+    )
+    return server
+
+
+class BigObjectCase(InterferenceCase):
+    """c14: big-object fetches occupy the worker pool, starving small
+    requests in the task queue (the shared-thread penalty path)."""
+
+    case_id = "c14"
+    app_name = "varnish"
+    from_bug_report = False
+    virtual_resource = "varnish thread pool"
+    description = ("Slow request on visiting big objects blocks the "
+                   "requests on small objects")
+    paper_interference_level = 18045.79
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        server = _make_server(env, workers=4)
+        victim = env.recorder("small-client", victim=True)
+        env.spawn_client(
+            "small-client",
+            server.connect("small-client"),
+            lambda: {"kind": "small_object", "type": "small"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=2_000,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            for index in range(4):
+                noisy = env.recorder("big-client-%d" % index, noisy=True)
+                env.spawn_client(
+                    "big-client-%d" % index,
+                    server.connect("big-client-%d" % index),
+                    lambda: {"kind": "big_object", "type": "big"},
+                    noisy,
+                    group="noisy",
+                    think_us=2_000,
+                    rng=env.kernel.rng("noisy-think-%d" % index),
+                    start_us=200_000,
+                )
+
+
+class SumStatCase(InterferenceCase):
+    """c15: WRK_SumStat lock contention at high request rates."""
+
+    case_id = "c15"
+    app_name = "varnish"
+    from_bug_report = True
+    virtual_resource = "system lock"
+    description = ("WRK_SumStat lock contention with high number of "
+                   "thread pools")
+    paper_interference_level = 0.68
+    duration_s = 6
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        server = _make_server(env, workers=8, sumstat_hold_us=150)
+        victim = env.recorder("page-client", victim=True)
+        env.spawn_client(
+            "page-client",
+            server.connect("page-client"),
+            lambda: {"kind": "small_object", "type": "page"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=2_000,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            for index in range(4):
+                noisy = env.recorder("hammer-%d" % index, noisy=True)
+                env.spawn_client(
+                    "hammer-%d" % index,
+                    server.connect("hammer-%d" % index),
+                    lambda: {"kind": "small_object", "serve_us": 200,
+                             "sumstat_us": 250, "type": "hammer"},
+                    noisy,
+                    group="noisy",
+                    think_us=200,
+                    rng=env.kernel.rng("noisy-think-%d" % index),
+                    start_us=200_000,
+                )

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list-cases``                      the 16 Table 3 cases
+- ``run-case c5 [--solution pbox]``   measure To/Ti/Ts for one case
+- ``table3``                          interference levels for all cases
+- ``analyze file.c``                  run Algorithm 2 over mini-C source
+- ``trace c5``                        run a case under pBox and print
+                                      the Section 7 trace report
+- ``report [--results-dir results]``  stitch benchmark outputs into
+                                      results/REPORT.md
+"""
+
+import argparse
+import sys
+
+from repro.analyzer import (
+    Analyzer,
+    DEFAULT_WAIT_FUNCS,
+    PY_WAIT_FUNCS,
+    parse_module,
+    parse_python,
+)
+from repro.cases import ALL_CASES, Solution, evaluate_case, get_case, run_case
+from repro.core import PBoxManager
+from repro.core.trace import PBoxTracer
+from repro.report import write_report
+
+
+def _case_order(case_id):
+    return int(case_id[1:])
+
+
+def cmd_list_cases(_args):
+    """Print the registry of interference cases."""
+    print("%-5s %-12s %-22s %s" % ("case", "app", "resource", "description"))
+    for case_id in sorted(ALL_CASES, key=_case_order):
+        case = get_case(case_id)
+        print("%-5s %-12s %-22s %s" % (case.case_id, case.app_name,
+                                       case.virtual_resource,
+                                       case.description))
+    return 0
+
+
+def cmd_run_case(args):
+    """Evaluate one case under one solution."""
+    case = get_case(args.case)
+    solution = Solution(args.solution)
+    evaluation = evaluate_case(case, solutions=[solution],
+                               duration_s=args.duration, seed=args.seed)
+    print("case %s (%s): %s" % (case.case_id, case.app_name,
+                                case.description))
+    print("To (interference-free): %8.2f ms" % (evaluation.to_us / 1_000))
+    print("Ti (vanilla)          : %8.2f ms   p = %.2f"
+          % (evaluation.ti_us / 1_000, evaluation.interference_level))
+    print("Ts (%s)%s: %8.2f ms   r = %+.2f"
+          % (solution.value, " " * max(0, 15 - len(solution.value)),
+             evaluation.ts_us(solution) / 1_000,
+             evaluation.reduction_ratio(solution)))
+    return 0
+
+
+def cmd_table3(args):
+    """Interference levels for every case."""
+    print("%-5s %-12s %10s %10s %10s" % ("case", "app", "To(ms)", "Ti(ms)",
+                                         "p"))
+    for case_id in sorted(ALL_CASES, key=_case_order):
+        case = get_case(case_id)
+        evaluation = evaluate_case(case, solutions=(),
+                                   duration_s=args.duration, seed=args.seed)
+        print("%-5s %-12s %10.2f %10.2f %10.2f" % (
+            case.case_id, case.app_name, evaluation.to_us / 1_000,
+            evaluation.ti_us / 1_000, evaluation.interference_level))
+    return 0
+
+
+def cmd_analyze(args):
+    """Run the static analyzer over a source file.
+
+    ``.py`` files go through the Python frontend with Python waiting
+    functions; everything else is parsed as mini-C.
+    """
+    with open(args.file) as handle:
+        source = handle.read()
+    if args.file.endswith(".py"):
+        module = parse_python(source, name=args.file)
+        analyzer = Analyzer(wait_funcs=PY_WAIT_FUNCS)
+    else:
+        module = parse_module(source, name=args.file)
+        analyzer = Analyzer(wait_funcs=DEFAULT_WAIT_FUNCS)
+    wrappers = analyzer.find_wrappers(module)
+    if wrappers:
+        print("wrappers:")
+        for wrapper, wait_func in sorted(wrappers.items()):
+            print("  %s -> %s" % (wrapper, wait_func))
+    locations = analyzer.analyze(module)
+    if not locations:
+        print("no candidate state-event locations found")
+        return 1
+    print("candidate update_pbox locations:")
+    for location in locations:
+        print("  %s:%d call %s (waits via %s), shared: %s" % (
+            location.function, location.line, location.callee,
+            location.wait_func, ", ".join(location.shared_vars)))
+    return 0
+
+
+def cmd_trace(args):
+    """Run a case under pBox and print the trace report."""
+    tracer = PBoxTracer()
+    original_init = PBoxManager.__init__
+
+    def patched(self, *pargs, **kwargs):
+        kwargs.setdefault("tracer", tracer)
+        original_init(self, *pargs, **kwargs)
+
+    PBoxManager.__init__ = patched
+    try:
+        run_case(get_case(args.case), Solution.PBOX,
+                 duration_s=args.duration, seed=args.seed)
+    finally:
+        PBoxManager.__init__ = original_init
+    print(tracer.format_report())
+    return 0
+
+
+def cmd_report(args):
+    """Aggregate benchmark outputs into a markdown report."""
+    path = write_report(args.results_dir)
+    print("wrote %s" % path)
+    return 0
+
+
+def build_parser():
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="pBox reproduction (SOSP 2023) command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-cases", help="list the 16 interference cases")
+
+    run_parser = sub.add_parser("run-case", help="evaluate one case")
+    run_parser.add_argument("case", choices=sorted(ALL_CASES, key=_case_order))
+    run_parser.add_argument("--solution", default="pbox",
+                            choices=[s.value for s in Solution
+                                     if s not in (Solution.NONE,
+                                                  Solution.NO_INTERFERENCE)])
+    run_parser.add_argument("--duration", type=float, default=6)
+    run_parser.add_argument("--seed", type=int, default=1)
+
+    table_parser = sub.add_parser("table3", help="interference levels")
+    table_parser.add_argument("--duration", type=float, default=6)
+    table_parser.add_argument("--seed", type=int, default=1)
+
+    analyze_parser = sub.add_parser("analyze",
+                                    help="run Algorithm 2 on mini-C source")
+    analyze_parser.add_argument("file")
+
+    trace_parser = sub.add_parser("trace", help="trace a pBox run")
+    trace_parser.add_argument("case", choices=sorted(ALL_CASES,
+                                                     key=_case_order))
+    trace_parser.add_argument("--duration", type=float, default=6)
+    trace_parser.add_argument("--seed", type=int, default=1)
+
+    report_parser = sub.add_parser("report",
+                                   help="aggregate results/ into a report")
+    report_parser.add_argument("--results-dir", default="results")
+    return parser
+
+
+COMMANDS = {
+    "list-cases": cmd_list_cases,
+    "run-case": cmd_run_case,
+    "table3": cmd_table3,
+    "analyze": cmd_analyze,
+    "trace": cmd_trace,
+    "report": cmd_report,
+}
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Functional pBox API mirroring Figure 7 of the paper.
+
+Application code in the paper calls free functions (``create_pbox``,
+``update_pbox``, ...).  This module provides the same surface bound to a
+process-wide current runtime, so example code reads exactly like the
+paper's MySQL snippets (Figures 8 and 9)::
+
+    from repro.core import api
+    from repro.core.events import StateEvent
+
+    api.set_runtime(runtime)
+    psid = api.create_pbox(IsolationRule(isolation_level=30))
+    api.update_pbox(key=srv_conc, event=StateEvent.PREPARE)
+
+For library-grade code prefer holding a :class:`PBoxRuntime` directly;
+this module exists for ergonomic parity with the paper.
+"""
+
+from repro.core.events import StateEvent
+from repro.core.runtime import BindFlag
+
+_runtime = None
+
+
+def set_runtime(runtime):
+    """Install ``runtime`` as the process-wide current runtime."""
+    global _runtime
+    _runtime = runtime
+
+
+def get_runtime():
+    """Return the installed runtime (None if unset)."""
+    return _runtime
+
+
+def _require_runtime():
+    if _runtime is None:
+        raise RuntimeError("no pBox runtime installed; call set_runtime() first")
+    return _runtime
+
+
+def create_pbox(rule):
+    """Create a pBox with an isolation rule; returns its psid."""
+    return _require_runtime().create_pbox(rule)
+
+
+def release_pbox(psid):
+    """Destroy the pBox identified by ``psid``."""
+    _require_runtime().release_pbox(psid)
+
+
+def get_current_pbox():
+    """psid of the pBox bound to the calling thread."""
+    return _require_runtime().get_current_pbox()
+
+
+def activate_pbox(psid=None):
+    """Begin tracing an activity in the given (or current) pBox."""
+    _require_runtime().activate_pbox(psid)
+
+
+def freeze_pbox(psid=None):
+    """Stop tracing the current activity."""
+    _require_runtime().freeze_pbox(psid)
+
+
+def update_pbox(key, event):
+    """Report a :class:`StateEvent` about the virtual resource ``key``."""
+    _require_runtime().update_pbox(key, event)
+
+
+def unbind_pbox(key, flags=BindFlag.DEDICATED_THREAD):
+    """Detach the current thread's pBox and associate it with ``key``."""
+    return _require_runtime().unbind_pbox(key, flags)
+
+
+def bind_pbox(key, flags=BindFlag.DEDICATED_THREAD):
+    """Bind the pBox associated with ``key`` to the current thread."""
+    return _require_runtime().bind_pbox(key, flags)
+
+
+__all__ = [
+    "BindFlag",
+    "StateEvent",
+    "activate_pbox",
+    "bind_pbox",
+    "create_pbox",
+    "freeze_pbox",
+    "get_current_pbox",
+    "get_runtime",
+    "release_pbox",
+    "set_runtime",
+    "unbind_pbox",
+    "update_pbox",
+]

@@ -1,0 +1,396 @@
+"""The kernel-side pBox manager.
+
+Implements the monitoring and mitigation pipeline of Sections 4.3-4.4:
+
+- per-activity tracing of state events (competitor map, holder map,
+  deferring time);
+- Algorithm 1: on every UNHOLD, predict from the waiters' current defer
+  ratios whether an isolation goal is in danger, and identify the noisy
+  and victim pBoxes;
+- pBox-level detection: at freeze time, compare the history-averaged
+  interference level against 90% of the goal and act on the most-blamed
+  recent blocker (the paper's "also take action at the end of the
+  activity" path);
+- penalty actions: accumulate a delay on the noisy pBox which the
+  kernel's resume hook applies at the first *safe point* -- when the
+  noisy pBox holds no tracked virtual resource (Section 4.4.1); for
+  pBoxes bound to shared (event-driven) threads, the penalty instead
+  defers their queued tasks (Section 5).
+"""
+
+from repro.core.events import CompetitorEntry, StateEvent
+from repro.core.pbox import ActivityRecord, PBox, PBoxStatus
+from repro.core.penalty import AdaptivePenalty
+from repro.core.rules import Metric
+
+# Sentinel resource key for pBox-level (freeze-time) actions that cannot
+# be attributed to a specific resource.
+PBOX_LEVEL_KEY = "__pbox_level__"
+
+
+class PBoxManager:
+    """Kernel-resident manager coordinating all pBoxes of an application.
+
+    Parameters
+    ----------
+    kernel:
+        The simulated kernel; the manager registers a resume hook on it
+        to deliver penalties.
+    penalty_engine:
+        Penalty length engine; defaults to the paper's adaptive engine.
+        Pass :class:`~repro.core.penalty.FixedPenalty` for the Table 4
+        ablation.
+    near_goal_fraction:
+        The pBox-level detector fires when the history-averaged
+        interference level reaches this fraction of the goal (default
+        90%, the paper's default).
+    enabled:
+        When False every entry point is a no-op; lets experiments run
+        the exact same instrumented application with pBox "off".
+    """
+
+    def __init__(self, kernel, penalty_engine=None, near_goal_fraction=0.9,
+                 min_defer_us=1_000, enabled=True, tracer=None,
+                 safe_penalty_timing=True, early_detection=True,
+                 penalty_mode="delay"):
+        self.kernel = kernel
+        self.penalty_engine = penalty_engine or AdaptivePenalty()
+        self.near_goal_fraction = near_goal_fraction
+        self.tracer = tracer
+        # Ablation switches (DESIGN.md section 4): disabling safe
+        # penalty timing applies delays even while the noisy pBox holds
+        # resources; disabling early detection removes the Algorithm 1
+        # UNHOLD path, leaving only the reactive end-of-activity check.
+        self.safe_penalty_timing = safe_penalty_timing
+        self.early_detection = early_detection
+        # Penalty mechanism: "delay" is the paper's design (an injected
+        # sleep at a safe point); "priority" is the Section 7 extension
+        # (demote the noisy pBox's thread in the scheduler for the
+        # penalty duration instead of parking it).
+        if penalty_mode not in ("delay", "priority"):
+            raise ValueError("unknown penalty mode %r" % penalty_mode)
+        self.penalty_mode = penalty_mode
+        # Noise floor: a waiter only counts as a potential victim once it
+        # has accumulated this much deferring time in the activity.  The
+        # worst-case estimate tf = td/(te-td) is unstable at the start of
+        # an activity (te ~ td makes tf explode for microsecond waits);
+        # without a floor, heavyweight background activities would be
+        # "victimized" by trivial waits and the clients penalized.
+        self.min_defer_us = min_defer_us
+        self.enabled = enabled
+        self._pboxes = {}
+        self._next_psid = 1
+        self.competitor_map = {}     # resource key -> [CompetitorEntry]
+        self.last_releaser = {}      # resource key -> (psid, time_us)
+        self.stats = {
+            "detections": 0,
+            "actions": 0,
+            "pbox_level_actions": 0,
+            "penalties_applied": 0,
+            "penalty_applied_us": 0,
+            "events": 0,
+        }
+        kernel.add_resume_hook(self._resume_hook)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (Section 4.3.2)
+    # ------------------------------------------------------------------
+
+    def create(self, rule, thread=None):
+        """Create a pBox bound to ``thread`` (default: current thread)."""
+        if thread is None:
+            thread = self.kernel.current_thread
+        pbox = PBox(self._next_psid, rule, thread=thread)
+        self._next_psid += 1
+        self._pboxes[pbox.psid] = pbox
+        if thread is not None:
+            thread.pbox = pbox
+        return pbox
+
+    def release(self, pbox):
+        """Destroy a pBox, detaching it from maps and its thread."""
+        if pbox.status is PBoxStatus.DESTROYED:
+            return
+        if pbox.status is PBoxStatus.ACTIVE:
+            self.freeze(pbox)
+        pbox.status = PBoxStatus.DESTROYED
+        for key in list(self.competitor_map):
+            entries = self.competitor_map[key]
+            entries[:] = [entry for entry in entries if entry.pbox is not pbox]
+            if not entries:
+                del self.competitor_map[key]
+        if pbox.thread is not None and pbox.thread.pbox is pbox:
+            pbox.thread.pbox = None
+        self._pboxes.pop(pbox.psid, None)
+
+    def activate(self, pbox):
+        """Start tracing a new activity inside the pBox.
+
+        Any competitor entries left open by the previous activity (a
+        PREPARE whose ENTER annotation was missed) are dropped here:
+        a pBox starting a new activity is by definition not waiting.
+        This is what makes the manager robust to incomplete
+        update_pbox usage (Section 6.8).
+        """
+        for key in list(pbox.prepares):
+            self._remove_competitor(key, pbox)
+        pbox.prepares.clear()
+        pbox.status = PBoxStatus.ACTIVE
+        pbox.activity_start_us = self.kernel.now_us
+        pbox.defer_time_us = 0
+
+    def _remove_competitor(self, key, pbox):
+        entries = self.competitor_map.get(key)
+        if not entries:
+            return
+        entries[:] = [entry for entry in entries if entry.pbox is not pbox]
+        if not entries:
+            self.competitor_map.pop(key, None)
+
+    def freeze(self, pbox):
+        """Stop tracing the current activity and run pBox-level detection."""
+        if pbox.status is not PBoxStatus.ACTIVE:
+            return
+        now = self.kernel.now_us
+        exec_us = pbox.exec_time_us(now)
+        record = ActivityRecord(pbox.defer_time_us, exec_us)
+        pbox.history.append(record)
+        pbox.total_defer_us += record.defer_us
+        pbox.total_exec_us += record.exec_us
+        pbox.activities_completed += 1
+        pbox.status = PBoxStatus.FROZEN
+        if self.enabled:
+            self._pbox_level_detection(pbox)
+
+    def bind(self, pbox, thread, shared=False):
+        """Bind ``pbox`` to ``thread`` (ownership transfer APIs)."""
+        if pbox.thread is not None and pbox.thread.pbox is pbox:
+            pbox.thread.pbox = None
+        pbox.thread = thread
+        pbox.shared_thread = shared
+        if thread is not None:
+            thread.pbox = pbox
+
+    def unbind(self, pbox):
+        """Detach ``pbox`` from its thread."""
+        if pbox.thread is not None and pbox.thread.pbox is pbox:
+            pbox.thread.pbox = None
+        pbox.thread = None
+
+    def get(self, psid):
+        """Look up a pBox by id, or None."""
+        return self._pboxes.get(psid)
+
+    def pboxes(self):
+        """Snapshot of live pBoxes."""
+        return list(self._pboxes.values())
+
+    # ------------------------------------------------------------------
+    # State-event processing: Algorithm 1
+    # ------------------------------------------------------------------
+
+    def update(self, pbox, key, event):
+        """Process one state event (the kernel side of update_pbox)."""
+        self.stats["events"] += 1
+        now = self.kernel.now_us
+        if self.tracer is not None:
+            self.tracer.on_event(now, pbox, key, event)
+
+        if event is StateEvent.PREPARE:
+            if key in pbox.prepares:
+                # A pBox waits on a key at most once at a time; a
+                # duplicate PREPARE means the matching ENTER annotation
+                # was missed -- replace the stale entry.
+                self._remove_competitor(key, pbox)
+            pbox.prepares[key] = now
+            self.competitor_map.setdefault(key, []).append(
+                CompetitorEntry(pbox, now)
+            )
+            return
+
+        if event is StateEvent.ENTER:
+            pbox.prepares.pop(key, None)
+            entries = self.competitor_map.get(key)
+            if not entries:
+                return
+            for entry in entries:
+                if entry.pbox is pbox:
+                    entries.remove(entry)
+                    defer = now - entry.time_us
+                    pbox.defer_time_us += defer
+                    self._attribute_blame(pbox, key, defer)
+                    break
+            if not entries:
+                self.competitor_map.pop(key, None)
+            return
+
+        if event is StateEvent.HOLD:
+            pbox.holders[key] = now
+            return
+
+        if event is StateEvent.UNHOLD:
+            hold_start = pbox.holders.pop(key, None)
+            if hold_start is None:
+                return
+            self.last_releaser[key] = (pbox.psid, now)
+            if self.enabled and self.early_detection:
+                self._detect_on_unhold(pbox, key, hold_start, now)
+            return
+
+        raise ValueError("unknown state event %r" % (event,))
+
+    def _attribute_blame(self, waiter, key, defer_us):
+        """Record who deferred ``waiter`` on ``key`` for freeze detection.
+
+        Preference order: a current holder of the key, else the last
+        pBox that released it while we were waiting.
+        """
+        blamed_psid = None
+        for other in self._pboxes.values():
+            if other is not waiter and key in other.holders:
+                blamed_psid = other.psid
+                break
+        if blamed_psid is None:
+            releaser = self.last_releaser.get(key)
+            if releaser is not None and releaser[0] != waiter.psid:
+                blamed_psid = releaser[0]
+        if blamed_psid is not None:
+            slot = (blamed_psid, key)
+            waiter.blame[slot] = waiter.blame.get(slot, 0) + defer_us
+
+    def _detect_on_unhold(self, holder, key, hold_start_us, now):
+        """Algorithm 1, UNHOLD branch: find a victim among the waiters."""
+        entries = self.competitor_map.get(key)
+        if not entries:
+            return
+        victim = None
+        victim_tf = 0.0
+        victim_defer = 0
+        for entry in entries:
+            waiter = entry.pbox
+            if waiter is holder or waiter.status is not PBoxStatus.ACTIVE:
+                continue
+            open_defer = now - entry.time_us
+            total_defer = waiter.defer_time_us + open_defer
+            if total_defer < self.min_defer_us:
+                continue
+            tf = waiter.interference_level(now, extra_defer_us=open_defer)
+            if tf > waiter.rule.goal and hold_start_us < entry.time_us:
+                if victim is None or tf > victim_tf:
+                    victim = waiter
+                    victim_tf = tf
+                    victim_defer = total_defer
+        if victim is not None:
+            self.stats["detections"] += 1
+            if self.tracer is not None:
+                self.tracer.on_detection(now, holder, victim, key)
+            self.take_action(holder, victim, key, victim_defer_us=victim_defer)
+
+    def _pbox_level_detection(self, pbox):
+        """Freeze-time detection over the activity history (Section 4.3.1).
+
+        Uses the rule's metric (average by default) and fires when within
+        ``near_goal_fraction`` of the goal, acting on the most-blamed
+        (noisy pBox, key) pair recorded during recent activities.
+        """
+        metric = pbox.rule.metric
+        if metric is Metric.AVERAGE:
+            level = pbox.average_interference_level()
+        elif metric is Metric.TAIL:
+            level = pbox.tail_interference_level()
+        else:
+            level = pbox.max_interference_level()
+        if level < self.near_goal_fraction * pbox.rule.goal:
+            return
+        if not pbox.blame:
+            return
+        if pbox.history and pbox.history[-1].defer_us < self.min_defer_us:
+            return
+        (noisy_psid, key), blamed_defer = max(
+            pbox.blame.items(), key=lambda kv: kv[1]
+        )
+        noisy = self._pboxes.get(noisy_psid)
+        if noisy is None or noisy is pbox:
+            pbox.blame.clear()
+            return
+        self.stats["pbox_level_actions"] += 1
+        self.take_action(noisy, pbox, key, victim_defer_us=blamed_defer)
+        pbox.blame.clear()
+
+    # ------------------------------------------------------------------
+    # Actions (Section 4.4)
+    # ------------------------------------------------------------------
+
+    def take_action(self, noisy, victim, key, victim_defer_us=None):
+        """Schedule a penalty on ``noisy`` for deferring ``victim``.
+
+        The penalty is not applied immediately: for dedicated-thread
+        pBoxes it is accumulated and delivered by the resume hook at the
+        first point where the noisy pBox holds no tracked resource; for
+        shared-thread (event-driven) pBoxes it becomes a task-deferral
+        window instead.  ``victim_defer_us`` carries the victim's
+        effective deferring time (including a still-open wait) to the
+        penalty engine's p1 formula and policy chooser.
+        """
+        if not self.enabled or noisy is victim:
+            return
+        now = self.kernel.now_us
+        if noisy.pending_penalty_us > 0:
+            return  # a penalty is already queued and not yet served
+        if noisy.shared_thread and now < noisy.penalty_until_us:
+            return
+        decision = self.penalty_engine.decide(
+            now, noisy, victim, key, victim_defer_us=victim_defer_us
+        )
+        self.stats["actions"] += 1
+        noisy.penalties_received += 1
+        noisy.penalty_total_us += decision.length_us
+        if self.tracer is not None:
+            self.tracer.on_action(now, noisy, victim, key, decision.length_us)
+        if noisy.shared_thread:
+            noisy.penalty_until_us = now + decision.length_us
+        elif self.penalty_mode == "priority" and noisy.thread is not None:
+            noisy.thread.demoted_until_us = max(
+                noisy.thread.demoted_until_us, now + decision.length_us
+            )
+            self.stats["penalties_applied"] += 1
+            self.stats["penalty_applied_us"] += decision.length_us
+        else:
+            noisy.pending_penalty_us += decision.length_us
+        victim.blame.clear()
+
+    def is_task_deferred(self, pbox):
+        """True while an event-driven pBox's tasks should stay queued."""
+        return self.kernel.now_us < pbox.penalty_until_us
+
+    def make_queue_admission(self, pbox_of_item):
+        """Build a TaskQueue admission callable.
+
+        ``pbox_of_item(item)`` maps a queued task to its pBox (or None);
+        tasks of penalized shared-thread pBoxes are kept in the queue,
+        matching the patched accept/epoll behaviour described in
+        Section 5.
+        """
+
+        def admission(item):
+            pbox = pbox_of_item(item)
+            if pbox is None:
+                return True
+            return not self.is_task_deferred(pbox)
+
+        return admission
+
+    def _resume_hook(self, thread):
+        """Kernel resume hook: deliver pending penalties at safe points."""
+        pbox = thread.pbox
+        if pbox is None or pbox.pending_penalty_us <= 0:
+            return 0
+        if self.safe_penalty_timing and pbox.holding_anything:
+            return 0  # Section 4.4.1: never delay a resource holder
+        delay = pbox.pending_penalty_us
+        pbox.pending_penalty_us = 0
+        self.stats["penalties_applied"] += 1
+        self.stats["penalty_applied_us"] += delay
+        if self.tracer is not None:
+            self.tracer.on_penalty_served(self.kernel.now_us, pbox, delay)
+        return delay

@@ -1,0 +1,98 @@
+"""Aggregate the benchmark outputs in ``results/`` into one report.
+
+The benchmarks each write a tab-separated table; this module stitches
+them into a single markdown document (the "evaluation section" of the
+reproduction), used by ``python -m repro`` consumers and CI logs.  It
+is intentionally forgiving: missing result files are reported as "not
+yet generated" rather than failing, so a partial benchmark run still
+produces a useful report.
+"""
+
+import os
+
+#: The expected result files, in the paper's presentation order.
+SECTIONS = [
+    ("fig01_undo_motivation.txt", "Figure 1 — UNDO purge motivation"),
+    ("fig02_bufferpool_motivation.txt", "Figure 2 — buffer-pool backup"),
+    ("fig03_tickets_motivation.txt", "Figure 3 — tickets motivation"),
+    ("tab03_interference_levels.txt", "Table 3 — interference levels"),
+    ("fig11_mitigation.txt", "Figure 11 — mitigation vs baselines"),
+    ("fig12_tail_latency.txt", "Figure 12 — tail latency"),
+    ("fig13_penalty_actions.txt", "Figure 13 — penalty actions"),
+    ("fig14_penalty_lengths.txt", "Figure 14 — penalty lengths"),
+    ("tab04_fixed_vs_adaptive.txt", "Table 4 — fixed vs adaptive"),
+    ("fig15_rule_sensitivity.txt", "Figure 15 — rule sensitivity"),
+    ("fig16_overhead.txt", "Figure 16 — overhead"),
+    ("tab05_analyzer.txt", "Table 5 — static analyzer"),
+    ("sec68_mistake_tolerance.txt", "Section 6.8 — mistake tolerance"),
+    ("ablations.txt", "Ablations — design-choice costs"),
+]
+
+
+def load_section(results_dir, filename):
+    """Return the file's lines, or None if it has not been generated."""
+    path = os.path.join(results_dir, filename)
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return handle.read().rstrip("\n").splitlines()
+
+
+def _as_markdown_table(lines):
+    """Convert a tab-separated block into a markdown table.
+
+    Comment lines (``#``) become prose; the first non-comment line is
+    the header row.
+    """
+    output = []
+    header_done = False
+    for line in lines:
+        if line.startswith("#"):
+            output.append(line.lstrip("# ").rstrip())
+            continue
+        if not line.strip():
+            output.append("")
+            continue
+        cells = line.split("\t")
+        output.append("| " + " | ".join(cells) + " |")
+        if not header_done:
+            output.append("|" + "---|" * len(cells))
+            header_done = True
+    return output
+
+
+def generate_report(results_dir="results"):
+    """Build the markdown report string from ``results_dir``."""
+    parts = [
+        "# pBox reproduction — generated evaluation report",
+        "",
+        "Regenerate any section with its benchmark target; see",
+        "EXPERIMENTS.md for the paper-vs-measured commentary.",
+        "",
+    ]
+    missing = []
+    for filename, title in SECTIONS:
+        lines = load_section(results_dir, filename)
+        parts.append("## %s" % title)
+        parts.append("")
+        if lines is None:
+            parts.append("*(not yet generated — run the matching "
+                         "benchmark under `benchmarks/`)*")
+            missing.append(filename)
+        else:
+            parts.extend(_as_markdown_table(lines))
+        parts.append("")
+    if missing:
+        parts.append("---")
+        parts.append("%d of %d sections missing." % (len(missing),
+                                                     len(SECTIONS)))
+    return "\n".join(parts)
+
+
+def write_report(results_dir="results", output_path=None):
+    """Generate and write the report; returns the output path."""
+    output_path = output_path or os.path.join(results_dir, "REPORT.md")
+    report = generate_report(results_dir)
+    with open(output_path, "w") as handle:
+        handle.write(report + "\n")
+    return output_path

@@ -1,0 +1,61 @@
+"""Discrete-event operating-system substrate for the pBox reproduction.
+
+The paper implements pBox inside the Linux 5.4 kernel.  That mechanism is
+not expressible in pure Python, so this package provides the substitution:
+a deterministic, virtual-time kernel with simulated threads, a multi-core
+scheduler with cgroup-style CPU bandwidth control, futex-backed blocking
+primitives, and hooks that let a pBox manager observe and delay threads the
+same way the kernel patch does (``schedule_hrtimeout``).
+
+All time is integer microseconds of *virtual* time; runs are bit-for-bit
+reproducible given a seed.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.errors import DeadlockError, SimulationError, ThreadCrashedError
+from repro.sim.cgroup import Cgroup
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngStream
+from repro.sim.syscalls import (
+    Compute,
+    FutexWait,
+    FutexWake,
+    Join,
+    Now,
+    Sleep,
+    Spawn,
+    Yield,
+)
+from repro.sim.thread import SimThread, ThreadState
+from repro.sim.primitives import (
+    Condition,
+    Mutex,
+    RWLock,
+    Semaphore,
+    TaskQueue,
+)
+
+__all__ = [
+    "Cgroup",
+    "Clock",
+    "Compute",
+    "Condition",
+    "DeadlockError",
+    "FutexWait",
+    "FutexWake",
+    "Join",
+    "Kernel",
+    "Mutex",
+    "Now",
+    "RWLock",
+    "RngStream",
+    "Semaphore",
+    "SimThread",
+    "SimulationError",
+    "ThreadCrashedError",
+    "Sleep",
+    "Spawn",
+    "TaskQueue",
+    "ThreadState",
+    "Yield",
+]

@@ -1,0 +1,85 @@
+"""CFS-bandwidth-style CPU control groups.
+
+This models the slice of Linux cgroup v1 that the paper's cgroup baseline
+uses (Section 6.3): each group has a quota of CPU microseconds per period.
+When a group's threads have consumed the quota within the current period,
+they are throttled until the period refreshes.  ``quota_us=None`` means
+unlimited (the root group).
+"""
+
+
+class Cgroup:
+    """A CPU bandwidth control group.
+
+    Parameters
+    ----------
+    name:
+        Debug name.
+    quota_us:
+        CPU microseconds the group may consume per ``period_us``; ``None``
+        disables throttling.
+    period_us:
+        Bandwidth enforcement period (Linux default is 100 ms).
+    """
+
+    DEFAULT_PERIOD_US = 100_000
+
+    def __init__(self, name, quota_us=None, period_us=DEFAULT_PERIOD_US):
+        if quota_us is not None and quota_us <= 0:
+            raise ValueError("quota must be positive or None")
+        if period_us <= 0:
+            raise ValueError("period must be positive")
+        self.name = name
+        self.quota_us = quota_us
+        self.period_us = period_us
+        self.runtime_us = 0           # consumed in the current period
+        self.period_start_us = 0
+        self.throttled_threads = []   # threads parked until refresh
+        self.total_cpu_us = 0         # lifetime accounting
+
+    def set_quota(self, quota_us):
+        """Change the quota at runtime (used by PARTIES-style shifting)."""
+        if quota_us is not None and quota_us <= 0:
+            raise ValueError("quota must be positive or None")
+        self.quota_us = quota_us
+
+    def refresh(self, now_us):
+        """Roll the accounting window forward if the period elapsed.
+
+        Returns the list of threads to unthrottle (callers re-queue them).
+        """
+        if now_us - self.period_start_us < self.period_us:
+            return []
+        # Align the window start so refreshes are phase-stable.
+        elapsed_periods = (now_us - self.period_start_us) // self.period_us
+        self.period_start_us += elapsed_periods * self.period_us
+        self.runtime_us = 0
+        released = self.throttled_threads
+        self.throttled_threads = []
+        return released
+
+    def remaining_us(self, now_us):
+        """CPU budget left in the current period (None if unlimited)."""
+        if self.quota_us is None:
+            return None
+        if now_us - self.period_start_us >= self.period_us:
+            return self.quota_us
+        return max(0, self.quota_us - self.runtime_us)
+
+    def next_refresh_us(self, now_us):
+        """Virtual time at which the current period ends."""
+        if now_us - self.period_start_us >= self.period_us:
+            return now_us
+        return self.period_start_us + self.period_us
+
+    def charge(self, us):
+        """Charge ``us`` microseconds of CPU to the group."""
+        self.runtime_us += us
+        self.total_cpu_us += us
+
+    def __repr__(self):
+        return "Cgroup(name=%r, quota_us=%r, period_us=%d)" % (
+            self.name,
+            self.quota_us,
+            self.period_us,
+        )

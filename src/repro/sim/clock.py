@@ -1,0 +1,61 @@
+"""Virtual clock for the simulated kernel.
+
+All simulation time is kept as integer microseconds.  Integer time keeps
+heap ordering exact and makes every run deterministic; helpers convert to
+and from the units used in the paper (milliseconds and seconds).
+"""
+
+US_PER_MS = 1_000
+US_PER_SEC = 1_000_000
+
+
+def ms(value):
+    """Convert milliseconds to integer microseconds of virtual time."""
+    return int(round(value * US_PER_MS))
+
+
+def seconds(value):
+    """Convert seconds to integer microseconds of virtual time."""
+    return int(round(value * US_PER_SEC))
+
+
+def to_ms(us):
+    """Convert integer microseconds to float milliseconds."""
+    return us / US_PER_MS
+
+
+def to_seconds(us):
+    """Convert integer microseconds to float seconds."""
+    return us / US_PER_SEC
+
+
+class Clock:
+    """Monotonic virtual clock owned by the kernel.
+
+    Only the kernel advances the clock; everything else reads it.  The
+    class exists (rather than a bare int) so that components can hold a
+    reference and always observe the current time.
+    """
+
+    def __init__(self, start_us=0):
+        self._now_us = int(start_us)
+
+    @property
+    def now_us(self):
+        """Current virtual time in integer microseconds."""
+        return self._now_us
+
+    def advance_to(self, when_us):
+        """Advance the clock to ``when_us``.
+
+        Raises ``ValueError`` if asked to move backwards, which would
+        indicate a scheduling bug in the kernel event loop.
+        """
+        if when_us < self._now_us:
+            raise ValueError(
+                "clock cannot move backwards: %d -> %d" % (self._now_us, when_us)
+            )
+        self._now_us = int(when_us)
+
+    def __repr__(self):
+        return "Clock(now_us=%d)" % self._now_us

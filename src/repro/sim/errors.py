@@ -1,0 +1,22 @@
+"""Error types raised by the simulated kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event loop stalls while live threads remain blocked.
+
+    The simulated kernel has a global view of every thread, so unlike a
+    real OS it can cheaply detect that no event can ever wake the
+    remaining blocked threads and fail fast instead of spinning.
+    """
+
+
+class ThreadCrashedError(SimulationError):
+    """Raised when a simulated thread's generator raises an exception.
+
+    The original exception is chained so test failures point at the
+    application-model bug rather than at the kernel loop.
+    """

@@ -1,0 +1,61 @@
+"""Futex-style wait queues.
+
+The kernel keeps one FIFO wait queue per key (any hashable object).  This
+mirrors how the paper's heuristic (Section 4.2.2) frames intra-app
+interference: victims end up in waiting-related syscalls such as ``futex``
+keyed by some shared object.
+"""
+
+from collections import OrderedDict, deque
+
+
+class WaitQueueTable:
+    """FIFO wait queues keyed by arbitrary hashable objects."""
+
+    def __init__(self):
+        self._queues = {}
+
+    def add(self, key, thread):
+        """Append ``thread`` to the queue for ``key``."""
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = deque()
+            self._queues[key] = queue
+        queue.append(thread)
+
+    def remove(self, key, thread):
+        """Remove ``thread`` from ``key``'s queue; returns True if found."""
+        queue = self._queues.get(key)
+        if not queue:
+            return False
+        try:
+            queue.remove(thread)
+        except ValueError:
+            return False
+        if not queue:
+            del self._queues[key]
+        return True
+
+    def pop_waiters(self, key, n):
+        """Dequeue up to ``n`` threads waiting on ``key`` (FIFO order)."""
+        queue = self._queues.get(key)
+        if not queue:
+            return []
+        woken = []
+        while queue and len(woken) < n:
+            woken.append(queue.popleft())
+        if not queue:
+            del self._queues[key]
+        return woken
+
+    def waiters(self, key):
+        """Snapshot (list) of threads currently waiting on ``key``."""
+        return list(self._queues.get(key, ()))
+
+    def waiting_count(self):
+        """Total number of blocked threads across all keys."""
+        return sum(len(q) for q in self._queues.values())
+
+    def keys(self):
+        """Keys that currently have waiters."""
+        return list(self._queues.keys())

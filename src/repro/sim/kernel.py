@@ -1,0 +1,432 @@
+"""The discrete-event kernel: event loop, scheduler, syscalls.
+
+This is the substitution for the Linux 5.4 kernel the paper patches.  It
+runs simulated threads (generators yielding syscall objects) over N cores
+in virtual time, supports cgroup CPU bandwidth limits, futex wait/wake,
+timed sleeps, and -- crucially for pBox -- *resume hooks*: callbacks
+consulted whenever a thread is about to continue past a syscall, which is
+where the pBox manager injects its delay penalties (the moral equivalent
+of the kernel patch calling ``schedule_hrtimeout`` on return to user
+space).
+
+Typical use::
+
+    kernel = Kernel(cores=4)
+
+    def worker():
+        yield Compute(us=100)
+        yield Sleep(us=50)
+
+    kernel.spawn(worker)
+    kernel.run(until_us=seconds(1))
+"""
+
+import heapq
+import itertools
+
+from repro.sim.cgroup import Cgroup
+from repro.sim.clock import Clock
+from repro.sim.errors import DeadlockError, ThreadCrashedError
+from repro.sim.futex import WaitQueueTable
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import DEFAULT_QUANTUM_US, Core, RunQueue
+from repro.sim.syscalls import (
+    Compute,
+    FutexWait,
+    FutexWake,
+    Join,
+    Now,
+    Sleep,
+    Spawn,
+    Yield,
+)
+from repro.sim.thread import SimThread, ThreadState
+
+_BLOCKED = object()  # sentinel: the thread cannot continue synchronously
+
+
+class _Timer:
+    """A cancellable entry in the event heap."""
+
+    __slots__ = ("fn", "cancelled")
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the timer's callback from firing."""
+        self.cancelled = True
+
+
+class Kernel:
+    """Virtual-time OS kernel.
+
+    Parameters
+    ----------
+    cores:
+        Number of simulated CPU cores.
+    quantum_us:
+        Preemption quantum for the round-robin scheduler.
+    seed:
+        Root seed for the kernel's RNG registry (handed to workloads).
+    """
+
+    def __init__(self, cores=4, quantum_us=DEFAULT_QUANTUM_US, seed=0):
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.clock = Clock()
+        self.cores = [Core(i) for i in range(cores)]
+        self.quantum_us = quantum_us
+        self.run_queue = RunQueue()
+        self.run_queue._now = lambda: self.clock.now_us
+        self.futexes = WaitQueueTable()
+        self.rngs = RngRegistry(seed)
+        self.root_cgroup = Cgroup("root", quota_us=None)
+        self.cgroups = {"root": self.root_cgroup}
+        self.current_thread = None
+        self.threads = []
+        self.resume_hooks = []
+        self.stats = {
+            "syscalls": 0,
+            "context_switches": 0,
+            "penalties": 0,
+            "penalty_us": 0,
+            "throttles": 0,
+        }
+        self._heap = []
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def now_us(self):
+        """Current virtual time in microseconds."""
+        return self.clock.now_us
+
+    def rng(self, name):
+        """Named deterministic RNG stream (see :class:`RngRegistry`)."""
+        return self.rngs.stream(name)
+
+    def create_cgroup(self, name, quota_us=None, period_us=Cgroup.DEFAULT_PERIOD_US):
+        """Create and register a CPU bandwidth cgroup."""
+        if name in self.cgroups:
+            raise ValueError("cgroup %r already exists" % name)
+        group = Cgroup(name, quota_us=quota_us, period_us=period_us)
+        self.cgroups[name] = group
+        return group
+
+    def spawn(self, body, name=None, cgroup=None, affinity=None):
+        """Create and start a thread; returns the :class:`SimThread`."""
+        thread = SimThread(body, name=name, cgroup=cgroup, affinity=affinity)
+        self.threads.append(thread)
+        thread.started_at_us = self.now_us
+        thread._resume_value = None
+        thread._pending_syscall = None
+        self._enqueue(thread, compute_us=0, resume_value=None)
+        return thread
+
+    def spawn_after(self, delay_us, body, name=None, cgroup=None, affinity=None):
+        """Spawn a thread once ``delay_us`` of virtual time has passed."""
+
+        def _later():
+            self.spawn(body, name=name, cgroup=cgroup, affinity=affinity)
+
+        self.post(self.now_us + delay_us, _later)
+
+    def post(self, when_us, fn):
+        """Schedule ``fn()`` to run at virtual time ``when_us``."""
+        timer = _Timer(fn)
+        heapq.heappush(self._heap, (max(when_us, self.now_us), next(self._seq), timer))
+        return timer
+
+    def call_every(self, period_us, fn, start_us=None):
+        """Run ``fn()`` every ``period_us``; ``fn`` may return False to stop."""
+        first = self.now_us + period_us if start_us is None else start_us
+
+        def _tick():
+            if fn() is False:
+                return
+            self.post(self.now_us + period_us, _tick)
+
+        return self.post(first, _tick)
+
+    def run(self, until_us=None):
+        """Run the event loop.
+
+        Processes events until the heap is empty or virtual time would
+        exceed ``until_us``.  Raises :class:`DeadlockError` if the heap
+        drains while live threads remain blocked.
+        """
+        while self._heap:
+            when, _seq, timer = self._heap[0]
+            if until_us is not None and when > until_us:
+                break
+            heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self.clock.advance_to(when)
+            timer.fn()
+        if until_us is not None and until_us > self.now_us:
+            self.clock.advance_to(until_us)
+        if not self._heap:
+            blocked = [t for t in self.threads if t.alive]
+            if blocked and until_us is None:
+                raise DeadlockError(
+                    "event loop drained with %d live threads: %r"
+                    % (len(blocked), blocked[:8])
+                )
+
+    def futex_wake(self, key, n=1):
+        """Wake up to ``n`` threads blocked on ``key``; returns count.
+
+        Callable directly from thread bodies (synchronously, in zero
+        virtual time) because waking only moves threads to the run queue.
+        """
+        woken = self.futexes.pop_waiters(key, n)
+        for thread in woken:
+            if thread.wakeup_event is not None:
+                thread.wakeup_event.cancel()
+                thread.wakeup_event = None
+            thread.wait_key = None
+            self._enqueue(thread, compute_us=0, resume_value=True)
+        if woken:
+            self._dispatch()
+        return len(woken)
+
+    def charge_current(self, us):
+        """Charge ``us`` of CPU overhead to the calling thread.
+
+        Used by the pBox runtime to model per-operation cost (Figure 10 /
+        Figure 16) without adding Compute yields to application models.
+        The charge is consumed before the thread's next syscall executes.
+        """
+        if us <= 0:
+            return
+        thread = self.current_thread
+        if thread is not None:
+            thread.overhead_us += int(us)
+
+    def add_resume_hook(self, hook):
+        """Register ``hook(thread) -> delay_us`` consulted at resume time.
+
+        A positive return value puts the thread to sleep for that long
+        before its next syscall is processed -- the pBox penalty channel.
+        """
+        self.resume_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, thread, compute_us, resume_value, front=False):
+        thread.pending_compute_us = compute_us
+        thread._resume_value = resume_value
+        if front:
+            self.run_queue.push_front(thread)
+        else:
+            self.run_queue.push(thread)
+        self._dispatch()
+
+    def _dispatch(self):
+        for core in self.cores:
+            if not core.idle:
+                continue
+            if not len(self.run_queue):
+                return
+            thread = self.run_queue.pick_for_core(core)
+            if thread is None:
+                continue
+            self._start_slice(core, thread)
+
+    def _start_slice(self, core, thread):
+        group = thread.cgroup or self.root_cgroup
+        # Roll the bandwidth window forward before checking the budget;
+        # otherwise a group that never throttles keeps charging a stale
+        # period and the quota never binds.
+        for released in group.refresh(self.now_us):
+            self.run_queue.push(released)
+        remaining = group.remaining_us(self.now_us)
+        if remaining == 0:
+            self._throttle(thread, group)
+            self._dispatch()
+            return
+        slice_us = min(self.quantum_us, thread.pending_compute_us)
+        if remaining is not None:
+            slice_us = min(slice_us, remaining)
+        core.running = thread
+        thread.state = ThreadState.RUNNING
+        self.stats["context_switches"] += 1
+        timer = self.post(self.now_us + slice_us, lambda: self._slice_end(core))
+        core.slice_end_event = timer
+        core._slice_started_us = self.now_us
+
+    def _slice_end(self, core):
+        thread = core.running
+        core.running = None
+        core.slice_end_event = None
+        ran = self.now_us - core._slice_started_us
+        if ran:
+            core.busy_us += ran
+            thread.cpu_time_us += ran
+            group = thread.cgroup or self.root_cgroup
+            group.charge(ran)
+            thread.pending_compute_us -= ran
+        if thread.pending_compute_us > 0:
+            self.run_queue.push(thread)
+            self._dispatch()
+            return
+        self._dispatch()
+        self._resume(thread)
+
+    def _throttle(self, thread, group):
+        thread.state = ThreadState.THROTTLED
+        group.throttled_threads.append(thread)
+        self.stats["throttles"] += 1
+        if not getattr(group, "_refresh_scheduled", False):
+            group._refresh_scheduled = True
+            self.post(group.next_refresh_us(self.now_us), lambda: self._refresh(group))
+
+    def _refresh(self, group):
+        group._refresh_scheduled = False
+        released = group.refresh(self.now_us)
+        for thread in released:
+            self.run_queue.push(thread)
+        if group.throttled_threads and not group._refresh_scheduled:
+            group._refresh_scheduled = True
+            self.post(group.next_refresh_us(self.now_us), lambda: self._refresh(group))
+        if released:
+            self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Thread advancement
+    # ------------------------------------------------------------------
+
+    def _resume(self, thread):
+        """Continue a thread whose CPU slice / wait completed."""
+        if thread._pending_syscall is not None:
+            syscall = thread._pending_syscall
+            thread._pending_syscall = None
+            result = self._execute(thread, syscall)
+            if result is _BLOCKED:
+                return
+            self._advance(thread, result)
+        else:
+            self._advance(thread, thread._resume_value)
+
+    def _advance(self, thread, send_value):
+        for hook in self.resume_hooks:
+            delay = hook(thread)
+            if delay:
+                self.stats["penalties"] += 1
+                self.stats["penalty_us"] += delay
+                thread.state = ThreadState.SLEEPING
+                thread.wakeup_event = self.post(
+                    self.now_us + delay, lambda: self._advance(thread, send_value)
+                )
+                return
+        while True:
+            previous = self.current_thread
+            self.current_thread = thread
+            try:
+                syscall = thread.body.send(send_value)
+            except StopIteration as stop:
+                self.current_thread = previous
+                self._exit(thread, stop.value)
+                return
+            except Exception as exc:
+                self.current_thread = previous
+                raise ThreadCrashedError(
+                    "thread %r crashed: %r" % (thread.name, exc)
+                ) from exc
+            self.current_thread = previous
+            result = self._execute(thread, syscall)
+            if result is _BLOCKED:
+                return
+            send_value = result
+
+    def _execute(self, thread, syscall):
+        """Perform ``syscall``; return its value or ``_BLOCKED``."""
+        self.stats["syscalls"] += 1
+        if thread.overhead_us and not isinstance(syscall, Compute):
+            overhead = thread.overhead_us
+            thread.overhead_us = 0
+            thread._pending_syscall = syscall
+            self._enqueue(thread, compute_us=overhead, resume_value=None)
+            return _BLOCKED
+
+        if isinstance(syscall, Compute):
+            amount = syscall.us + thread.overhead_us
+            thread.overhead_us = 0
+            self._enqueue(thread, compute_us=amount, resume_value=None)
+            return _BLOCKED
+
+        if isinstance(syscall, Sleep):
+            thread.state = ThreadState.SLEEPING
+            thread.wakeup_event = self.post(
+                self.now_us + syscall.us, lambda: self._wake_sleeper(thread)
+            )
+            return _BLOCKED
+
+        if isinstance(syscall, FutexWait):
+            thread.state = ThreadState.BLOCKED
+            thread.wait_key = syscall.key
+            self.futexes.add(syscall.key, thread)
+            if syscall.timeout_us is not None:
+                thread.wakeup_event = self.post(
+                    self.now_us + syscall.timeout_us,
+                    lambda: self._futex_timeout(thread, syscall.key),
+                )
+            return _BLOCKED
+
+        if isinstance(syscall, FutexWake):
+            return self.futex_wake(syscall.key, syscall.n)
+
+        if isinstance(syscall, Spawn):
+            spawned = syscall.thread
+            if spawned.state is not ThreadState.NEW:
+                raise ValueError("thread %r already started" % spawned)
+            self.threads.append(spawned)
+            spawned.started_at_us = self.now_us
+            spawned._resume_value = None
+            spawned._pending_syscall = None
+            self._enqueue(spawned, compute_us=0, resume_value=None)
+            return spawned
+
+        if isinstance(syscall, Join):
+            target = syscall.thread
+            if not target.alive:
+                return target.return_value
+            thread.state = ThreadState.BLOCKED
+            target.joiners.append(thread)
+            return _BLOCKED
+
+        if isinstance(syscall, Now):
+            return self.now_us
+
+        if isinstance(syscall, Yield):
+            self._enqueue(thread, compute_us=0, resume_value=None)
+            return _BLOCKED
+
+        raise TypeError("thread %r yielded non-syscall %r" % (thread, syscall))
+
+    def _wake_sleeper(self, thread):
+        thread.wakeup_event = None
+        self._enqueue(thread, compute_us=0, resume_value=None)
+
+    def _futex_timeout(self, thread, key):
+        thread.wakeup_event = None
+        if self.futexes.remove(key, thread):
+            thread.wait_key = None
+            self._enqueue(thread, compute_us=0, resume_value=False)
+
+    def _exit(self, thread, value):
+        thread.state = ThreadState.EXITED
+        thread.return_value = value
+        thread.exited_at_us = self.now_us
+        joiners = thread.joiners
+        thread.joiners = []
+        for waiter in joiners:
+            self._enqueue(waiter, compute_us=0, resume_value=value)

@@ -1,0 +1,101 @@
+"""Deterministic random number streams.
+
+Every stochastic element of a scenario (arrival times, key choices, query
+mixes) draws from a named :class:`RngStream` derived from a single root
+seed.  Two streams with the same (seed, name) always produce the same
+sequence, so adding a new consumer of randomness never perturbs existing
+ones -- a standard trick in simulation methodology to keep experiments
+comparable across code changes.
+"""
+
+import hashlib
+import random
+
+
+class RngStream:
+    """A named, independently-seeded random stream.
+
+    Wraps :class:`random.Random` with the subset of draws the workloads
+    need.  The stream seed is derived by hashing ``(root_seed, name)`` so
+    streams are independent and reproducible.
+    """
+
+    def __init__(self, root_seed, name):
+        self.name = name
+        digest = hashlib.sha256(
+            ("%d/%s" % (root_seed, name)).encode("utf-8")
+        ).digest()
+        self._rng = random.Random(int.from_bytes(digest[:8], "big"))
+
+    def uniform(self, low, high):
+        """Uniform float in [low, high)."""
+        return self._rng.uniform(low, high)
+
+    def randint(self, low, high):
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def expovariate(self, rate):
+        """Exponential variate with the given rate (1/mean)."""
+        return self._rng.expovariate(rate)
+
+    def choice(self, seq):
+        """Uniformly choose one element of ``seq``."""
+        return self._rng.choice(seq)
+
+    def random(self):
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def shuffle(self, seq):
+        """Shuffle ``seq`` in place."""
+        self._rng.shuffle(seq)
+
+    def sample(self, population, k):
+        """Sample ``k`` distinct elements from ``population``."""
+        return self._rng.sample(population, k)
+
+    def zipf_index(self, n, skew):
+        """Draw an index in [0, n) under a Zipf-like distribution.
+
+        Uses the rejection-free inverse-CDF over a precomputed table when
+        first called; the table is cached on the instance per (n, skew).
+        """
+        key = (n, skew)
+        table = getattr(self, "_zipf_tables", None)
+        if table is None:
+            table = {}
+            self._zipf_tables = table
+        cdf = table.get(key)
+        if cdf is None:
+            weights = [1.0 / ((i + 1) ** skew) for i in range(n)]
+            total = sum(weights)
+            acc = 0.0
+            cdf = []
+            for w in weights:
+                acc += w / total
+                cdf.append(acc)
+            table[key] = cdf
+        u = self._rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+class RngRegistry:
+    """Factory handing out :class:`RngStream` objects from one root seed."""
+
+    def __init__(self, root_seed=0):
+        self.root_seed = root_seed
+        self._streams = {}
+
+    def stream(self, name):
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = RngStream(self.root_seed, name)
+        return self._streams[name]

@@ -1,0 +1,100 @@
+"""Run-queue and core bookkeeping for the simulated kernel.
+
+The scheduler is deliberately simple -- round-robin with a fixed quantum
+over N cores, plus optional per-thread core affinity and cgroup bandwidth
+limits.  The paper's point does not depend on CFS subtleties: what matters
+is that CPU time is a schedulable, partitionable resource so hardware-
+centric baselines (cgroup, PARTIES, DARC) act on the dimension they act on
+in reality, while virtual-resource waits stay untouched by them.
+"""
+
+from collections import deque
+
+from repro.sim.thread import ThreadState
+
+DEFAULT_QUANTUM_US = 1_000
+
+
+class Core:
+    """One simulated CPU core."""
+
+    def __init__(self, index):
+        self.index = index
+        self.running = None        # SimThread or None
+        self.slice_end_event = None
+        self.busy_us = 0           # lifetime utilization accounting
+        self.reserved_for = None   # tag used by the DARC baseline
+
+    @property
+    def idle(self):
+        """True when no thread occupies the core."""
+        return self.running is None
+
+    def __repr__(self):
+        return "Core(index=%d, running=%r)" % (self.index, self.running)
+
+
+class RunQueue:
+    """Global FIFO ready queue with affinity-aware picking."""
+
+    def __init__(self):
+        self._queue = deque()
+
+    def __len__(self):
+        return len(self._queue)
+
+    def push(self, thread):
+        """Append a READY thread."""
+        thread.state = ThreadState.READY
+        self._queue.append(thread)
+
+    def push_front(self, thread):
+        """Prepend a READY thread (used when a slice is handed back)."""
+        thread.state = ThreadState.READY
+        self._queue.appendleft(thread)
+
+    def pick_for_core(self, core):
+        """Dequeue the first thread eligible to run on ``core``.
+
+        Eligibility combines the thread's affinity mask and the core's
+        reservation tag (a DARC-reserved core only accepts threads whose
+        ``darc_tag`` matches).  Demoted threads (the priority-penalty
+        extension) are only picked when no normal thread fits, and they
+        keep FIFO order among themselves.  Returns ``None`` when
+        nothing fits.
+        """
+        demoted_index = None
+        for i, thread in enumerate(self._queue):
+            if thread.affinity is not None and core.index not in thread.affinity:
+                continue
+            if core.reserved_for is not None:
+                tag = getattr(thread, "darc_tag", None)
+                if tag != core.reserved_for:
+                    continue
+            if getattr(thread, "demoted_until_us", 0) > self._now():
+                if demoted_index is None:
+                    demoted_index = i
+                continue
+            del self._queue[i]
+            return thread
+        if demoted_index is not None:
+            thread = self._queue[demoted_index]
+            del self._queue[demoted_index]
+            return thread
+        return None
+
+    def _now(self):
+        """Current virtual time (patched in by the kernel at attach)."""
+        return 0
+
+    def remove(self, thread):
+        """Remove ``thread`` if queued; returns True if it was present."""
+        try:
+            self._queue.remove(thread)
+        except ValueError:
+            return False
+        return True
+
+    def threads(self):
+        """Snapshot of queued threads."""
+        return list(self._queue)

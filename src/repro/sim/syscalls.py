@@ -1,0 +1,129 @@
+"""Syscall objects yielded by simulated threads.
+
+A simulated thread is a Python generator.  It interacts with the kernel
+by yielding one of the syscall objects below; the kernel performs the
+action and resumes the generator with the syscall's return value, e.g.::
+
+    def worker():
+        yield Compute(us=500)          # burn 500 us of CPU
+        woken = yield FutexWait(lock)  # block until FutexWake(lock)
+        now = yield Now()
+
+The set mirrors what the paper's mechanism needs to observe: CPU
+consumption, timed sleeps (``os_thread_sleep`` in Figure 9), futex-style
+waits (the "waiting-related syscalls" of Section 4.2.2), and thread
+lifecycle.
+"""
+
+
+class Syscall:
+    """Base class; exists so kernels can type-check yields."""
+
+    __slots__ = ()
+
+
+class Compute(Syscall):
+    """Consume ``us`` microseconds of CPU time.
+
+    The time is charged against the thread's cgroup and is preemptible at
+    scheduler-quantum granularity, so concurrent compute on fewer cores
+    stretches in wall-clock (virtual) time exactly as on a real machine.
+    """
+
+    __slots__ = ("us",)
+
+    def __init__(self, us):
+        if us < 0:
+            raise ValueError("compute time must be non-negative")
+        self.us = int(us)
+
+    def __repr__(self):
+        return "Compute(us=%d)" % self.us
+
+
+class Sleep(Syscall):
+    """Sleep off-CPU for ``us`` microseconds (like ``usleep``)."""
+
+    __slots__ = ("us",)
+
+    def __init__(self, us):
+        if us < 0:
+            raise ValueError("sleep time must be non-negative")
+        self.us = int(us)
+
+    def __repr__(self):
+        return "Sleep(us=%d)" % self.us
+
+
+class FutexWait(Syscall):
+    """Block on the wait queue identified by ``key``.
+
+    Returns ``True`` when woken by :class:`FutexWake`, ``False`` when the
+    optional ``timeout_us`` expires first.  ``key`` may be any hashable
+    object; application models use the contended object itself, which
+    matches the paper's use of object addresses as resource keys.
+    """
+
+    __slots__ = ("key", "timeout_us")
+
+    def __init__(self, key, timeout_us=None):
+        self.key = key
+        self.timeout_us = None if timeout_us is None else int(timeout_us)
+
+    def __repr__(self):
+        return "FutexWait(key=%r, timeout_us=%r)" % (self.key, self.timeout_us)
+
+
+class FutexWake(Syscall):
+    """Wake up to ``n`` threads waiting on ``key``; returns count woken."""
+
+    __slots__ = ("key", "n")
+
+    def __init__(self, key, n=1):
+        self.key = key
+        self.n = int(n)
+
+    def __repr__(self):
+        return "FutexWake(key=%r, n=%d)" % (self.key, self.n)
+
+
+class Spawn(Syscall):
+    """Start a new :class:`~repro.sim.thread.SimThread`; returns it."""
+
+    __slots__ = ("thread",)
+
+    def __init__(self, thread):
+        self.thread = thread
+
+    def __repr__(self):
+        return "Spawn(%r)" % (self.thread,)
+
+
+class Join(Syscall):
+    """Block until ``thread`` exits; returns the thread's return value."""
+
+    __slots__ = ("thread",)
+
+    def __init__(self, thread):
+        self.thread = thread
+
+    def __repr__(self):
+        return "Join(%r)" % (self.thread,)
+
+
+class Now(Syscall):
+    """Return the current virtual time in microseconds."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Now()"
+
+
+class Yield(Syscall):
+    """Relinquish the CPU without consuming time (like ``sched_yield``)."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Yield()"

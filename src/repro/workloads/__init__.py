@@ -1,0 +1,33 @@
+"""Workload generators and measurement utilities.
+
+Substitutes for the load-generation tools the paper uses (sysbench for
+MySQL/PostgreSQL, ab for Apache/Varnish, mutilate with Facebook's USR and
+VAR distributions for Memcached) plus the latency statistics machinery
+behind every figure.
+"""
+
+from repro.workloads.stats import (
+    LatencyRecorder,
+    TimelineSeries,
+    interference_level,
+    percentile,
+    reduction_ratio,
+)
+from repro.workloads.distributions import (
+    FacebookETC,
+    exponential_interarrival,
+    uniform_interarrival,
+)
+from repro.workloads.clients import closed_loop_client
+
+__all__ = [
+    "FacebookETC",
+    "LatencyRecorder",
+    "TimelineSeries",
+    "closed_loop_client",
+    "exponential_interarrival",
+    "interference_level",
+    "percentile",
+    "reduction_ratio",
+    "uniform_interarrival",
+]

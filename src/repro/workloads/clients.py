@@ -1,0 +1,67 @@
+"""Generic closed-loop client driver.
+
+A client owns one application connection and issues requests back to
+back (optionally with think time) until a stop time, recording each
+request's latency.  Solution policies (cgroup / PARTIES / Retro / DARC)
+hook the request boundaries through the optional ``policy`` object:
+
+- ``policy.before_request(ctx, request)``: a *generator* driven before
+  each request (Retro throttles here; DARC tags the thread here);
+- ``policy.after_request(ctx, request, latency_us)``: plain call after
+  completion (PARTIES and Retro read latencies here).
+"""
+
+from repro.sim.syscalls import Now, Sleep
+
+
+def closed_loop_client(kernel, connection, request_factory, recorder,
+                       start_us=0, stop_us=None, think_us=0, rng=None,
+                       policy=None, policy_ctx=None):
+    """Build a thread body driving ``connection`` in a closed loop.
+
+    Parameters
+    ----------
+    connection:
+        Object with generator methods ``open()``, ``execute(request)``
+        and ``close()`` (see :class:`repro.apps.base.Connection`).
+    request_factory:
+        Zero-argument callable producing the next request.
+    recorder:
+        :class:`~repro.workloads.stats.LatencyRecorder` for latencies.
+    start_us / stop_us:
+        The client sleeps until ``start_us`` (late joiners, e.g. the
+        fifth client of case c3) and stops issuing at ``stop_us``.
+    think_us:
+        Mean think time between requests; jittered when ``rng`` given.
+    """
+    if stop_us is None:
+        raise ValueError("stop_us is required")
+
+    def body():
+        if start_us:
+            yield Sleep(us=start_us)
+        yield from connection.open()
+        while True:
+            now = yield Now()
+            if now >= stop_us:
+                break
+            request = request_factory()
+            began = yield Now()
+            # Admission control (e.g. Retro's token bucket) is part of
+            # the end-to-end latency the client observes.
+            if policy is not None:
+                yield from policy.before_request(policy_ctx, request)
+            yield from connection.execute(request)
+            finished = yield Now()
+            recorder.record(finished - began, finished)
+            if policy is not None:
+                policy.after_request(policy_ctx, request, finished - began)
+            if think_us:
+                pause = think_us
+                if rng is not None:
+                    pause = max(0, int(rng.uniform(0.5 * think_us, 1.5 * think_us)))
+                if pause:
+                    yield Sleep(us=pause)
+        yield from connection.close()
+
+    return body

@@ -1,0 +1,75 @@
+"""Request-mix and key distributions used by the workload drivers.
+
+Includes a small model of Facebook's USR/VAR key-value request mixes
+(Atikoglu et al., "Workload Analysis of a Large-Scale Key-Value Store"),
+which the paper uses for the Memcached overhead experiments: USR is
+read-dominated (~99.8% GET), VAR is write-heavy (~82% SET)."""
+
+
+def uniform_interarrival(rng, mean_us):
+    """Uniform interarrival in [0.5, 1.5) x mean (bounded jitter)."""
+    return int(rng.uniform(0.5 * mean_us, 1.5 * mean_us))
+
+
+def exponential_interarrival(rng, mean_us):
+    """Exponential (Poisson-process) interarrival with the given mean."""
+    if mean_us <= 0:
+        return 0
+    return int(rng.expovariate(1.0 / mean_us))
+
+
+class FacebookETC:
+    """GET/SET mixes modeled after Facebook's memcached pools.
+
+    ``USR``: user-account lookaside pool, overwhelmingly GETs.
+    ``VAR``: server-side browser data, write-heavy.
+    """
+
+    USR_GET_FRACTION = 0.998
+    VAR_GET_FRACTION = 0.18
+
+    def __init__(self, rng, pool="USR", key_space=10_000, zipf_skew=1.01):
+        if pool not in ("USR", "VAR"):
+            raise ValueError("pool must be USR or VAR")
+        self.rng = rng
+        self.pool = pool
+        self.key_space = key_space
+        self.zipf_skew = zipf_skew
+
+    def next_request(self):
+        """Return ('get'|'set', key index)."""
+        get_fraction = (
+            self.USR_GET_FRACTION if self.pool == "USR" else self.VAR_GET_FRACTION
+        )
+        op = "get" if self.rng.random() < get_fraction else "set"
+        key = self.rng.zipf_index(self.key_space, self.zipf_skew)
+        return op, key
+
+
+class OLTPMix:
+    """sysbench-like OLTP request mixes for the database workloads.
+
+    ``read_only`` issues point SELECTs; ``write_only`` issues UPDATE /
+    INSERT statements; ``mixed`` interleaves them 70/30 like sysbench's
+    default oltp_read_write profile.
+    """
+
+    def __init__(self, rng, mode="read_only", tables=64, rows_per_table=1_000):
+        if mode not in ("read_only", "write_only", "mixed"):
+            raise ValueError("unknown OLTP mode %r" % mode)
+        self.rng = rng
+        self.mode = mode
+        self.tables = tables
+        self.rows_per_table = rows_per_table
+
+    def next_request(self):
+        """Return (op, table index, row index)."""
+        table = self.rng.randint(0, self.tables - 1)
+        row = self.rng.randint(0, self.rows_per_table - 1)
+        if self.mode == "read_only":
+            op = "read"
+        elif self.mode == "write_only":
+            op = "write"
+        else:
+            op = "read" if self.rng.random() < 0.7 else "write"
+        return op, table, row

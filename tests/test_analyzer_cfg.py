@@ -1,0 +1,121 @@
+"""Unit tests for CFG analyses: dominators, post-dominators, loops."""
+
+import pytest
+
+from repro.analyzer.cfg import (
+    CFG,
+    dominates,
+    dominators,
+    innermost_loop_containing,
+    natural_loops,
+    post_dominators,
+)
+from repro.analyzer.ir import Function, Instr
+
+
+def diamond_function():
+    """entry -> (left | right) -> join -> exit."""
+    function = Function("diamond")
+    entry = function.new_block("entry")
+    entry.add(Instr("branch", uses=("c",)))
+    entry.successors = ["left", "right"]
+    function.new_block("left").successors = ["join"]
+    function.new_block("right").successors = ["join"]
+    join = function.new_block("join")
+    join.successors = ["exit"]
+    exit_block = function.new_block("exit")
+    exit_block.add(Instr("return"))
+    return function
+
+
+def loop_function():
+    """entry -> header <-> body, header -> exit."""
+    function = Function("looper")
+    function.new_block("entry").successors = ["header"]
+    header = function.new_block("header")
+    header.add(Instr("branch", uses=("n",)))
+    header.successors = ["body", "exit"]
+    function.new_block("body").successors = ["header"]
+    function.new_block("exit").add(Instr("return"))
+    return function
+
+
+def test_dominators_diamond():
+    cfg = CFG(diamond_function())
+    idom = dominators(cfg)
+    assert idom["join"] == "entry"      # neither branch dominates the join
+    assert idom["left"] == "entry"
+    assert idom["exit"] == "join"
+    assert dominates(idom, "entry", "exit")
+    assert not dominates(idom, "left", "exit")
+
+
+def test_post_dominators_diamond():
+    cfg = CFG(diamond_function())
+    pdom = post_dominators(cfg)
+    # join post-dominates everything before it.
+    assert dominates(pdom, "join", "entry")
+    assert dominates(pdom, "exit", "entry")
+    assert not dominates(pdom, "left", "entry")
+
+
+def test_natural_loop_detection():
+    cfg = CFG(loop_function())
+    loops = natural_loops(cfg)
+    assert len(loops) == 1
+    header, body = loops[0]
+    assert header == "header"
+    assert body == {"header", "body"}
+
+
+def test_innermost_loop_nested():
+    function = Function("nested")
+    function.new_block("entry").successors = ["outer"]
+    outer = function.new_block("outer")
+    outer.add(Instr("branch", uses=("a",)))
+    outer.successors = ["inner", "exit"]
+    inner = function.new_block("inner")
+    inner.add(Instr("branch", uses=("b",)))
+    inner.successors = ["inner_body", "outer"]
+    function.new_block("inner_body").successors = ["inner"]
+    function.new_block("exit").add(Instr("return"))
+    cfg = CFG(function)
+    loops = natural_loops(cfg)
+    assert len(loops) == 2
+    body = innermost_loop_containing(loops, "inner_body")
+    assert body == {"inner", "inner_body"}
+
+
+def test_no_loops_in_diamond():
+    cfg = CFG(diamond_function())
+    assert natural_loops(cfg) == []
+
+
+def test_unreachable_block_is_ignored():
+    function = Function("unreachable")
+    function.new_block("entry").add(Instr("return"))
+    function.new_block("island").add(Instr("return"))
+    cfg = CFG(function)
+    idom = dominators(cfg)
+    assert "island" not in idom
+
+
+def test_undefined_successor_rejected():
+    function = Function("bad")
+    function.new_block("entry").successors = ["nowhere"]
+    with pytest.raises(ValueError):
+        CFG(function)
+
+
+def test_infinite_loop_has_post_dominators():
+    """A function that never returns still gets a well-formed pdom tree."""
+    function = Function("spin")
+    function.new_block("entry").successors = ["header"]
+    header = function.new_block("header")
+    header.add(Instr("branch"))
+    header.successors = ["header"]
+    cfg = CFG(function)
+    pdom = post_dominators(cfg)
+    # The virtual exit reaches the spin through the exit_labels fallback
+    # (blocks without successors); entry must be mapped.
+    assert CFG.VIRTUAL_EXIT in pdom

@@ -1,0 +1,171 @@
+"""Unit tests for Algorithm 2 and the Table 5 corpora."""
+
+from repro.analyzer import Analyzer, parse_module
+from repro.analyzer.corpus import CORPUS_SPECS, analyze_corpus, table5
+from repro.analyzer.shared import functions_accessing, shared_variables
+
+
+def analyze(source):
+    return Analyzer().analyze(parse_module(source))
+
+
+def test_direct_wait_in_shared_loop_detected():
+    locations = analyze("""
+        int queue_len;
+        void producer(int n) { queue_len = queue_len + n; }
+        void consumer(int n) {
+            while (queue_len < n) {
+                usleep(100);
+            }
+        }
+    """)
+    assert len(locations) == 1
+    assert locations[0].function == "consumer"
+    assert locations[0].shared_vars == ("queue_len",)
+
+
+def test_wait_outside_loop_not_detected():
+    locations = analyze("""
+        int g;
+        void other(int n) { g = g + n; }
+        void f(int n) {
+            if (g < n) {
+                usleep(100);
+            }
+        }
+    """)
+    assert locations == []
+
+
+def test_self_waiting_loop_not_detected():
+    """A retry loop over a local variable is self-waiting (skipped)."""
+    locations = analyze("""
+        void f(int n) {
+            int retries = 0;
+            while (retries < n) {
+                usleep(100);
+                retries = retries + 1;
+            }
+        }
+    """)
+    assert locations == []
+
+
+def test_private_global_not_detected():
+    """A global accessed by a single function is not cross-activity."""
+    locations = analyze("""
+        int private_state;
+        void f(int n) {
+            while (private_state < n) {
+                usleep(100);
+            }
+        }
+    """)
+    assert locations == []
+
+
+def test_wrapper_is_resolved():
+    locations = analyze("""
+        int g;
+        void producer(int n) { g = g + n; }
+        void my_wait(int us) { usleep(us); }
+        void consumer(int n) {
+            while (g < n) {
+                my_wait(100);
+            }
+        }
+    """)
+    assert len(locations) == 1
+    assert locations[0].callee == "my_wait"
+    assert locations[0].wait_func == "usleep"
+
+
+def test_conditional_wait_is_not_a_wrapper():
+    """A function that only waits on some paths is not a wrapper."""
+    module = parse_module("""
+        void maybe_wait(int us) {
+            if (us < 10) {
+                usleep(us);
+            }
+        }
+    """)
+    assert Analyzer().find_wrappers(module) == {}
+
+
+def test_deep_call_chain_is_missed():
+    """Two-level wrapping defeats the direct-wrapper check (Section 6.7)."""
+    locations = analyze("""
+        int g;
+        void producer(int n) { g = g + n; }
+        void inner(int us) { usleep(us); }
+        void outer(int us) { inner(us); }
+        void consumer(int n) {
+            while (g < n) {
+                outer(100);
+            }
+        }
+    """)
+    assert locations == []
+
+
+def test_funcret_condition_is_missed():
+    """Loop conditions from call return values are not traced (6.7)."""
+    locations = analyze("""
+        int g;
+        void producer(int n) { g = g + n; }
+        void consumer(int n) {
+            int w = g;
+            while (check_state()) {
+                usleep(100);
+            }
+        }
+    """)
+    assert locations == []
+
+
+def test_figure9_detected_with_shared_counter():
+    locations = analyze("""
+        int n_active;
+        void exiter(int n) { n_active = n_active - 1; }
+        void enterer(int limit) {
+            for (;;) {
+                if (n_active < limit) {
+                    n_active = n_active + 1;
+                    return;
+                }
+                os_thread_sleep(100);
+            }
+        }
+    """)
+    assert len(locations) == 1
+    assert "n_active" in locations[0].shared_vars
+
+
+def test_shared_variables_analysis():
+    module = parse_module("""
+        int a, b;
+        void f(int x) { a = a + x; b = b + x; }
+        void g(int x) { a = a - x; }
+    """)
+    assert shared_variables(module) == {"a"}
+    assert functions_accessing(module, "a") == ["f", "g"]
+
+
+def test_corpus_matches_table5():
+    expected = {
+        "mysql": (57, 40),
+        "postgresql": (40, 44),
+        "apache": (12, 8),
+        "varnish": (16, 12),
+        "memcached": (14, 12),
+    }
+    for row in table5():
+        manual, detected = expected[row["app"]]
+        assert row["manual"] == manual
+        assert row["detected"] == detected
+
+
+def test_corpus_specs_consistent():
+    for app, spec in CORPUS_SPECS.items():
+        row = analyze_corpus(app)
+        assert row["detected"] == spec.detectable_events

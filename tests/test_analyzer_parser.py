@@ -1,0 +1,177 @@
+"""Unit tests for the mini-C frontend."""
+
+import pytest
+
+from repro.analyzer.cfg import CFG, natural_loops
+from repro.analyzer.parser import ParseError, parse_module
+
+
+def test_globals_and_functions_registered():
+    module = parse_module("""
+        int shared_a, shared_b;
+        void f(int x) {
+            shared_a = shared_a + x;
+        }
+    """)
+    assert module.globals == {"shared_a", "shared_b"}
+    assert "f" in module.functions
+    assert module.functions["f"].params == ("x",)
+
+
+def test_call_statement_lowered():
+    module = parse_module("""
+        void f(int x) {
+            do_work(x);
+        }
+    """)
+    calls = module.functions["f"].call_instructions()
+    assert len(calls) == 1
+    _block, instr = calls[0]
+    assert instr.callee == "do_work"
+    assert instr.uses == ("x",)
+
+
+def test_nested_call_arguments():
+    module = parse_module("""
+        void f(int x) {
+            outer(inner(x), x);
+        }
+    """)
+    callees = [i.callee for _b, i in module.functions["f"].call_instructions()]
+    assert callees == ["inner", "outer"]
+
+
+def test_if_produces_diamond():
+    module = parse_module("""
+        int g;
+        void f(int x) {
+            if (g < x) {
+                g = g + 1;
+            } else {
+                g = g - 1;
+            }
+            return;
+        }
+    """)
+    function = module.functions["f"]
+    cfg = CFG(function)
+    entry_succs = cfg.succs[function.entry_label]
+    assert len(entry_succs) == 2
+    assert natural_loops(cfg) == []
+
+
+def test_while_produces_loop_with_condition_uses():
+    module = parse_module("""
+        int g;
+        void f(int x) {
+            while (g < x) {
+                step(x);
+            }
+        }
+    """)
+    function = module.functions["f"]
+    cfg = CFG(function)
+    loops = natural_loops(cfg)
+    assert len(loops) == 1
+    header, body = loops[0]
+    assert set(function.blocks[header].branch_uses()) == {"g", "x"}
+
+
+def test_for_infinite_loop_with_break():
+    module = parse_module("""
+        int g;
+        void f(int x) {
+            for (;;) {
+                if (g < x) {
+                    break;
+                }
+                sleep(1);
+            }
+            return;
+        }
+    """)
+    function = module.functions["f"]
+    cfg = CFG(function)
+    loops = natural_loops(cfg)
+    assert len(loops) == 1
+    _header, body = loops[0]
+    # The guarding if's condition is inside the loop body.
+    cond_vars = set()
+    for label in body:
+        cond_vars.update(function.blocks[label].branch_uses())
+    assert {"g", "x"} <= cond_vars
+
+
+def test_figure9_shape_parses():
+    """The paper's Figure 9 structure round-trips through the parser."""
+    module = parse_module("""
+        int n_active, concurrency_limit;
+        void srv_conc_enter(int trx) {
+            for (;;) {
+                if (n_active < concurrency_limit) {
+                    n_active = n_active + 1;
+                    return;
+                }
+                os_thread_sleep(100);
+            }
+        }
+    """)
+    function = module.functions["srv_conc_enter"]
+    callees = [i.callee for _b, i in function.call_instructions()]
+    assert callees == ["os_thread_sleep"]
+    assert len(natural_loops(CFG(function))) == 1
+
+
+def test_continue_statement():
+    module = parse_module("""
+        int g;
+        void f(int x) {
+            while (g < x) {
+                if (g < 1) {
+                    continue;
+                }
+                work(x);
+            }
+        }
+    """)
+    function = module.functions["f"]
+    cfg = CFG(function)
+    assert len(natural_loops(cfg)) == 1
+
+
+def test_local_declaration_with_initializer():
+    module = parse_module("""
+        int g;
+        void f(int x) {
+            int local = g + x;
+            use(local);
+        }
+    """)
+    function = module.functions["f"]
+    assert "local" in function.locals
+
+
+def test_break_outside_loop_is_error():
+    with pytest.raises(ParseError):
+        parse_module("void f(int x) { break; }")
+
+
+def test_unterminated_block_is_error():
+    with pytest.raises(ParseError):
+        parse_module("void f(int x) { work(x);")
+
+
+def test_comments_are_skipped():
+    module = parse_module("""
+        // a line comment
+        int g; /* block comment */
+        void f(int x) {
+            g = g + 1; // trailing
+        }
+    """)
+    assert "g" in module.globals
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(ValueError):
+        parse_module("void f(int x) { } void f(int y) { }")

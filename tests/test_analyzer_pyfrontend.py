@@ -1,0 +1,183 @@
+"""Tests for the Python frontend of the static analyzer."""
+
+import pytest
+
+from repro.analyzer import Analyzer
+from repro.analyzer.cfg import CFG, natural_loops
+from repro.analyzer.pyfrontend import PY_WAIT_FUNCS, parse_python
+
+
+def analyze(source):
+    module = parse_python(source)
+    return Analyzer(wait_funcs=PY_WAIT_FUNCS).analyze(module)
+
+
+def test_shared_global_wait_loop_detected():
+    locations = analyze("""
+import time
+
+queue_len = 0
+
+def producer(n):
+    global queue_len
+    queue_len = queue_len + n
+
+def consumer(n):
+    while queue_len < n:
+        time.sleep(0.01)
+""")
+    assert len(locations) == 1
+    assert locations[0].function == "consumer"
+    assert locations[0].callee == "time.sleep"
+    assert locations[0].shared_vars == ("queue_len",)
+
+
+def test_instance_attribute_counts_as_shared():
+    locations = analyze("""
+import time
+
+class Worker:
+    def put(self, item):
+        self.backlog = self.backlog + 1
+
+    def drain(self):
+        while self.backlog > 0:
+            time.sleep(0.001)
+""")
+    assert len(locations) == 1
+    assert locations[0].function == "Worker.drain"
+    assert "self.backlog" in locations[0].shared_vars
+
+
+def test_self_waiting_loop_skipped():
+    locations = analyze("""
+import time
+
+def retry(n):
+    tries = 0
+    while tries < n:
+        time.sleep(1)
+        tries = tries + 1
+""")
+    assert locations == []
+
+
+def test_attribute_used_by_one_function_not_shared():
+    locations = analyze("""
+import time
+
+class Lonely:
+    def spin(self):
+        while self.private_flag:
+            time.sleep(0.1)
+""")
+    assert locations == []
+
+
+def test_wait_wrapper_found_through_postdominance():
+    locations = analyze("""
+import time
+
+backlog = 0
+
+def grow(n):
+    global backlog
+    backlog = backlog + n
+
+def pause(seconds):
+    time.sleep(seconds)
+
+def shrink(n):
+    while backlog > n:
+        pause(0.01)
+""")
+    assert len(locations) == 1
+    assert locations[0].callee == "pause"
+    assert locations[0].wait_func == "time.sleep"
+
+
+def test_while_true_with_guard_inside():
+    """The Python rendering of Figure 9: for(;;) with a guarded exit."""
+    locations = analyze("""
+import time
+
+n_active = 0
+
+def exit_section():
+    global n_active
+    n_active = n_active - 1
+
+def enter_section(limit):
+    global n_active
+    while True:
+        if n_active < limit:
+            n_active = n_active + 1
+            return
+        time.sleep(0.001)
+""")
+    assert len(locations) == 1
+    assert "n_active" in locations[0].shared_vars
+
+
+def test_for_loop_over_shared_iterable():
+    module = parse_python("""
+items = []
+
+def feed(x):
+    items.append(x)
+
+def walk():
+    for item in items:
+        handle(item)
+""")
+    function = module.functions["walk"]
+    assert len(natural_loops(CFG(function))) == 1
+
+
+def test_augmented_assignment_records_target_use():
+    module = parse_python("""
+total = 0
+
+def bump(n):
+    global total
+    total += n
+""")
+    assert "total" in module.functions["bump"].variables_used()
+
+
+def test_break_and_continue_lower_cleanly():
+    module = parse_python("""
+flag = 0
+
+def scan(n):
+    while flag < n:
+        if flag == 1:
+            break
+        if flag == 2:
+            continue
+        work()
+""")
+    function = module.functions["scan"]
+    assert len(natural_loops(CFG(function))) == 1
+
+
+def test_methods_get_qualified_names():
+    module = parse_python("""
+class A:
+    def m(self):
+        return 1
+
+def free():
+    return 2
+""")
+    assert set(module.functions) == {"A.m", "free"}
+
+
+def test_nested_call_arguments_ordered():
+    module = parse_python("""
+def f(x):
+    outer(inner(x), x)
+""")
+    callees = [i.callee for _b, i in
+               module.functions["f"].call_instructions()]
+    assert callees == ["inner", "outer"]

@@ -1,0 +1,255 @@
+"""Unit tests for the MySQL application model."""
+
+import pytest
+
+from repro.apps.base import Instrumentation
+from repro.apps.mysqlsim import MySQLConfig, MySQLServer
+from repro.apps.mysqlsim.resources import BufferPool, UndoLog
+from repro.core import OperationCosts, PBoxManager, PBoxRuntime
+from repro.sim import Kernel, Now, Sleep
+from repro.sim.clock import seconds
+from repro.workloads import LatencyRecorder, closed_loop_client
+
+
+def make_server(pbox=False, **config):
+    kernel = Kernel(cores=4)
+    manager = PBoxManager(kernel, enabled=pbox)
+    runtime = PBoxRuntime(manager, costs=OperationCosts.zero(), enabled=pbox)
+    server = MySQLServer(kernel, runtime, MySQLConfig(**config))
+    return kernel, server
+
+
+def run_requests(kernel, server, requests, name="client", start_us=0):
+    """Drive one connection through ``requests``; returns latencies."""
+    recorder = LatencyRecorder(name)
+    conn = server.connect(name)
+    sequence = iter(requests)
+
+    def body():
+        if start_us:
+            yield Sleep(us=start_us)
+        yield from conn.open()
+        for request in sequence:
+            began = yield Now()
+            yield from conn.execute(request)
+            ended = yield Now()
+            recorder.record(ended - began, ended)
+        yield from conn.close()
+
+    kernel.spawn(body, name=name)
+    return recorder
+
+
+def test_buffer_pool_hit_is_fast_miss_pays_io():
+    kernel, server = make_server(buffer_pool_blocks=8)
+    recorder = run_requests(
+        kernel, server,
+        [{"kind": "oltp_read", "pages": [("t", 1)], "work_us": 0},
+         {"kind": "oltp_read", "pages": [("t", 1)], "work_us": 0}],
+    )
+    kernel.run(until_us=seconds(1))
+    miss, hit = recorder.samples_us
+    assert miss >= server.buffer_pool.read_io_us
+    assert hit < miss
+    assert server.buffer_pool.hits == 1
+    assert server.buffer_pool.misses == 1
+
+
+def test_buffer_pool_evicts_lru_when_full():
+    kernel, server = make_server(buffer_pool_blocks=2)
+    requests = [
+        {"kind": "oltp_read", "pages": [("t", i)], "work_us": 0}
+        for i in (1, 2, 3, 1)
+    ]
+    recorder = run_requests(kernel, server, requests)
+    kernel.run(until_us=seconds(1))
+    # Page 1 was evicted by page 3, so the final access misses again.
+    assert server.buffer_pool.misses == 4
+    assert server.buffer_pool.resident == 2
+
+
+def test_undo_log_heavy_entries_require_pin():
+    kernel, server = make_server()
+    undo = server.undo_log
+
+    def body():
+        yield from undo.append()
+        assert undo.light_backlog == 1
+        undo.pin()
+        yield from undo.append()
+        assert undo.pending_heavy == 1
+        undo.unpin()
+        assert undo.heavy_backlog == 1
+
+    kernel.spawn(body)
+    kernel.run(until_us=seconds(1))
+
+
+def test_undo_unpin_without_pin_raises():
+    kernel, server = make_server()
+    with pytest.raises(RuntimeError):
+        server.undo_log.unpin()
+
+
+def test_purge_thread_drains_backlog():
+    kernel, server = make_server()
+
+    def writer():
+        server.undo_log.pin()
+        for _ in range(50):
+            yield from server.undo_log.append()
+        server.undo_log.unpin()
+
+    kernel.spawn(writer)
+    kernel.spawn(server.purge_thread_body, name="purge")
+    kernel.run(until_us=seconds(3))
+    assert server.undo_log.heavy_backlog == 0
+    assert server.undo_log.purged_total >= 50
+
+
+def test_tickets_limit_concurrency():
+    kernel, server = make_server(thread_concurrency=2, ticket_grant=1)
+    inside = {"now": 0, "max": 0}
+
+    def client(name):
+        conn = server.connect(name)
+
+        def body():
+            yield from conn.open()
+            for _ in range(3):
+                yield from server.tickets.enter(conn)
+                inside["now"] += 1
+                inside["max"] = max(inside["max"], inside["now"])
+                yield Sleep(us=1_000)
+                inside["now"] -= 1
+                server.tickets.exit(conn)
+            yield from conn.close()
+
+        return body
+
+    for index in range(4):
+        kernel.spawn(client("c%d" % index), name="c%d" % index)
+    kernel.run(until_us=seconds(2))
+    assert inside["max"] == 2
+
+
+def test_ticket_grant_skips_admission():
+    kernel, server = make_server(thread_concurrency=1, ticket_grant=3)
+    conn = server.connect("c")
+
+    def body():
+        yield from conn.open()
+        yield from server.tickets.enter(conn)   # admission, 2 tickets left
+        server.tickets.exit(conn)               # keeps the slot
+        assert server.tickets.n_active == 1
+        yield from server.tickets.enter(conn)   # ticket fast path
+        server.tickets.exit(conn)
+        yield from server.tickets.enter(conn)   # last ticket
+        server.tickets.exit(conn)               # tickets exhausted: release
+        assert server.tickets.n_active == 0
+        yield from conn.close()
+
+    kernel.spawn(body)
+    kernel.run(until_us=seconds(1))
+
+
+def test_select_for_update_blocks_insert():
+    kernel, server = make_server()
+    inserter = run_requests(
+        kernel, server,
+        [{"kind": "insert", "table": "t", "work_us": 100}],
+        name="inserter",
+        start_us=1_000,  # arrive while the scan holds the lock
+    )
+
+    def holder():
+        conn = server.connect("holder")
+        yield from conn.open()
+        yield from conn.execute(
+            {"kind": "select_for_update", "table": "t", "scan_us": 20_000}
+        )
+        yield from conn.close()
+
+    kernel.spawn(holder, name="holder")
+    kernel.run(until_us=seconds(1))
+    # The insert waited out most of the 20 ms scan.
+    assert inserter.samples_us[0] >= 15_000
+
+
+def test_serializable_scan_blocks_update():
+    kernel, server = make_server()
+    updater = run_requests(
+        kernel, server,
+        [{"kind": "update_row", "work_us": 100, "post_work_us": 0}],
+        name="updater",
+        start_us=1_000,  # arrive while the scan holds the record locks
+    )
+
+    def scanner():
+        conn = server.connect("scanner")
+        yield from conn.open()
+        yield from conn.execute(
+            {"kind": "serializable_scan", "scan_us": 10_000}
+        )
+        yield from conn.close()
+
+    kernel.spawn(scanner, name="scanner")
+    kernel.run(until_us=seconds(1))
+    assert updater.samples_us[0] >= 8_000
+
+
+def test_long_txn_read_pins_and_unpins():
+    kernel, server = make_server()
+    recorder = run_requests(
+        kernel, server,
+        [{"kind": "long_txn_read", "hold_open_us": 5_000, "work_us": 100}],
+    )
+    kernel.run(until_us=seconds(1))
+    assert server.undo_log.pins == 0
+    assert recorder.samples_us[0] >= 5_000
+
+
+def test_connection_close_releases_pin():
+    kernel, server = make_server()
+    conn = server.connect("c")
+
+    def body():
+        yield from conn.open()
+        server.undo_log.pin()
+        conn.txn_pinned = True
+        yield from conn.close()
+
+    kernel.spawn(body)
+    kernel.run(until_us=seconds(1))
+    assert server.undo_log.pins == 0
+
+
+def test_unknown_request_kind_raises():
+    from repro.sim.errors import ThreadCrashedError
+
+    kernel, server = make_server()
+    run_requests(kernel, server, [{"kind": "nonsense"}])
+    with pytest.raises(ThreadCrashedError):
+        kernel.run(until_us=seconds(1))
+
+
+def test_dump_task_floods_buffer_pool():
+    kernel, server = make_server(buffer_pool_blocks=16)
+
+    def warm():
+        conn = server.connect("warm")
+        yield from conn.open()
+        yield from conn.execute(
+            {"kind": "oltp_read",
+             "pages": [("small", i) for i in range(8)], "work_us": 0}
+        )
+        yield from conn.close()
+
+    kernel.spawn(warm, name="warm")
+    kernel.spawn(server.dump_task_body(pages=64, start_us=50_000),
+                 name="dump")
+    kernel.run(until_us=seconds(2))
+    # The dump streamed the big table through the pool, evicting the
+    # small table's pages.
+    resident_small = [p for p in server.buffer_pool.pages if p[0] == "small"]
+    assert len(resident_small) < 8

@@ -1,0 +1,227 @@
+"""Unit tests for the Apache, Varnish, and Memcached models."""
+
+import pytest
+
+from repro.apps.apachesim import ApacheConfig, ApacheServer
+from repro.apps.memcachedsim import MemcachedConfig, MemcachedServer
+from repro.apps.varnishsim import VarnishConfig, VarnishServer
+from repro.core import OperationCosts, PBoxManager, PBoxRuntime
+from repro.sim import Kernel, Now, Sleep
+from repro.sim.clock import seconds
+from repro.workloads import LatencyRecorder
+
+
+def make_env(pbox=False, cores=4):
+    kernel = Kernel(cores=cores)
+    manager = PBoxManager(kernel, enabled=pbox)
+    runtime = PBoxRuntime(manager, costs=OperationCosts.zero(), enabled=pbox)
+    return kernel, manager, runtime
+
+
+def run_requests(kernel, server, requests, name="client", start_us=0):
+    recorder = LatencyRecorder(name)
+    conn = server.connect(name)
+
+    def body():
+        if start_us:
+            yield Sleep(us=start_us)
+        yield from conn.open()
+        for request in requests:
+            began = yield Now()
+            yield from conn.execute(request)
+            ended = yield Now()
+            recorder.record(ended - began, ended)
+        yield from conn.close()
+
+    kernel.spawn(body, name=name)
+    return recorder
+
+
+# ---------------------------------------------------------------------------
+# Apache
+# ---------------------------------------------------------------------------
+
+def test_apache_static_request_uses_worker_pool():
+    kernel, _manager, runtime = make_env()
+    server = ApacheServer(kernel, runtime, ApacheConfig(max_workers=2))
+    recorder = run_requests(
+        kernel, server, [{"kind": "static", "serve_us": 500}])
+    kernel.run(until_us=seconds(1))
+    assert recorder.samples_us[0] >= 500
+    assert server.worker_pool.available == 2
+
+
+def test_apache_worker_pool_exhaustion_blocks_static():
+    kernel, _manager, runtime = make_env()
+    server = ApacheServer(kernel, runtime, ApacheConfig(max_workers=2))
+    for index in range(2):
+        run_requests(kernel, server,
+                     [{"kind": "slow_download", "serve_us": 20_000}],
+                     name="slow-%d" % index)
+    victim = run_requests(kernel, server,
+                          [{"kind": "static", "serve_us": 100}],
+                          name="victim", start_us=1_000)
+    kernel.run(until_us=seconds(1))
+    assert victim.samples_us[0] >= 15_000
+
+
+def test_apache_fcgid_slots_limit_concurrency():
+    kernel, _manager, runtime = make_env()
+    server = ApacheServer(kernel, runtime,
+                          ApacheConfig(max_workers=8, fcgid_slots=1))
+    first = run_requests(kernel, server,
+                         [{"kind": "fcgid", "script_us": 10_000}],
+                         name="first")
+    second = run_requests(kernel, server,
+                          [{"kind": "fcgid", "script_us": 1_000}],
+                          name="second", start_us=500)
+    kernel.run(until_us=seconds(1))
+    assert second.samples_us[0] >= 9_000  # waited for the only slot
+
+
+def test_apache_fpm_children_pool_is_separate():
+    kernel, _manager, runtime = make_env()
+    server = ApacheServer(kernel, runtime,
+                          ApacheConfig(fcgid_slots=1, fpm_children=1))
+    fcgid = run_requests(kernel, server,
+                         [{"kind": "fcgid", "script_us": 10_000}],
+                         name="fcgid")
+    fpm = run_requests(kernel, server,
+                       [{"kind": "php_fpm", "script_us": 1_000}],
+                       name="fpm", start_us=500)
+    kernel.run(until_us=seconds(1))
+    # Different pools: the fpm request does not wait for the fcgid slot.
+    assert fpm.samples_us[0] < 5_000
+
+
+# ---------------------------------------------------------------------------
+# Varnish (event-driven)
+# ---------------------------------------------------------------------------
+
+def test_varnish_small_object_served_by_pool():
+    kernel, _manager, runtime = make_env()
+    server = VarnishServer(kernel, runtime, VarnishConfig(workers=2))
+    server.start()
+    recorder = run_requests(kernel, server, [{"kind": "small_object"}])
+    kernel.run(until_us=seconds(1))
+    assert recorder.count == 1
+    assert recorder.samples_us[0] >= server.config.small_us
+    assert server.pool.tasks_processed == 1
+
+
+def test_varnish_big_objects_starve_queue():
+    kernel, _manager, runtime = make_env()
+    server = VarnishServer(kernel, runtime, VarnishConfig(workers=2))
+    server.start()
+    for index in range(2):
+        run_requests(kernel, server,
+                     [{"kind": "big_object", "backend_us": 50_000}],
+                     name="big-%d" % index)
+    victim = run_requests(kernel, server, [{"kind": "small_object"}],
+                          name="victim", start_us=1_000)
+    kernel.run(until_us=seconds(1))
+    assert victim.samples_us[0] >= 40_000
+
+
+def test_varnish_pbox_created_and_parked():
+    kernel, manager, runtime = make_env(pbox=True)
+    server = VarnishServer(kernel, runtime, VarnishConfig(workers=1))
+    server.start()
+    recorder = run_requests(kernel, server, [{"kind": "small_object"}])
+    kernel.run(until_us=seconds(1))
+    assert recorder.count == 1
+    # The connection pBox was created, used for one activity, released.
+    assert manager.stats["events"] > 0
+
+
+def test_varnish_shared_thread_penalty_defers_tasks():
+    kernel, manager, runtime = make_env(pbox=True)
+    server = VarnishServer(kernel, runtime, VarnishConfig(workers=1))
+    server.start()
+    conn = server.connect("noisy")
+    done = {}
+
+    def noisy_body():
+        yield from conn.open()
+        pbox = manager.get(conn.psid)
+        pbox.penalty_until_us = 20_000  # simulate an active penalty
+        began = yield Now()
+        yield from conn.execute({"kind": "small_object"})
+        done["latency"] = (yield Now()) - began
+        yield from conn.close()
+
+    kernel.spawn(noisy_body, name="noisy")
+    kernel.run(until_us=seconds(1))
+    # The task sat in the queue until the penalty window passed.
+    assert done["latency"] >= 19_000
+
+
+def test_varnish_sumstat_lock_contention():
+    kernel, _manager, runtime = make_env()
+    server = VarnishServer(kernel, runtime,
+                           VarnishConfig(workers=4, sumstat_hold_us=2_000))
+    server.start()
+    recorders = [
+        run_requests(kernel, server, [{"kind": "small_object"}] * 3,
+                     name="c%d" % index)
+        for index in range(3)
+    ]
+    kernel.run(until_us=seconds(1))
+    # With a 2 ms SumStat hold and 3 concurrent clients, some request
+    # waited on the lock beyond its service time.
+    slowest = max(max(r.samples_us) for r in recorders)
+    assert slowest >= server.config.small_us + 2_000
+
+
+def test_varnish_unknown_kind_raises():
+    from repro.sim.errors import ThreadCrashedError
+
+    kernel, _manager, runtime = make_env()
+    server = VarnishServer(kernel, runtime, VarnishConfig(workers=1))
+    server.start()
+    run_requests(kernel, server, [{"kind": "mystery"}])
+    with pytest.raises(ThreadCrashedError):
+        kernel.run(until_us=seconds(1))
+
+
+# ---------------------------------------------------------------------------
+# Memcached (event-driven)
+# ---------------------------------------------------------------------------
+
+def test_memcached_get_and_set():
+    kernel, _manager, runtime = make_env()
+    server = MemcachedServer(kernel, runtime, MemcachedConfig(workers=2))
+    server.start()
+    recorder = run_requests(kernel, server,
+                            [{"kind": "get"}, {"kind": "set"}])
+    kernel.run(until_us=seconds(1))
+    assert recorder.count == 2
+    get_us, set_us = recorder.samples_us
+    assert get_us >= server.config.get_us
+    assert set_us >= server.config.set_us
+
+
+def test_memcached_eviction_holds_lock_longer():
+    kernel, _manager, runtime = make_env()
+    config = MemcachedConfig(workers=1, evict_probability=1.0)
+    server = MemcachedServer(kernel, runtime, config)
+    server.start()
+    setter = run_requests(kernel, server, [{"kind": "set"}], name="setter")
+    getter = run_requests(kernel, server, [{"kind": "get"}],
+                          name="getter", start_us=10)
+    kernel.run(until_us=seconds(1))
+    # The get queued behind a set that held the lock for an eviction.
+    assert getter.samples_us[0] >= config.lock_evict_us
+
+
+def test_memcached_deterministic_across_runs():
+    def one_run():
+        kernel, _manager, runtime = make_env()
+        server = MemcachedServer(kernel, runtime, MemcachedConfig(workers=2))
+        server.start()
+        recorder = run_requests(
+            kernel, server, [{"kind": "set"} for _ in range(20)])
+        kernel.run(until_us=seconds(1))
+        return recorder.samples_us
+
+    assert one_run() == one_run()

@@ -1,0 +1,213 @@
+"""Unit tests for the four baseline solution policies."""
+
+from repro.baselines import (
+    CgroupPolicy,
+    DarcPolicy,
+    PartiesPolicy,
+    RetroPolicy,
+    SolutionPolicy,
+)
+from repro.baselines.base import RequestContext
+from repro.sim import Compute, Kernel, Now, Sleep
+from repro.sim.clock import seconds
+
+
+def drive(policy_gen):
+    """Exhaust a policy generator hook synchronously (no waits taken)."""
+    items = list(policy_gen)
+    return items
+
+
+def test_null_policy_is_inert():
+    kernel = Kernel(cores=2)
+    policy = SolutionPolicy()
+    policy.attach(kernel)
+    assert policy.thread_options("g", "client") == {}
+    policy.finalize({"g"})
+    assert drive(policy.before_request(None, {})) == []
+    policy.after_request(None, {}, 123)
+
+
+def test_cgroup_policy_even_split():
+    kernel = Kernel(cores=4)
+    policy = CgroupPolicy()
+    policy.attach(kernel)
+    for group in ("a", "b"):
+        options = policy.thread_options(group, "client")
+        assert options["cgroup"].name == "cg:%s" % group
+    policy.finalize({"a", "b"})
+    quotas = policy.quotas()
+    # 4 cores x 100 ms period split two ways = 200 ms each.
+    assert quotas["a"] == quotas["b"] == 200_000
+
+
+def test_cgroup_policy_throttles_over_quota_group():
+    kernel = Kernel(cores=2)
+    policy = CgroupPolicy()
+    policy.attach(kernel)
+    done = {}
+
+    def hog():
+        yield Compute(us=300_000)
+        done["hog"] = yield Now()
+
+    options_a = policy.thread_options("hogs", "client")
+    options_b = policy.thread_options("idle", "client")
+    kernel.spawn(hog, cgroup=options_a["cgroup"])
+    policy.finalize({"hogs", "idle"})
+    kernel.run(until_us=seconds(5))
+    # 1 core's worth of quota per 100 ms period: 300 ms of compute
+    # needs three periods.
+    assert done["hog"] >= 290_000
+
+
+def test_parties_shifts_quota_to_violating_group():
+    kernel = Kernel(cores=2)
+    policy = PartiesPolicy(slo_by_group={"victim": 1_000},
+                           interval_us=100_000)
+    policy.attach(kernel)
+    victim_options = policy.thread_options("victim", "client")
+    noisy_options = policy.thread_options("noisy", "client")
+    policy.finalize({"victim", "noisy"})
+    ctx = RequestContext("victim", "v")
+    for _ in range(10):
+        policy.after_request(ctx, {}, 10_000)  # way over SLO
+
+    def idle():
+        yield Sleep(us=500_000)
+
+    kernel.spawn(idle)
+    kernel.run(until_us=500_000)
+    assert policy.adjustments >= 1
+    assert victim_options["cgroup"].quota_us > noisy_options["cgroup"].quota_us
+
+
+def test_parties_no_adjustment_when_slo_met():
+    kernel = Kernel(cores=2)
+    policy = PartiesPolicy(slo_by_group={"victim": 10_000},
+                           interval_us=100_000)
+    policy.attach(kernel)
+    policy.thread_options("victim", "client")
+    policy.thread_options("noisy", "client")
+    policy.finalize({"victim", "noisy"})
+    ctx = RequestContext("victim", "v")
+    for _ in range(10):
+        policy.after_request(ctx, {}, 1_000)
+
+    def idle():
+        yield Sleep(us=500_000)
+
+    kernel.spawn(idle)
+    kernel.run(until_us=500_000)
+    assert policy.adjustments == 0
+
+
+def test_retro_throttles_highest_load_workflow():
+    kernel = Kernel(cores=2)
+    policy = RetroPolicy(baseline_by_group={"victim": 1_000},
+                         interval_us=100_000)
+    policy.attach(kernel)
+    policy.thread_options("victim", "client")
+    policy.thread_options("noisy", "client")
+    policy.finalize({"victim", "noisy"})
+    victim_ctx = RequestContext("victim", "v")
+    noisy_ctx = RequestContext("noisy", "n")
+    # The victim is slowed 5x; the noisy workflow has the higher usage.
+    for _ in range(20):
+        policy.after_request(noisy_ctx, {}, 50_000)
+    for _ in range(5):
+        policy.after_request(victim_ctx, {}, 5_000)
+
+    def idle():
+        yield Sleep(us=500_000)
+
+    kernel.spawn(idle)
+    kernel.run(until_us=500_000)
+    assert policy.throttle_events >= 1
+    assert policy._workflows["noisy"].rate is not None
+
+
+def test_retro_admission_sleeps_when_rate_exhausted():
+    kernel = Kernel(cores=2)
+    policy = RetroPolicy(baseline_by_group={})
+    policy.attach(kernel)
+    policy.thread_options("noisy", "client")
+    workflow = policy._workflows["noisy"]
+    workflow.rate = 10.0  # 10 requests/second
+    workflow.tokens = 0.0
+    workflow.last_refill_us = 0
+    ctx = RequestContext("noisy", "n")
+    times = {}
+
+    def client():
+        began = yield Now()
+        yield from policy.before_request(ctx, {})
+        times["waited"] = (yield Now()) - began
+
+    kernel.spawn(client)
+    kernel.run(until_us=seconds(2))
+    # At 10 req/s an empty bucket needs ~100 ms for one token.
+    assert times["waited"] >= 90_000
+
+
+def test_darc_reserves_cores_for_short_type():
+    kernel = Kernel(cores=4)
+    policy = DarcPolicy(profile_window_us=50_000, reserve_fraction=0.5)
+    policy.attach(kernel)
+    policy.finalize({"victim", "noisy"})
+    short_ctx = RequestContext("victim", "v")
+    long_ctx = RequestContext("noisy", "n")
+
+    def feed():
+        for _ in range(10):
+            yield from policy.before_request(short_ctx, {"type": "read"})
+            yield Compute(us=10)
+            policy.after_request(short_ctx, {"type": "read"}, 100)
+            yield from policy.before_request(long_ctx, {"type": "write"})
+            yield Compute(us=10)
+            policy.after_request(long_ctx, {"type": "write"}, 50_000)
+        yield Sleep(us=100_000)
+
+    kernel.spawn(feed)
+    kernel.run(until_us=200_000)
+    assert policy.short_type == "read"
+    assert policy.reserved_cores == 2
+    reserved = [c for c in kernel.cores if c.reserved_for == "read"]
+    assert len(reserved) == 2
+
+
+def test_darc_tags_thread_during_request():
+    kernel = Kernel(cores=2)
+    policy = DarcPolicy()
+    policy.attach(kernel)
+    ctx = RequestContext("victim", "v")
+    seen = {}
+
+    def client():
+        yield from policy.before_request(ctx, {"type": "read"})
+        seen["during"] = kernel.current_thread.darc_tag
+        yield Compute(us=10)
+        policy.after_request(ctx, {"type": "read"}, 100)
+        seen["after"] = kernel.current_thread.darc_tag
+
+    kernel.spawn(client)
+    kernel.run(until_us=seconds(1))
+    assert seen["during"] == "read"
+    assert seen["after"] is None
+
+
+def test_darc_single_type_reserves_nothing():
+    kernel = Kernel(cores=4)
+    policy = DarcPolicy(profile_window_us=10_000)
+    policy.attach(kernel)
+    policy.finalize({"only"})
+    ctx = RequestContext("only", "o")
+    policy.after_request(ctx, {"type": "read"}, 100)
+
+    def idle():
+        yield Sleep(us=50_000)
+
+    kernel.spawn(idle)
+    kernel.run(until_us=50_000)
+    assert policy.short_type is None
+    assert policy.reserved_cores == 0

@@ -1,0 +1,147 @@
+"""Integration tests for the case harness and the 16 registered cases.
+
+Full evaluations live in benchmarks/; these tests run shortened
+simulations to verify the machinery: every case builds, produces victim
+samples, shows interference, and pBox reduces it where the paper says
+it should.
+"""
+
+import pytest
+
+from repro.cases import ALL_CASES, Solution, evaluate_case, get_case, run_case
+
+
+def test_registry_has_all_sixteen_cases():
+    assert sorted(ALL_CASES, key=lambda c: int(c[1:])) == [
+        "c%d" % i for i in range(1, 17)
+    ]
+
+
+def test_get_case_unknown_id():
+    with pytest.raises(KeyError):
+        get_case("c99")
+
+
+def test_case_metadata_matches_table3():
+    apps = {
+        "c1": "mysql", "c5": "mysql", "c6": "postgresql",
+        "c10": "postgresql", "c11": "apache", "c14": "varnish",
+        "c16": "memcached",
+    }
+    for case_id, app in apps.items():
+        case = get_case(case_id)
+        assert case.app_name == app
+        assert case.paper_interference_level > 0
+        assert case.virtual_resource
+
+
+def test_run_case_produces_samples():
+    case = get_case("c1")
+    run = run_case(case, Solution.NONE, duration_s=3)
+    assert run.victim_mean_us > 0
+    assert run.victim_p95_us >= run.victim_mean_us * 0.1
+    assert run.noisy_mean_us is not None
+
+
+def test_no_interference_run_skips_noisy():
+    case = get_case("c1")
+    run = run_case(case, Solution.NO_INTERFERENCE, duration_s=3)
+    assert run.env.noisy_recorders == []
+
+
+def test_interference_visible_in_c1():
+    evaluation = evaluate_case(get_case("c1"), solutions=(), duration_s=4)
+    assert evaluation.interference_level > 2.0
+
+
+def test_pbox_mitigates_c1():
+    evaluation = evaluate_case(
+        get_case("c1"), solutions=(Solution.PBOX,), duration_s=4
+    )
+    assert evaluation.reduction_ratio(Solution.PBOX) > 0.5
+    assert evaluation.normalized_latency(Solution.PBOX) < 0.5
+
+
+def test_pbox_mitigates_event_driven_c14():
+    evaluation = evaluate_case(
+        get_case("c14"), solutions=(Solution.PBOX,), duration_s=4
+    )
+    assert evaluation.interference_level > 5.0
+    assert evaluation.reduction_ratio(Solution.PBOX) > 0.5
+
+
+def test_pbox_runs_are_deterministic():
+    case = get_case("c3")
+    first = run_case(case, Solution.PBOX, duration_s=3)
+    second = run_case(case, Solution.PBOX, duration_s=3)
+    assert first.victim_mean_us == second.victim_mean_us
+    assert first.manager.stats == second.manager.stats
+
+
+def test_different_seeds_differ():
+    case = get_case("c3")
+    first = run_case(case, Solution.NONE, duration_s=3, seed=1)
+    second = run_case(case, Solution.NONE, duration_s=3, seed=2)
+    assert first.victim_mean_us != second.victim_mean_us
+
+
+def test_fixed_penalty_engine_plumbs_through():
+    from repro.core import FixedPenalty
+
+    case = get_case("c1")
+    engine = FixedPenalty(10_000)
+    run = run_case(case, Solution.PBOX, duration_s=3, penalty_engine=engine)
+    assert run.manager.penalty_engine is engine
+    assert engine.action_count() > 0
+    assert all(length == 10_000 for length in engine.lengths_us())
+
+
+def test_isolation_level_knob_reaches_pboxes():
+    case = get_case("c1")
+    run = run_case(case, Solution.PBOX, duration_s=3, isolation_level=120)
+    goals = {pb.rule.isolation_level for pb in run.manager.pboxes()
+             if not pb.shared_thread}
+    # Client pBoxes carry the requested level (background ones are looser).
+    assert 120 in goals
+
+
+def test_call_filter_drop_reaches_runtime():
+    case = get_case("c1")
+    dropped = {"count": 0}
+
+    def drop_all(key, event):
+        dropped["count"] += 1
+        return False
+
+    run = run_case(case, Solution.PBOX, duration_s=3, call_filter=drop_all)
+    assert dropped["count"] > 0
+    assert run.manager.stats["events"] == 0
+
+
+def test_baseline_policies_attach_per_solution():
+    case = get_case("c3")
+    for solution, policy_name in [
+        (Solution.CGROUP, "cgroup"),
+        (Solution.PARTIES, "parties"),
+        (Solution.RETRO, "retro"),
+        (Solution.DARC, "darc"),
+    ]:
+        run = run_case(case, solution, duration_s=2, baseline_us=300)
+        assert run.env.policy.name == policy_name
+
+
+def test_evaluate_case_feeds_measured_baseline_to_policies():
+    evaluation = evaluate_case(
+        get_case("c3"), solutions=(Solution.PARTIES,), duration_s=3
+    )
+    policy = evaluation.solution_runs[Solution.PARTIES].env.policy
+    assert policy.slo_by_group["victim"] == pytest.approx(
+        evaluation.to_us * 1.5
+    )
+
+
+@pytest.mark.parametrize("case_id", sorted(ALL_CASES))
+def test_every_case_builds_and_measures(case_id):
+    case = get_case(case_id)
+    run = run_case(case, Solution.NONE, duration_s=2)
+    assert run.victim_mean_us > 0

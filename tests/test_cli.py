@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_cases(capsys):
+    assert main(["list-cases"]) == 0
+    out = capsys.readouterr().out
+    for case_id in ("c1", "c8", "c16"):
+        assert case_id in out
+    assert "UNDO log" in out
+
+
+def test_run_case(capsys):
+    assert main(["run-case", "c3", "--duration", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "To (interference-free)" in out
+    assert "p =" in out
+    assert "r =" in out
+
+
+def test_run_case_with_baseline_solution(capsys):
+    assert main(["run-case", "c3", "--duration", "2",
+                 "--solution", "cgroup"]) == 0
+    out = capsys.readouterr().out
+    assert "Ts (cgroup)" in out
+
+
+def test_trace_command(capsys):
+    assert main(["trace", "c1", "--duration", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "pBox trace report" in out
+    assert "state events" in out
+
+
+def test_analyze_command(tmp_path, capsys):
+    source = tmp_path / "demo.c"
+    source.write_text("""
+        int shared_counter;
+        void producer(int n) { shared_counter = shared_counter + n; }
+        void consumer(int n) {
+            while (shared_counter < n) {
+                usleep(10);
+            }
+        }
+    """)
+    assert main(["analyze", str(source)]) == 0
+    out = capsys.readouterr().out
+    assert "consumer" in out
+    assert "shared_counter" in out
+
+
+def test_analyze_command_no_findings(tmp_path, capsys):
+    source = tmp_path / "clean.c"
+    source.write_text("void f(int x) { work(x); }")
+    assert main(["analyze", str(source)]) == 1
+    assert "no candidate" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_case():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run-case", "c99"])
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_report_command(tmp_path, capsys):
+    (tmp_path / "tab05_analyzer.txt").write_text("a\tb\n1\t2\n")
+    assert main(["report", "--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "REPORT.md" in out
+
+
+def test_analyze_command_python_file(tmp_path, capsys):
+    source = tmp_path / "service.py"
+    source.write_text(
+        "import time\n"
+        "pending = 0\n"
+        "def add(n):\n"
+        "    global pending\n"
+        "    pending = pending + n\n"
+        "def drain(n):\n"
+        "    while pending > n:\n"
+        "        time.sleep(0.01)\n"
+    )
+    assert main(["analyze", str(source)]) == 0
+    out = capsys.readouterr().out
+    assert "drain" in out
+    assert "pending" in out

@@ -1,0 +1,209 @@
+"""Tests for the closed-loop client driver and kernel edge behaviour."""
+
+import pytest
+
+from repro.apps.base import AppConfig, Connection, Instrumentation
+from repro.baselines.base import RequestContext, SolutionPolicy
+from repro.core import OperationCosts, PBoxManager, PBoxRuntime
+from repro.sim import Compute, Kernel, Now, Sleep
+from repro.sim.clock import seconds
+from repro.workloads import LatencyRecorder, closed_loop_client
+
+
+class EchoConnection(Connection):
+    def _handle(self, request):
+        """Burn the requested service time."""
+        yield Compute(us=request.get("service_us", 500))
+
+
+def make_conn(kernel):
+    manager = PBoxManager(kernel, enabled=False)
+    runtime = PBoxRuntime(manager, costs=OperationCosts.zero(),
+                          enabled=False)
+
+    class EchoApp:
+        def __init__(self):
+            self.runtime = runtime
+            self.instr = Instrumentation(runtime)
+            self.config = AppConfig()
+
+    return EchoConnection(EchoApp(), "echo")
+
+
+def test_client_requires_stop_time():
+    kernel = Kernel(cores=1)
+    with pytest.raises(ValueError):
+        closed_loop_client(kernel, make_conn(kernel), dict,
+                           LatencyRecorder("r"), stop_us=None)
+
+
+def test_client_start_delay_and_stop():
+    kernel = Kernel(cores=1)
+    recorder = LatencyRecorder("r")
+    body = closed_loop_client(
+        kernel, make_conn(kernel), lambda: {"service_us": 1_000},
+        recorder, start_us=5_000, stop_us=10_000,
+    )
+    kernel.spawn(body)
+    kernel.run(until_us=seconds(1))
+    # ~5 ms of runway at 1 ms per request: about five requests.
+    assert 3 <= recorder.count <= 6
+    assert min(recorder.completion_times_us) >= 6_000
+
+
+def test_think_time_paces_requests():
+    kernel = Kernel(cores=1)
+    fast = LatencyRecorder("fast")
+    slow = LatencyRecorder("slow")
+    kernel.spawn(closed_loop_client(
+        kernel, make_conn(kernel), lambda: {"service_us": 100},
+        fast, stop_us=100_000))
+    kernel.spawn(closed_loop_client(
+        kernel, make_conn(kernel), lambda: {"service_us": 100},
+        slow, stop_us=100_000, think_us=5_000))
+    kernel.run(until_us=200_000)
+    assert fast.count > slow.count * 3
+
+
+def test_think_time_jitter_uses_rng():
+    kernel = Kernel(cores=1, seed=9)
+    recorder = LatencyRecorder("r")
+    kernel.spawn(closed_loop_client(
+        kernel, make_conn(kernel), lambda: {"service_us": 10},
+        recorder, stop_us=100_000, think_us=2_000,
+        rng=kernel.rng("think")))
+    kernel.run(until_us=200_000)
+    gaps = {b - a for a, b in zip(recorder.completion_times_us,
+                                  recorder.completion_times_us[1:])}
+    assert len(gaps) > 3  # jittered, not constant
+
+
+def test_admission_delay_is_measured_as_latency():
+    """Policy admission (Retro's throttle) counts toward the latency the
+    client observes -- the accounting Figure 11's Retro shape rests on."""
+
+    class StallPolicy(SolutionPolicy):
+        name = "stall"
+
+        def before_request(self, ctx, request):
+            yield Sleep(us=7_000)
+
+    kernel = Kernel(cores=1)
+    recorder = LatencyRecorder("r")
+    policy = StallPolicy()
+    policy.attach(kernel)
+    kernel.spawn(closed_loop_client(
+        kernel, make_conn(kernel), lambda: {"service_us": 1_000},
+        recorder, stop_us=50_000, policy=policy,
+        policy_ctx=RequestContext("g", "c")))
+    kernel.run(until_us=100_000)
+    assert min(recorder.samples_us) >= 8_000
+
+
+def test_after_request_hook_sees_latency():
+    seen = []
+
+    class Watcher(SolutionPolicy):
+        def after_request(self, ctx, request, latency_us):
+            seen.append((ctx.group, latency_us))
+
+    kernel = Kernel(cores=1)
+    policy = Watcher()
+    policy.attach(kernel)
+    kernel.spawn(closed_loop_client(
+        kernel, make_conn(kernel), lambda: {"service_us": 2_000},
+        LatencyRecorder("r"), stop_us=20_000, policy=policy,
+        policy_ctx=RequestContext("victims", "c")))
+    kernel.run(until_us=50_000)
+    assert seen
+    assert all(group == "victims" for group, _ in seen)
+    assert all(latency >= 2_000 for _, latency in seen)
+
+
+# ---------------------------------------------------------------------------
+# Kernel edges
+# ---------------------------------------------------------------------------
+
+def test_call_every_can_stop_itself():
+    kernel = Kernel(cores=1)
+    ticks = []
+
+    def tick():
+        ticks.append(kernel.now_us)
+        if len(ticks) >= 3:
+            return False
+
+    kernel.call_every(10_000, tick)
+    kernel.run(until_us=100_000)
+    assert ticks == [10_000, 20_000, 30_000]
+
+
+def test_post_in_the_past_fires_now():
+    kernel = Kernel(cores=1)
+    fired = []
+
+    def body():
+        yield Sleep(us=5_000)
+        kernel.post(1_000, lambda: fired.append(kernel.now_us))
+        yield Sleep(us=1_000)
+
+    kernel.spawn(body)
+    kernel.run()
+    assert fired == [5_000]
+
+
+def test_timer_cancellation():
+    kernel = Kernel(cores=1)
+    fired = []
+    timer = kernel.post(10_000, lambda: fired.append(1))
+    timer.cancel()
+
+    def idle():
+        yield Sleep(us=20_000)
+
+    kernel.spawn(idle)
+    kernel.run()
+    assert fired == []
+
+
+def test_charge_current_outside_thread_is_noop():
+    kernel = Kernel(cores=1)
+    kernel.charge_current(1_000)  # no current thread: silently ignored
+    assert kernel.current_thread is None
+
+
+def test_spawn_same_thread_twice_rejected():
+    from repro.sim import SimThread, Spawn
+
+    kernel = Kernel(cores=1)
+
+    def child():
+        yield Compute(us=10)
+
+    thread = SimThread(child, name="child")
+
+    def parent():
+        yield Spawn(thread)
+        yield Spawn(thread)
+
+    kernel.spawn(parent)
+    # Restarting an already-started thread is a kernel-level error.
+    with pytest.raises(ValueError):
+        kernel.run()
+
+
+def test_kernel_requires_a_core():
+    with pytest.raises(ValueError):
+        Kernel(cores=0)
+
+
+def test_syscall_type_checked():
+    kernel = Kernel(cores=1)
+
+    def bad():
+        yield "not-a-syscall"
+
+    kernel.spawn(bad)
+    # Yielding a non-syscall is a kernel-level TypeError.
+    with pytest.raises(TypeError):
+        kernel.run()

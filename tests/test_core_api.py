@@ -1,0 +1,92 @@
+"""Tests for the functional (Figure 7 style) API module."""
+
+import pytest
+
+from repro.core import IsolationRule, OperationCosts, PBoxManager, PBoxRuntime
+from repro.core import api
+from repro.core.api import StateEvent
+from repro.sim import Compute, Kernel
+from repro.sim.clock import seconds
+
+
+@pytest.fixture
+def runtime_env():
+    kernel = Kernel(cores=2)
+    manager = PBoxManager(kernel)
+    runtime = PBoxRuntime(manager, costs=OperationCosts.zero())
+    api.set_runtime(runtime)
+    yield kernel, manager, runtime
+    api.set_runtime(None)
+
+
+def test_requires_installed_runtime():
+    api.set_runtime(None)
+    with pytest.raises(RuntimeError):
+        api.create_pbox(IsolationRule(50))
+
+
+def test_figure8_usage_pattern(runtime_env):
+    """The do_handle_one_connection / do_command shape from Figure 8."""
+    kernel, manager, _runtime = runtime_env
+    seen = {}
+
+    def do_handle_one_connection():
+        rule = IsolationRule(isolation_level=30)
+        psid = api.create_pbox(rule)
+        for _command in range(3):
+            current = api.get_current_pbox()
+            assert current == psid
+            api.activate_pbox(current)
+            yield Compute(us=500)  # dispatch_command
+            api.freeze_pbox(current)
+        seen["activities"] = manager.get(psid).activities_completed
+        api.release_pbox(psid)
+
+    kernel.spawn(do_handle_one_connection)
+    kernel.run(until_us=seconds(1))
+    assert seen["activities"] == 3
+
+
+def test_figure9_usage_pattern(runtime_env):
+    """The srv_conc_enter/exit shape from Figure 9."""
+    kernel, manager, _runtime = runtime_env
+    n_active = object()  # &srv_conc.n_active
+    recorded = {}
+
+    def worker():
+        psid = api.create_pbox(IsolationRule(isolation_level=50))
+        api.activate_pbox()
+        api.update_pbox(n_active, StateEvent.PREPARE)
+        yield Compute(us=100)
+        api.update_pbox(n_active, StateEvent.ENTER)
+        api.update_pbox(n_active, StateEvent.HOLD)
+        yield Compute(us=200)
+        api.update_pbox(n_active, StateEvent.UNHOLD)
+        api.freeze_pbox()
+        recorded["defer"] = manager.get(psid).history[-1].defer_us
+        api.release_pbox(psid)
+
+    kernel.spawn(worker)
+    kernel.run(until_us=seconds(1))
+    assert recorded["defer"] == 100
+
+
+def test_bind_unbind_round_trip(runtime_env):
+    kernel, manager, _runtime = runtime_env
+    result = {}
+
+    def body():
+        psid = api.create_pbox(IsolationRule(50))
+        api.unbind_pbox("conn-key")
+        result["rebound"] = api.bind_pbox("conn-key")
+        result["psid"] = psid
+        yield Compute(us=10)
+
+    kernel.spawn(body)
+    kernel.run(until_us=seconds(1))
+    assert result["rebound"] == result["psid"]
+
+
+def test_get_runtime_returns_installed(runtime_env):
+    _kernel, _manager, runtime = runtime_env
+    assert api.get_runtime() is runtime

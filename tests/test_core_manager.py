@@ -1,0 +1,364 @@
+"""Unit tests for the pBox manager (Algorithm 1 and actions)."""
+
+import pytest
+
+from repro.core import IsolationRule, PBoxManager, PBoxStatus, StateEvent
+from repro.core.manager import PBOX_LEVEL_KEY
+from repro.sim import Compute, Kernel, Now, Sleep
+
+
+def make_manager(**kwargs):
+    kernel = Kernel(cores=4)
+    manager = PBoxManager(kernel, **kwargs)
+    return kernel, manager
+
+
+def drive(kernel, body, name=None):
+    return kernel.spawn(body, name=name)
+
+
+def test_create_and_release_lifecycle():
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+
+    def body():
+        pbox = manager.create(rule)
+        assert pbox.status is PBoxStatus.START
+        manager.activate(pbox)
+        assert pbox.status is PBoxStatus.ACTIVE
+        yield Compute(us=1_000)
+        manager.freeze(pbox)
+        assert pbox.status is PBoxStatus.FROZEN
+        assert pbox.activities_completed == 1
+        assert pbox.history[-1].exec_us == 1_000
+        manager.release(pbox)
+        assert pbox.status is PBoxStatus.DESTROYED
+        assert manager.get(pbox.psid) is None
+
+    drive(kernel, body)
+    kernel.run()
+
+
+def test_prepare_enter_accumulates_defer_time():
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+    result = {}
+
+    def body():
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.PREPARE)
+        yield Sleep(us=3_000)
+        manager.update(pbox, "res", StateEvent.ENTER)
+        result["defer"] = pbox.defer_time_us
+        manager.freeze(pbox)
+
+    drive(kernel, body)
+    kernel.run()
+    assert result["defer"] == 3_000
+
+
+def test_enter_without_prepare_is_ignored():
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+
+    def body():
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.ENTER)
+        assert pbox.defer_time_us == 0
+        yield Compute(us=10)
+
+    drive(kernel, body)
+    kernel.run()
+
+
+def test_unhold_without_hold_is_ignored():
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+
+    def body():
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.UNHOLD)
+        yield Compute(us=10)
+
+    drive(kernel, body)
+    kernel.run()
+    assert manager.stats["detections"] == 0
+
+
+def test_detection_fires_on_unhold_with_deferred_waiter():
+    """A long-held resource with a waiting pBox triggers Algorithm 1."""
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+    boxes = {}
+
+    def noisy():
+        pbox = manager.create(rule)
+        boxes["noisy"] = pbox
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.HOLD)
+        yield Sleep(us=50_000)   # hold for 50 ms
+        manager.update(pbox, "res", StateEvent.UNHOLD)
+        manager.freeze(pbox)
+        yield Compute(us=0)
+
+    def victim():
+        yield Sleep(us=1_000)
+        pbox = manager.create(rule)
+        boxes["victim"] = pbox
+        manager.activate(pbox)
+        yield Compute(us=100)
+        manager.update(pbox, "res", StateEvent.PREPARE)
+        # Wait far longer than the goal allows.
+        yield Sleep(us=60_000)
+        manager.update(pbox, "res", StateEvent.ENTER)
+        manager.freeze(pbox)
+
+    drive(kernel, noisy, "noisy")
+    drive(kernel, victim, "victim")
+    kernel.run(until_us=200_000)
+    assert manager.stats["detections"] >= 1
+    assert boxes["noisy"].penalties_received >= 1
+
+
+def test_no_detection_when_holder_started_after_waiter():
+    """Algorithm 1 requires the holder to pre-date the waiter (p.time < c.time)."""
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+
+    def waiter():
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.PREPARE)
+        yield Sleep(us=80_000)
+        manager.update(pbox, "res", StateEvent.ENTER)
+        manager.freeze(pbox)
+
+    def late_holder():
+        yield Sleep(us=10_000)  # HOLD happens after the PREPARE above
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.HOLD)
+        yield Sleep(us=5_000)
+        manager.update(pbox, "res", StateEvent.UNHOLD)
+        manager.freeze(pbox)
+
+    drive(kernel, waiter)
+    drive(kernel, late_holder)
+    kernel.run(until_us=200_000)
+    assert manager.stats["detections"] == 0
+
+
+def test_no_detection_below_goal():
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=200)  # very tolerant: 200%
+
+    def noisy():
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.HOLD)
+        yield Sleep(us=1_000)
+        manager.update(pbox, "res", StateEvent.UNHOLD)
+        manager.freeze(pbox)
+
+    def victim():
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        yield Compute(us=10_000)  # plenty of useful execution time
+        manager.update(pbox, "res", StateEvent.PREPARE)
+        yield Sleep(us=1_000)
+        manager.update(pbox, "res", StateEvent.ENTER)
+        manager.freeze(pbox)
+
+    drive(kernel, noisy)
+    drive(kernel, victim)
+    kernel.run(until_us=100_000)
+    assert manager.stats["actions"] == 0
+
+
+def test_penalty_deferred_while_holding_resources():
+    """The resume hook must not fire while the noisy pBox holds a key."""
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+    times = {}
+
+    def noisy():
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.HOLD)
+        # Penalty arrives while we still hold "res".
+        pbox.pending_penalty_us = 10_000
+        yield Compute(us=1_000)
+        times["mid"] = yield Now()
+        manager.update(pbox, "res", StateEvent.UNHOLD)
+        yield Compute(us=1_000)
+        times["end"] = yield Now()
+        manager.freeze(pbox)
+
+    drive(kernel, noisy)
+    kernel.run(until_us=100_000)
+    # No penalty before UNHOLD: 'mid' is at 1 ms exactly.
+    assert times["mid"] == 1_000
+    # Penalty (10 ms) lands between UNHOLD and the next compute.
+    assert times["end"] == 12_000
+    assert manager.stats["penalties_applied"] == 1
+
+
+def test_pbox_level_detection_acts_on_most_blamed():
+    """Freeze-time detection penalizes the pBox that deferred us most."""
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+    boxes = {}
+
+    def noisy():
+        pbox = manager.create(rule)
+        boxes["noisy"] = pbox
+        manager.activate(pbox)
+        for _ in range(5):
+            manager.update(pbox, "res", StateEvent.HOLD)
+            yield Sleep(us=9_000)
+            manager.update(pbox, "res", StateEvent.UNHOLD)
+            yield Sleep(us=1_000)
+        manager.freeze(pbox)
+
+    def victim():
+        pbox = manager.create(rule)
+        boxes["victim"] = pbox
+        # Repeated short activities, each mostly deferred: per-activity
+        # interference is high and builds blame + history.
+        for _ in range(5):
+            manager.activate(pbox)
+            yield Compute(us=200)
+            manager.update(pbox, "res", StateEvent.PREPARE)
+            yield Sleep(us=8_000)
+            manager.update(pbox, "res", StateEvent.ENTER)
+            manager.freeze(pbox)
+
+    drive(kernel, noisy, "noisy")
+    drive(kernel, victim, "victim")
+    kernel.run(until_us=300_000)
+    assert boxes["noisy"].penalties_received >= 1
+
+
+def test_shared_thread_penalty_sets_deferral_window():
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+    boxes = {}
+
+    def body():
+        noisy = manager.create(rule)
+        noisy.shared_thread = True
+        victim = manager.create(rule)
+        manager.activate(noisy)
+        manager.activate(victim)
+        boxes["noisy"], boxes["victim"] = noisy, victim
+        yield Sleep(us=1_000)
+        manager.take_action(noisy, victim, "res")
+        assert noisy.penalty_until_us > kernel.now_us
+        assert manager.is_task_deferred(noisy)
+        assert noisy.pending_penalty_us == 0  # no delay-style penalty
+
+    drive(kernel, body)
+    kernel.run(until_us=10_000_000)
+    assert boxes["noisy"].penalties_received == 1
+
+
+def test_queue_admission_blocks_penalized_tasks():
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+
+    def body():
+        noisy = manager.create(rule)
+        noisy.shared_thread = True
+        noisy.penalty_until_us = kernel.now_us + 5_000
+        admission = manager.make_queue_admission(lambda item: item)
+        assert admission(noisy) is False
+        assert admission(None) is True
+        yield Sleep(us=6_000)
+        assert admission(noisy) is True
+
+    drive(kernel, body)
+    kernel.run()
+
+
+def test_disabled_manager_never_acts():
+    kernel, manager = make_manager(enabled=False)
+    rule = IsolationRule(isolation_level=50)
+
+    def noisy():
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.HOLD)
+        yield Sleep(us=50_000)
+        manager.update(pbox, "res", StateEvent.UNHOLD)
+        manager.freeze(pbox)
+
+    def victim():
+        yield Sleep(us=1_000)
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.PREPARE)
+        yield Sleep(us=60_000)
+        manager.update(pbox, "res", StateEvent.ENTER)
+        manager.freeze(pbox)
+
+    drive(kernel, noisy)
+    drive(kernel, victim)
+    kernel.run(until_us=200_000)
+    assert manager.stats["actions"] == 0
+    assert manager.stats["penalties_applied"] == 0
+
+
+def test_release_removes_pbox_from_competitor_map():
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+
+    def body():
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.PREPARE)
+        manager.release(pbox)
+        assert "res" not in manager.competitor_map
+        yield Compute(us=10)
+
+    drive(kernel, body)
+    kernel.run()
+
+
+def test_take_action_skips_self_penalty():
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+
+    def body():
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        yield Sleep(us=1_000)
+        manager.take_action(pbox, pbox, "res")
+        assert pbox.penalties_received == 0
+
+    drive(kernel, body)
+    kernel.run()
+
+
+def test_action_not_stacked_while_pending():
+    kernel, manager = make_manager()
+    rule = IsolationRule(isolation_level=50)
+
+    def body():
+        noisy = manager.create(rule)
+        victim = manager.create(rule)
+        manager.activate(noisy)
+        manager.activate(victim)
+        noisy.holders["res"] = 0  # keep the penalty from being served
+        yield Sleep(us=1_000)
+        victim.defer_time_us = 500
+        manager.take_action(noisy, victim, "res")
+        first = noisy.pending_penalty_us
+        assert first > 0
+        manager.take_action(noisy, victim, "res")
+        assert noisy.pending_penalty_us == first  # not stacked
+
+    drive(kernel, body)
+    kernel.run(until_us=10_000)

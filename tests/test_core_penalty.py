@@ -1,0 +1,180 @@
+"""Unit tests for the adaptive penalty engine (Section 4.4.2)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AdaptivePenalty,
+    FixedPenalty,
+    IsolationRule,
+    PBoxManager,
+    PenaltyPolicy,
+)
+from repro.core.pbox import PBox
+
+
+def make_boxes(goal_pct=50):
+    rule = IsolationRule(isolation_level=goal_pct)
+    noisy = PBox(1, rule)
+    victim = PBox(2, rule)
+    return noisy, victim
+
+
+def test_initial_penalty_uses_p1_formula():
+    engine = AdaptivePenalty(min_penalty_us=1, max_penalty_us=10**9)
+    noisy, victim = make_boxes()
+    noisy.activity_start_us = 0
+    victim.activity_start_us = 0
+    victim.defer_time_us = 90_000
+    now = 10_000  # noisy te = 10 ms
+    expected = math.sqrt(90_000 * 10_000) - 10_000
+    decision = engine.decide(now, noisy, victim, "res")
+    assert decision.policy is PenaltyPolicy.INITIAL
+    assert decision.length_us == int(expected)
+
+
+def test_initial_penalty_clamped_to_minimum():
+    engine = AdaptivePenalty(min_penalty_us=2_000)
+    noisy, victim = make_boxes()
+    noisy.activity_start_us = 0
+    victim.activity_start_us = 0
+    victim.defer_time_us = 10  # tiny defer: raw p1 would be negative
+    decision = engine.decide(1_000_000, noisy, victim, "res")
+    assert decision.length_us == 2_000
+
+
+def test_score_policy_grows_on_ineffective_actions():
+    engine = AdaptivePenalty(alpha=5, min_penalty_us=1, max_penalty_us=10**9)
+    noisy, victim = make_boxes()
+    noisy.activity_start_us = 0
+    victim.activity_start_us = 0
+    victim.defer_time_us = 90_000
+    victim.total_exec_us = 100_000
+    victim.total_defer_us = 10_000
+
+    first = engine.decide(10_000, noisy, victim, "res")
+    # Victim got WORSE: its defer ratio increased.
+    victim.total_defer_us = 30_000
+    second = engine.decide(20_000, noisy, victim, "res")
+    assert second.policy is PenaltyPolicy.SCORE
+    # score 1 -> p = p1 * (1 + 1/5)
+    assert second.length_us == pytest.approx(first.length_us * 1.2, rel=0.01)
+
+    victim.total_defer_us = 50_000
+    third = engine.decide(30_000, noisy, victim, "res")
+    assert third.length_us == pytest.approx(first.length_us * 1.4, rel=0.01)
+
+
+def test_score_policy_decrements_on_effective_actions():
+    engine = AdaptivePenalty(alpha=5, min_penalty_us=1, max_penalty_us=10**9)
+    noisy, victim = make_boxes()
+    noisy.activity_start_us = 0
+    victim.activity_start_us = 0
+    victim.defer_time_us = 1_000
+    victim.total_exec_us = 100_000
+    victim.total_defer_us = 40_000
+
+    first = engine.decide(10_000, noisy, victim, "res")
+    # Victim improved: defer ratio decreased -> score stays at 0.
+    victim.total_defer_us = 30_000
+    second = engine.decide(20_000, noisy, victim, "res")
+    assert second.length_us == pytest.approx(first.length_us, rel=0.01)
+
+
+def test_gap_policy_selected_when_defer_dwarfs_penalty():
+    engine = AdaptivePenalty(
+        gap_policy_factor=10, min_penalty_us=1, max_penalty_us=10**9
+    )
+    noisy, victim = make_boxes(goal_pct=50)
+    noisy.activity_start_us = 0
+    victim.activity_start_us = 0
+    victim.defer_time_us = 2_000
+    victim.total_exec_us = 100_000
+    victim.total_defer_us = 30_000
+    first = engine.decide(10_000, noisy, victim, "res")
+
+    # Defer time far exceeds the previous penalty: gap-based is chosen.
+    victim.defer_time_us = first.length_us * 50
+    victim.total_defer_us = 60_000
+    second = engine.decide(20_000, noisy, victim, "res")
+    assert second.policy is PenaltyPolicy.GAP
+
+
+def test_gap_policy_backs_off_at_goal():
+    engine = AdaptivePenalty(
+        gap_policy_factor=1, min_penalty_us=500, max_penalty_us=10**9
+    )
+    noisy, victim = make_boxes(goal_pct=50)
+    noisy.activity_start_us = 0
+    victim.activity_start_us = 0
+    victim.defer_time_us = 100_000
+    victim.total_exec_us = 1_000_000
+    victim.total_defer_us = 400_000
+    engine.decide(10_000, noisy, victim, "res")
+
+    # Victim now comfortably below goal (ratio ~0.1 < 1/3) while its
+    # open defer still exceeds the previous penalty (gap policy chosen).
+    victim.defer_time_us = 50_000
+    victim.total_defer_us = 50_000
+    victim.total_exec_us = 1_000_000
+    decision = engine.decide(20_000, noisy, victim, "res")
+    assert decision.policy is PenaltyPolicy.GAP
+    assert decision.length_us == 500  # min penalty
+
+
+def test_lengths_and_action_count_tracking():
+    engine = AdaptivePenalty()
+    noisy, victim = make_boxes()
+    noisy.activity_start_us = 0
+    victim.activity_start_us = 0
+    victim.defer_time_us = 50_000
+    for i in range(4):
+        engine.decide(10_000 * (i + 1), noisy, victim, "res")
+    assert engine.action_count() == 4
+    assert len(engine.lengths_us()) == 4
+    assert sum(engine.policy_counts().values()) == 4
+
+
+def test_convergence_steps_detects_fixed_point():
+    engine = AdaptivePenalty(min_penalty_us=1_000)
+    # Manufacture a decision history directly.
+    from repro.core.penalty import PenaltyDecision
+
+    lengths = [10_000, 20_000, 30_000, 30_100, 30_050, 30_000]
+    engine.decisions = [
+        PenaltyDecision(l, PenaltyPolicy.SCORE, i, 1, "res")
+        for i, l in enumerate(lengths)
+    ]
+    steps = engine.convergence_steps(tolerance=0.05)
+    assert steps == 3  # converged at the third decision
+
+
+def test_fixed_penalty_always_same_length():
+    engine = FixedPenalty(10_000)
+    noisy, victim = make_boxes()
+    noisy.activity_start_us = 0
+    victim.activity_start_us = 0
+    for i in range(3):
+        decision = engine.decide(1_000 * (i + 1), noisy, victim, "res")
+        assert decision.length_us == 10_000
+        assert decision.policy is PenaltyPolicy.FIXED
+    assert engine.action_count() == 3
+    assert engine.convergence_steps() == 1.0
+
+
+def test_fixed_penalty_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        FixedPenalty(0)
+
+
+def test_per_pair_state_is_independent():
+    engine = AdaptivePenalty(min_penalty_us=1, max_penalty_us=10**9)
+    noisy, victim = make_boxes()
+    noisy.activity_start_us = 0
+    victim.activity_start_us = 0
+    victim.defer_time_us = 50_000
+    a = engine.decide(10_000, noisy, victim, "res_a")
+    b = engine.decide(10_000, noisy, victim, "res_b")
+    assert a.policy is PenaltyPolicy.INITIAL
+    assert b.policy is PenaltyPolicy.INITIAL

@@ -1,0 +1,87 @@
+"""Unit tests for the pBox tracer (Section 7 debugging aid)."""
+
+from repro.core import IsolationRule, PBoxManager, StateEvent
+from repro.core.trace import PBoxTracer
+from repro.sim import Kernel, Sleep
+
+
+def run_traced_scenario(record_events=False):
+    kernel = Kernel(cores=4)
+    tracer = PBoxTracer(record_events=record_events)
+    manager = PBoxManager(kernel, tracer=tracer)
+    rule = IsolationRule(isolation_level=50)
+
+    def noisy():
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.HOLD)
+        yield Sleep(us=50_000)
+        manager.update(pbox, "res", StateEvent.UNHOLD)
+        manager.freeze(pbox)
+        yield Sleep(us=1_000)
+
+    def victim():
+        yield Sleep(us=1_000)
+        pbox = manager.create(rule)
+        manager.activate(pbox)
+        manager.update(pbox, "res", StateEvent.PREPARE)
+        yield Sleep(us=60_000)
+        manager.update(pbox, "res", StateEvent.ENTER)
+        manager.freeze(pbox)
+
+    kernel.spawn(noisy, name="noisy")
+    kernel.spawn(victim, name="victim")
+    kernel.run(until_us=300_000)
+    return tracer, manager
+
+
+def test_tracer_counts_state_events():
+    tracer, manager = run_traced_scenario()
+    assert tracer.event_counts["hold"] == 1
+    assert tracer.event_counts["unhold"] == 1
+    assert tracer.event_counts["prepare"] == 1
+    assert tracer.summary()["events"]["enter"] == 1
+
+
+def test_tracer_records_detection_and_action():
+    tracer, manager = run_traced_scenario()
+    assert tracer.summary()["detections"] >= 1
+    assert tracer.summary()["actions"] >= 1
+    pairs = tracer.recurring_pairs()
+    assert pairs[0][0] == (1, 2)  # noisy psid 1 deferred victim psid 2
+
+
+def test_tracer_records_served_penalties():
+    tracer, manager = run_traced_scenario()
+    assert tracer.summary()["penalty_us"] > 0
+    top = tracer.top_noisy_pboxes()
+    assert top[0][0] == 1
+
+
+def test_tracer_event_records_optional():
+    lean, _ = run_traced_scenario(record_events=False)
+    rich, _ = run_traced_scenario(record_events=True)
+    lean_events = [r for r in lean.records if r.kind == "event"]
+    rich_events = [r for r in rich.records if r.kind == "event"]
+    assert lean_events == []
+    assert len(rich_events) == 4
+
+
+def test_tracer_ring_buffer_bounded():
+    tracer = PBoxTracer(capacity=10, record_events=True)
+    kernel = Kernel(cores=1)
+    manager = PBoxManager(kernel, tracer=tracer)
+    pbox = manager.create(IsolationRule(50))
+    manager.activate(pbox)
+    for i in range(50):
+        manager.update(pbox, "k%d" % i, StateEvent.HOLD)
+    assert len(tracer.records) == 10
+
+
+def test_format_report_mentions_key_facts():
+    tracer, _ = run_traced_scenario()
+    report = tracer.format_report()
+    assert "pBox trace report" in report
+    assert "detections" in report
+    assert "noisiest pBoxes" in report
+    assert "res" in report  # the contended resource name

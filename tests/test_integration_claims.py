@@ -1,0 +1,75 @@
+"""Fast integration checks of the paper's headline claims.
+
+The full-strength versions live in benchmarks/ (they regenerate every
+table and figure); these shortened runs guard the claims in the plain
+test suite so a regression is caught by ``pytest tests/`` alone.
+"""
+
+import pytest
+
+from repro.cases import Solution, evaluate_case, get_case
+
+DURATION_S = 4
+
+
+@pytest.fixture(scope="module")
+def representative_evaluations():
+    """One case per application, evaluated under pBox + two baselines."""
+    solutions = [Solution.PBOX, Solution.CGROUP, Solution.PARTIES]
+    return {
+        case_id: evaluate_case(get_case(case_id), solutions=solutions,
+                               duration_s=DURATION_S)
+        for case_id in ("c1", "c8", "c12", "c14")
+    }
+
+
+def test_pbox_mitigates_every_representative_case(representative_evaluations):
+    for case_id, evaluation in representative_evaluations.items():
+        assert evaluation.interference_level > 2, case_id
+        assert evaluation.reduction_ratio(Solution.PBOX) > 0.5, case_id
+
+
+def test_pbox_beats_baselines_everywhere(representative_evaluations):
+    for case_id, evaluation in representative_evaluations.items():
+        pbox_r = evaluation.reduction_ratio(Solution.PBOX)
+        for solution in (Solution.CGROUP, Solution.PARTIES):
+            assert pbox_r > evaluation.reduction_ratio(solution), (
+                case_id, solution)
+
+
+def test_baselines_never_strongly_mitigate(representative_evaluations):
+    """Hardware-resource control cannot fix virtual-resource waits."""
+    for case_id, evaluation in representative_evaluations.items():
+        for solution in (Solution.CGROUP, Solution.PARTIES):
+            assert evaluation.reduction_ratio(solution) < 0.5, (
+                case_id, solution)
+
+
+def test_memcached_case_stays_unmitigated():
+    """c16 is the paper's one failure: overhead exceeds benefit."""
+    evaluation = evaluate_case(get_case("c16"), solutions=[Solution.PBOX],
+                               duration_s=DURATION_S)
+    assert evaluation.reduction_ratio(Solution.PBOX) < 0.3
+
+
+def test_goal_attainment_improves_with_pbox():
+    """Section 6.2: far more activities meet the goal with pBox on.
+
+    Measured over the victim's per-activity latencies in c1: the goal
+    is met when a request is no more than 50% slower than To.
+    """
+    evaluation = evaluate_case(get_case("c1"), solutions=[Solution.PBOX],
+                               duration_s=DURATION_S)
+    threshold = evaluation.to_us * 1.5
+
+    def goal_met_fraction(run):
+        samples = []
+        for recorder in run.env.victim_recorders:
+            samples.extend(recorder.samples_us)
+        met = sum(1 for s in samples if s <= threshold)
+        return met / len(samples)
+
+    without = goal_met_fraction(evaluation.interference)
+    with_pbox = goal_met_fraction(evaluation.solution_runs[Solution.PBOX])
+    assert with_pbox > without + 0.2
+    assert with_pbox > 0.75  # paper: 94.6% with, 48.2% without

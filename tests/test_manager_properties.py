@@ -1,0 +1,135 @@
+"""Property-based tests: the manager is robust to arbitrary event input.
+
+The mistake-tolerance experiment (Section 6.8) depends on the manager
+surviving *any* interleaving of state events, including unmatched and
+duplicated ones.  These tests feed randomly generated event sequences
+through the full lifecycle and assert structural invariants.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import IsolationRule, PBoxManager, StateEvent
+from repro.sim import Kernel, Sleep
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+EVENTS = [StateEvent.PREPARE, StateEvent.ENTER, StateEvent.HOLD,
+          StateEvent.UNHOLD]
+
+# One scripted step: (pbox index, key index, event index) or a lifecycle
+# op encoded as event index >= 4 (activate / freeze).
+step_strategy = st.tuples(
+    st.integers(0, 2),    # pbox
+    st.integers(0, 2),    # resource key
+    st.integers(0, 5),    # 0-3 events, 4 activate, 5 freeze
+    st.integers(0, 2_000),  # virtual-time gap before the step
+)
+
+
+def run_script(steps):
+    kernel = Kernel(cores=2)
+    manager = PBoxManager(kernel)
+    rule = IsolationRule(isolation_level=50)
+
+    def driver():
+        boxes = [manager.create(rule) for _ in range(3)]
+        for pbox in boxes:
+            manager.activate(pbox)
+        for pbox_index, key_index, op, gap_us in steps:
+            if gap_us:
+                yield Sleep(us=gap_us)
+            pbox = boxes[pbox_index]
+            key = "res-%d" % key_index
+            if op < 4:
+                manager.update(pbox, key, EVENTS[op])
+            elif op == 4:
+                manager.activate(pbox)
+            else:
+                manager.freeze(pbox)
+        for pbox in boxes:
+            manager.release(pbox)
+
+    kernel.spawn(driver)
+    kernel.run(until_us=60_000_000)
+    return kernel, manager
+
+
+@SETTINGS
+@given(st.lists(step_strategy, max_size=60))
+def test_manager_survives_arbitrary_event_sequences(steps):
+    kernel, manager = run_script(steps)
+    # After releasing every pBox, no bookkeeping leaks remain.
+    assert manager.pboxes() == []
+    assert manager.competitor_map == {}
+
+
+@SETTINGS
+@given(st.lists(step_strategy, max_size=60))
+def test_defer_time_never_negative(steps):
+    kernel = Kernel(cores=2)
+    manager = PBoxManager(kernel)
+    rule = IsolationRule(isolation_level=50)
+    observed = []
+
+    def driver():
+        boxes = [manager.create(rule) for _ in range(3)]
+        for pbox in boxes:
+            manager.activate(pbox)
+        for pbox_index, key_index, op, gap_us in steps:
+            if gap_us:
+                yield Sleep(us=gap_us)
+            pbox = boxes[pbox_index]
+            if op < 4:
+                manager.update(pbox, "res-%d" % key_index, EVENTS[op])
+            elif op == 4:
+                manager.activate(pbox)
+            else:
+                manager.freeze(pbox)
+            observed.append(pbox.defer_time_us)
+        return None
+
+    kernel.spawn(driver)
+    kernel.run(until_us=60_000_000)
+    assert all(value >= 0 for value in observed)
+
+
+@SETTINGS
+@given(st.lists(step_strategy, max_size=60))
+def test_penalties_only_target_past_holders(steps):
+    """Whatever the input, only pBoxes that issued HOLD can be penalized."""
+    kernel = Kernel(cores=2)
+    manager = PBoxManager(kernel)
+    rule = IsolationRule(isolation_level=50)
+    held_ever = set()
+
+    def driver():
+        boxes = [manager.create(rule) for _ in range(3)]
+        for pbox in boxes:
+            manager.activate(pbox)
+        for pbox_index, key_index, op, gap_us in steps:
+            if gap_us:
+                yield Sleep(us=gap_us)
+            pbox = boxes[pbox_index]
+            if op < 4:
+                if EVENTS[op] is StateEvent.HOLD:
+                    held_ever.add(pbox.psid)
+                manager.update(pbox, "res-%d" % key_index, EVENTS[op])
+            elif op == 4:
+                manager.activate(pbox)
+            else:
+                manager.freeze(pbox)
+        for pbox in boxes:
+            if pbox.penalties_received:
+                assert pbox.psid in held_ever
+
+    kernel.spawn(driver)
+    kernel.run(until_us=60_000_000)
+
+
+@SETTINGS
+@given(st.lists(step_strategy, max_size=40))
+def test_runs_are_deterministic(steps):
+    first_kernel, first = run_script(steps)
+    second_kernel, second = run_script(steps)
+    assert first.stats == second.stats
+    assert first_kernel.now_us == second_kernel.now_us

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analyzer.cfg import CFG, dominates, dominators, natural_loops
+from repro.analyzer.parser import parse_module
+from repro.core import AdaptivePenalty, IsolationRule
+from repro.core.pbox import PBox
+from repro.sim import Compute, Kernel, Mutex, Semaphore, Sleep
+from repro.sim.rng import RngStream
+from repro.workloads import percentile, reduction_ratio
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# Simulator invariants
+# ---------------------------------------------------------------------------
+
+@SETTINGS
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2_000), st.integers(0, 2_000)),
+        min_size=1, max_size=6,
+    ),
+    st.integers(1, 4),
+)
+def test_mutex_exclusion_under_random_schedules(profiles, cores):
+    """No two threads are ever inside the mutex at once."""
+    kernel = Kernel(cores=cores)
+    mutex = Mutex(kernel)
+    state = {"inside": 0, "violations": 0}
+
+    def worker(pre_us, hold_us):
+        def body():
+            if pre_us:
+                yield Sleep(us=pre_us)
+            yield from mutex.acquire()
+            state["inside"] += 1
+            if state["inside"] > 1:
+                state["violations"] += 1
+            if hold_us:
+                yield Compute(us=hold_us)
+            state["inside"] -= 1
+            mutex.release()
+        return body
+
+    for pre, hold in profiles:
+        kernel.spawn(worker(pre, hold))
+    kernel.run(until_us=10_000_000)
+    assert state["violations"] == 0
+    assert not mutex.locked
+
+
+@SETTINGS
+@given(
+    st.integers(1, 4),
+    st.lists(st.integers(0, 1_000), min_size=1, max_size=8),
+)
+def test_semaphore_never_oversubscribed(units, holds):
+    kernel = Kernel(cores=4)
+    sem = Semaphore(kernel, units=units)
+    state = {"inside": 0, "max": 0}
+
+    def worker(hold_us):
+        def body():
+            yield from sem.acquire()
+            state["inside"] += 1
+            state["max"] = max(state["max"], state["inside"])
+            yield Compute(us=hold_us)
+            state["inside"] -= 1
+            sem.release()
+        return body
+
+    for hold in holds:
+        kernel.spawn(worker(hold))
+    kernel.run(until_us=10_000_000)
+    assert state["max"] <= units
+    assert sem.available == units
+
+
+@SETTINGS
+@given(st.lists(st.integers(1, 5_000), min_size=1, max_size=8),
+       st.integers(1, 4))
+def test_total_cpu_time_conserved(computes, cores):
+    """Sum of per-thread CPU equals work submitted; makespan bounds hold."""
+    kernel = Kernel(cores=cores)
+
+    def one_compute(us):
+        def body():
+            yield Compute(us=us)
+        return body
+
+    threads = [kernel.spawn(one_compute(us)) for us in computes]
+    kernel.run()
+    total = sum(t.cpu_time_us for t in threads)
+    assert total == sum(computes)
+    # Makespan at least the critical path and at most serial execution.
+    assert kernel.now_us >= max(computes)
+    assert kernel.now_us <= sum(computes)
+
+
+@SETTINGS
+@given(st.integers(0, 2**31), st.text(min_size=1, max_size=8))
+def test_rng_streams_reproducible(seed, name):
+    a = RngStream(seed, name)
+    b = RngStream(seed, name)
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+@SETTINGS
+@given(st.integers(2, 200), st.floats(0.5, 2.0))
+def test_zipf_draws_in_range(n, skew):
+    rng = RngStream(1, "zipf-prop")
+    for _ in range(20):
+        assert 0 <= rng.zipf_index(n, skew) < n
+
+
+# ---------------------------------------------------------------------------
+# Statistics invariants
+# ---------------------------------------------------------------------------
+
+@SETTINGS
+@given(st.lists(st.integers(0, 10**6), min_size=1, max_size=200),
+       st.integers(0, 100))
+def test_percentile_bounded_by_extremes(values, p):
+    result = percentile(values, p)
+    assert min(values) <= result <= max(values)
+
+
+@SETTINGS
+@given(st.lists(st.integers(0, 10**6), min_size=1, max_size=100))
+def test_percentile_monotonic(values):
+    previous = None
+    for p in (0, 25, 50, 75, 95, 100):
+        current = percentile(values, p)
+        if previous is not None:
+            assert current >= previous
+        previous = current
+
+
+@SETTINGS
+@given(st.floats(1, 10**6), st.floats(1, 10**6))
+def test_reduction_ratio_endpoints(to_us, delta):
+    ti_us = to_us + delta
+    # A solution equal to Ti removes nothing; equal to To removes all.
+    assert abs(reduction_ratio(ti_us, ti_us, to_us)) < 1e-9
+    assert abs(reduction_ratio(ti_us, to_us, to_us) - 1.0) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# pBox math invariants
+# ---------------------------------------------------------------------------
+
+@SETTINGS
+@given(st.integers(0, 10**6), st.integers(1, 10**6))
+def test_interference_level_non_negative(td, te):
+    pbox = PBox(1, IsolationRule(50))
+    pbox.activity_start_us = 0
+    pbox.defer_time_us = td
+    level = pbox.interference_level(te)
+    assert level >= 0
+    if td >= te:
+        assert level == float("inf")
+
+
+@SETTINGS
+@given(
+    st.integers(0, 10**7),   # victim defer
+    st.integers(0, 10**7),   # victim total defer
+    st.integers(1, 10**8),   # victim total exec
+    st.integers(1, 10**7),   # now
+)
+def test_adaptive_penalty_always_clamped(defer_us, total_defer, total_exec, now):
+    engine = AdaptivePenalty(min_penalty_us=1_000, max_penalty_us=100_000)
+    rule = IsolationRule(50)
+    noisy, victim = PBox(1, rule), PBox(2, rule)
+    noisy.activity_start_us = 0
+    victim.activity_start_us = 0
+    victim.defer_time_us = defer_us
+    victim.total_defer_us = total_defer
+    victim.total_exec_us = total_exec
+    for _ in range(4):
+        decision = engine.decide(now, noisy, victim, "res",
+                                 victim_defer_us=defer_us)
+        assert 1_000 <= decision.length_us <= 100_000
+
+
+@SETTINGS
+@given(st.integers(1, 1000))
+def test_isolation_rule_goal_spaces_consistent(level):
+    rule = IsolationRule(isolation_level=level)
+    goal = rule.goal
+    s = rule.goal_defer_ratio
+    # s/(1-s) must recover the goal.
+    assert abs(s / (1 - s) - goal) < 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Analyzer invariants
+# ---------------------------------------------------------------------------
+
+_loop_counts = st.integers(0, 3)
+
+
+@SETTINGS
+@given(_loop_counts, _loop_counts, st.booleans())
+def test_generated_minic_always_parses(n_while, n_if, with_wait):
+    parts = ["int shared_g;"]
+    body = ["    shared_g = shared_g + x;"]
+    for i in range(n_while):
+        wait = "            usleep(10);" if with_wait else "            work(x);"
+        body.append(
+            "    while (shared_g < x) {\n%s\n"
+            "        shared_g = shared_g + 1;\n    }" % wait
+        )
+    for i in range(n_if):
+        body.append(
+            "    if (shared_g < x) {\n        shared_g = 0;\n    }"
+        )
+    parts.append("void f(int x) {\n%s\n}" % "\n".join(body))
+    parts.append("void g(int x) { shared_g = shared_g - x; }")
+    module = parse_module("\n".join(parts))
+    function = module.functions["f"]
+    cfg = CFG(function)
+    loops = natural_loops(cfg)
+    assert len(loops) == n_while
+    idom = dominators(cfg)
+    for label in idom:
+        assert dominates(idom, function.entry_label, label)

@@ -1,0 +1,152 @@
+"""Unit tests for the smaller simulator components."""
+
+import pytest
+
+from repro.sim.cgroup import Cgroup
+from repro.sim.clock import Clock, ms, seconds, to_ms, to_seconds
+from repro.sim.futex import WaitQueueTable
+from repro.sim.thread import SimThread, ThreadState
+
+
+# ---------------------------------------------------------------------------
+# Clock
+# ---------------------------------------------------------------------------
+
+def test_clock_conversions_round_trip():
+    assert ms(1.5) == 1_500
+    assert seconds(0.25) == 250_000
+    assert to_ms(2_500) == 2.5
+    assert to_seconds(1_500_000) == 1.5
+
+
+def test_clock_advances_monotonically():
+    clock = Clock()
+    clock.advance_to(100)
+    assert clock.now_us == 100
+    with pytest.raises(ValueError):
+        clock.advance_to(99)
+
+
+# ---------------------------------------------------------------------------
+# Cgroup accounting
+# ---------------------------------------------------------------------------
+
+def test_cgroup_remaining_and_charge():
+    group = Cgroup("g", quota_us=10_000, period_us=100_000)
+    assert group.remaining_us(0) == 10_000
+    group.charge(4_000)
+    assert group.remaining_us(0) == 6_000
+    group.charge(6_000)
+    assert group.remaining_us(0) == 0
+
+
+def test_cgroup_refresh_rolls_window_and_releases():
+    group = Cgroup("g", quota_us=10_000, period_us=100_000)
+    group.charge(10_000)
+    parked = object()
+    group.throttled_threads.append(parked)
+    released = group.refresh(150_000)
+    assert released == [parked]
+    assert group.runtime_us == 0
+    assert group.period_start_us == 100_000
+
+
+def test_cgroup_refresh_noop_within_period():
+    group = Cgroup("g", quota_us=10_000)
+    group.charge(5_000)
+    assert group.refresh(50_000) == []
+    assert group.runtime_us == 5_000
+
+
+def test_cgroup_unlimited_quota():
+    group = Cgroup("g", quota_us=None)
+    assert group.remaining_us(0) is None
+    group.charge(10**9)
+    assert group.remaining_us(10**9) is None
+
+
+def test_cgroup_rejects_bad_quota():
+    with pytest.raises(ValueError):
+        Cgroup("g", quota_us=0)
+    with pytest.raises(ValueError):
+        Cgroup("g", quota_us=100, period_us=0)
+    group = Cgroup("g", quota_us=100)
+    with pytest.raises(ValueError):
+        group.set_quota(-5)
+
+
+def test_cgroup_next_refresh_time():
+    group = Cgroup("g", quota_us=10_000, period_us=100_000)
+    assert group.next_refresh_us(40_000) == 100_000
+    assert group.next_refresh_us(100_000) == 100_000
+
+
+# ---------------------------------------------------------------------------
+# Futex wait-queue table
+# ---------------------------------------------------------------------------
+
+def make_thread(name):
+    def body():
+        yield
+
+    return SimThread(body, name=name)
+
+
+def test_waitqueue_fifo_order():
+    table = WaitQueueTable()
+    key = object()
+    threads = [make_thread("t%d" % i) for i in range(3)]
+    for thread in threads:
+        table.add(key, thread)
+    woken = table.pop_waiters(key, 2)
+    assert woken == threads[:2]
+    assert table.waiters(key) == [threads[2]]
+
+
+def test_waitqueue_remove_specific_thread():
+    table = WaitQueueTable()
+    key = "k"
+    first, second = make_thread("a"), make_thread("b")
+    table.add(key, first)
+    table.add(key, second)
+    assert table.remove(key, first) is True
+    assert table.remove(key, first) is False
+    assert table.waiters(key) == [second]
+
+
+def test_waitqueue_empty_key_cleanup():
+    table = WaitQueueTable()
+    thread = make_thread("t")
+    table.add("k", thread)
+    table.pop_waiters("k", 5)
+    assert table.keys() == []
+    assert table.waiting_count() == 0
+
+
+def test_waitqueue_counts_across_keys():
+    table = WaitQueueTable()
+    table.add("a", make_thread("x"))
+    table.add("b", make_thread("y"))
+    table.add("b", make_thread("z"))
+    assert table.waiting_count() == 3
+    assert sorted(table.keys()) == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# SimThread basics
+# ---------------------------------------------------------------------------
+
+def test_thread_requires_generator():
+    with pytest.raises(TypeError):
+        SimThread(lambda: 42)
+
+
+def test_thread_accepts_callable_or_generator():
+    def body():
+        yield
+
+    from_callable = SimThread(body)
+    from_generator = SimThread(body())
+    assert from_callable.state is ThreadState.NEW
+    assert from_generator.state is ThreadState.NEW
+    assert from_callable.alive

@@ -1,0 +1,291 @@
+"""Unit tests for futex-backed synchronization primitives."""
+
+import pytest
+
+from repro.sim import (
+    Compute,
+    Condition,
+    Kernel,
+    Mutex,
+    Now,
+    RWLock,
+    Semaphore,
+    Sleep,
+    TaskQueue,
+)
+
+
+def test_mutex_provides_mutual_exclusion():
+    kernel = Kernel(cores=4)
+    mutex = Mutex(kernel)
+    trace = []
+
+    def worker(name):
+        yield from mutex.acquire()
+        trace.append(("enter", name, (yield Now())))
+        yield Compute(us=1_000)
+        trace.append(("exit", name, (yield Now())))
+        mutex.release()
+
+    for i in range(3):
+        kernel.spawn(lambda i=i: worker("w%d" % i))
+    kernel.run()
+    # Critical sections never overlap: sorted enter/exit pairs alternate.
+    events = sorted(trace, key=lambda e: e[2])
+    for i in range(0, len(events), 2):
+        assert events[i][0] == "enter"
+        assert events[i + 1][0] == "exit"
+        assert events[i][1] == events[i + 1][1]
+
+
+def test_mutex_try_acquire():
+    kernel = Kernel(cores=2)
+    mutex = Mutex(kernel)
+    results = {}
+
+    def holder():
+        yield from mutex.acquire()
+        yield Sleep(us=5_000)
+        mutex.release()
+
+    def taster():
+        yield Sleep(us=1_000)
+        results["while_held"] = mutex.try_acquire()
+        yield Sleep(us=10_000)
+        results["after_release"] = mutex.try_acquire()
+        mutex.release()
+
+    kernel.spawn(holder)
+    kernel.spawn(taster)
+    kernel.run()
+    assert results["while_held"] is False
+    assert results["after_release"] is True
+
+
+def test_mutex_release_unlocked_raises():
+    kernel = Kernel(cores=1)
+    mutex = Mutex(kernel)
+    with pytest.raises(RuntimeError):
+        mutex.release()
+
+
+def test_rwlock_readers_share():
+    kernel = Kernel(cores=4)
+    lock = RWLock(kernel)
+    concurrent = {"now": 0, "max": 0}
+
+    def reader():
+        yield from lock.acquire_shared()
+        concurrent["now"] += 1
+        concurrent["max"] = max(concurrent["max"], concurrent["now"])
+        yield Sleep(us=2_000)
+        concurrent["now"] -= 1
+        lock.release_shared()
+
+    for _ in range(3):
+        kernel.spawn(reader)
+    kernel.run()
+    assert concurrent["max"] == 3
+
+
+def test_rwlock_writer_excludes_readers():
+    kernel = Kernel(cores=4)
+    lock = RWLock(kernel)
+    times = {}
+
+    def writer():
+        yield from lock.acquire_exclusive()
+        yield Sleep(us=5_000)
+        lock.release_exclusive()
+        times["w_done"] = yield Now()
+
+    def reader():
+        yield Sleep(us=1_000)  # arrive while the writer holds the lock
+        yield from lock.acquire_shared()
+        times["r_in"] = yield Now()
+        lock.release_shared()
+
+    kernel.spawn(writer)
+    kernel.spawn(reader)
+    kernel.run()
+    assert times["r_in"] >= 5_000
+
+
+def test_rwlock_reader_pref_starves_writer():
+    """A reader-preferring lock lets a reader stream delay writers (c8)."""
+    kernel = Kernel(cores=4)
+    lock = RWLock(kernel, policy="reader_pref")
+    times = {}
+
+    def reader(start_us):
+        yield Sleep(us=start_us)
+        yield from lock.acquire_shared()
+        yield Sleep(us=3_000)
+        lock.release_shared()
+
+    def writer():
+        yield Sleep(us=1_000)
+        yield from lock.acquire_exclusive()
+        times["w_in"] = yield Now()
+        lock.release_exclusive()
+
+    # Overlapping readers keep reader_count > 0 until 9 ms.
+    for start in (0, 2_000, 4_000, 6_000):
+        kernel.spawn(lambda s=start: reader(s))
+    kernel.spawn(writer)
+    kernel.run()
+    assert times["w_in"] >= 9_000
+
+
+def test_rwlock_writer_pref_blocks_new_readers():
+    kernel = Kernel(cores=4)
+    lock = RWLock(kernel, policy="writer_pref")
+    times = {}
+
+    def first_reader():
+        yield from lock.acquire_shared()
+        yield Sleep(us=5_000)
+        lock.release_shared()
+
+    def writer():
+        yield Sleep(us=1_000)
+        yield from lock.acquire_exclusive()
+        yield Sleep(us=2_000)
+        lock.release_exclusive()
+
+    def late_reader():
+        yield Sleep(us=2_000)  # arrives while the writer waits
+        yield from lock.acquire_shared()
+        times["late_in"] = yield Now()
+        lock.release_shared()
+
+    kernel.spawn(first_reader)
+    kernel.spawn(writer)
+    kernel.spawn(late_reader)
+    kernel.run()
+    # Late reader waits for the queued writer: 5 ms hold + 2 ms write.
+    assert times["late_in"] >= 7_000
+
+
+def test_semaphore_limits_concurrency():
+    kernel = Kernel(cores=8)
+    sem = Semaphore(kernel, units=2)
+    concurrent = {"now": 0, "max": 0}
+
+    def worker():
+        yield from sem.acquire()
+        concurrent["now"] += 1
+        concurrent["max"] = max(concurrent["max"], concurrent["now"])
+        yield Sleep(us=1_000)
+        concurrent["now"] -= 1
+        sem.release()
+
+    for _ in range(6):
+        kernel.spawn(worker)
+    kernel.run()
+    assert concurrent["max"] == 2
+    assert sem.available == 2
+
+
+def test_semaphore_multi_unit_acquire():
+    kernel = Kernel(cores=2)
+    sem = Semaphore(kernel, units=3)
+    times = {}
+
+    def big():
+        yield Sleep(us=100)
+        yield from sem.acquire(n=3)
+        times["big_in"] = yield Now()
+        sem.release(n=3)
+
+    def small():
+        yield from sem.acquire(n=1)
+        yield Sleep(us=4_000)
+        sem.release(n=1)
+
+    kernel.spawn(small)
+    kernel.spawn(big)
+    kernel.run()
+    assert times["big_in"] >= 4_000
+
+
+def test_condition_wait_notify():
+    kernel = Kernel(cores=2)
+    mutex = Mutex(kernel)
+    cond = Condition(kernel, mutex)
+    state = {"ready": False}
+    times = {}
+
+    def consumer():
+        yield from mutex.acquire()
+        yield from cond.wait_for(lambda: state["ready"])
+        times["consumed"] = yield Now()
+        mutex.release()
+
+    def producer():
+        yield Sleep(us=3_000)
+        yield from mutex.acquire()
+        state["ready"] = True
+        cond.notify_all()
+        mutex.release()
+
+    kernel.spawn(consumer)
+    kernel.spawn(producer)
+    kernel.run()
+    assert times["consumed"] >= 3_000
+
+
+def test_task_queue_fifo():
+    kernel = Kernel(cores=2)
+    queue = TaskQueue(kernel)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield from queue.get()
+            got.append(item)
+
+    def producer():
+        for i in range(3):
+            yield Sleep(us=1_000)
+            queue.put(i)
+
+    kernel.spawn(consumer)
+    kernel.spawn(producer)
+    kernel.run()
+    assert got == [0, 1, 2]
+
+
+def test_task_queue_admission_rotates_penalized_items():
+    kernel = Kernel(cores=2)
+    deny_until = {"t": 5_000}
+
+    def admission(item):
+        if item == "noisy":
+            return kernel.now_us >= deny_until["t"]
+        return True
+
+    queue = TaskQueue(kernel, admission=admission)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield from queue.get()
+            got.append((item, kernel.now_us))
+
+    queue.put("noisy")
+    queue.put("a")
+    queue.put("b")
+    kernel.spawn(consumer)
+    kernel.run()
+    assert [item for item, _ in got] == ["a", "b", "noisy"]
+    noisy_time = dict(got)["noisy"]
+    assert noisy_time >= 5_000
+
+
+def test_task_queue_try_get():
+    kernel = Kernel(cores=1)
+    queue = TaskQueue(kernel)
+    assert queue.try_get() is None
+    queue.put("x")
+    assert queue.try_get() == "x"

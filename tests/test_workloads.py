@@ -1,0 +1,147 @@
+"""Unit tests for workload generators and statistics."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry, RngStream
+from repro.workloads import (
+    FacebookETC,
+    LatencyRecorder,
+    TimelineSeries,
+    interference_level,
+    percentile,
+    reduction_ratio,
+)
+from repro.workloads.distributions import (
+    OLTPMix,
+    exponential_interarrival,
+    uniform_interarrival,
+)
+
+
+def test_percentile_nearest_rank():
+    values = list(range(1, 101))
+    assert percentile(values, 0) == 1
+    assert percentile(values, 50) == 51
+    assert percentile(values, 95) == 96
+    assert percentile(values, 100) == 100
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_interference_metrics_match_paper_definitions():
+    # Ti = 24, To = 12: p = 1.0; a solution at Ts = 18 removes half.
+    assert interference_level(24, 12) == pytest.approx(1.0)
+    assert reduction_ratio(24, 18, 12) == pytest.approx(0.5)
+    # Ts below To gives a ratio above 1 (the paper reports up to 113.6%).
+    assert reduction_ratio(24, 11, 12) > 1.0
+
+
+def test_reduction_ratio_zero_denominator():
+    assert reduction_ratio(10, 10, 10) == 0.0
+
+
+def test_latency_recorder_warmup_exclusion():
+    recorder = LatencyRecorder("r", record_from_us=1_000_000)
+    recorder.record(500, 999_999)   # during warmup: dropped
+    recorder.record(700, 1_000_001)
+    assert recorder.count == 1
+    assert recorder.mean_us() == 700
+
+
+def test_latency_recorder_mean_requires_samples():
+    with pytest.raises(ValueError):
+        LatencyRecorder("empty").mean_us()
+
+
+def test_latency_recorder_throughput():
+    recorder = LatencyRecorder("r")
+    for i in range(10):
+        recorder.record(100, i * 1_000)
+    assert recorder.throughput_per_sec(1_000_000) == pytest.approx(10.0)
+
+
+def test_timeline_series_buckets_by_second():
+    series = TimelineSeries(bucket_us=1_000_000)
+    series.add(100_000, 10)
+    series.add(900_000, 30)
+    series.add(1_500_000, 50)
+    means = dict(series.mean_series())
+    assert means[0.0] == 20
+    assert means[1.0] == 50
+    counts = dict(series.count_series())
+    assert counts[0.0] == 2
+
+
+def test_recorder_timeline_integration():
+    recorder = LatencyRecorder("r")
+    recorder.record(100, 200_000)
+    recorder.record(300, 1_200_000)
+    series = recorder.timeline()
+    assert len(series.buckets()) == 2
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    a1 = RngStream(42, "alpha")
+    a2 = RngStream(42, "alpha")
+    b = RngStream(42, "beta")
+    seq_a1 = [a1.randint(0, 1000) for _ in range(10)]
+    seq_a2 = [a2.randint(0, 1000) for _ in range(10)]
+    seq_b = [b.randint(0, 1000) for _ in range(10)]
+    assert seq_a1 == seq_a2
+    assert seq_a1 != seq_b
+
+
+def test_rng_registry_caches_streams():
+    registry = RngRegistry(7)
+    assert registry.stream("x") is registry.stream("x")
+
+
+def test_zipf_index_is_skewed():
+    rng = RngStream(1, "zipf")
+    draws = [rng.zipf_index(100, 1.2) for _ in range(2_000)]
+    assert all(0 <= d < 100 for d in draws)
+    # Rank 0 should be drawn far more often than rank 50.
+    assert draws.count(0) > draws.count(50) * 2
+
+
+def test_facebook_usr_is_read_dominated():
+    rng = RngStream(3, "usr")
+    mix = FacebookETC(rng, pool="USR")
+    ops = [mix.next_request()[0] for _ in range(2_000)]
+    assert ops.count("get") / len(ops) > 0.98
+
+
+def test_facebook_var_is_write_heavy():
+    rng = RngStream(3, "var")
+    mix = FacebookETC(rng, pool="VAR")
+    ops = [mix.next_request()[0] for _ in range(2_000)]
+    assert ops.count("set") / len(ops) > 0.7
+
+
+def test_facebook_rejects_unknown_pool():
+    with pytest.raises(ValueError):
+        FacebookETC(RngStream(1, "x"), pool="XYZ")
+
+
+def test_oltp_mix_modes():
+    rng = RngStream(5, "oltp")
+    read_only = OLTPMix(rng, mode="read_only")
+    assert all(read_only.next_request()[0] == "read" for _ in range(50))
+    write_only = OLTPMix(rng, mode="write_only")
+    assert all(write_only.next_request()[0] == "write" for _ in range(50))
+    mixed = OLTPMix(rng, mode="mixed")
+    ops = [mixed.next_request()[0] for _ in range(500)]
+    assert 0.55 < ops.count("read") / len(ops) < 0.85
+
+
+def test_interarrival_generators_positive():
+    rng = RngStream(9, "arrivals")
+    for _ in range(100):
+        assert uniform_interarrival(rng, 1_000) >= 0
+        assert exponential_interarrival(rng, 1_000) >= 0
+    assert exponential_interarrival(rng, 0) == 0
