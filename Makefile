@@ -1,12 +1,24 @@
 # Convenience targets for the pBox reproduction.
 
-.PHONY: install test bench report examples clean
+.PHONY: install test verify bench report examples clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Tier-1 tests, then a trace-export smoke run validated against the
+# Chrome trace-event schema.  PYTHONPATH=src so it also works on a
+# fresh checkout without `make install`.
+verify:
+	PYTHONPATH=src python -m pytest -x -q tests/
+	PYTHONPATH=src python -m repro trace c5 --duration 2 \
+	  --export /tmp/pbox-trace.json
+	PYTHONPATH=src python -c "import json; \
+	  from repro.obs import validate_chrome_trace; \
+	  stats = validate_chrome_trace(json.load(open('/tmp/pbox-trace.json'))); \
+	  print('trace OK:', stats)"
 
 bench:
 	pytest benchmarks/ --benchmark-only

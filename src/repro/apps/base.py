@@ -42,11 +42,27 @@ class Instrumentation:
 
     def __init__(self, runtime):
         self.runtime = runtime
+        kernel = runtime.kernel
+        self._kernel = kernel
+        # Application-side virtual-resource tracepoints: acquire maps to
+        # PREPARE, hold to HOLD, release to UNHOLD (ENTER needs no own
+        # point -- it closes the acquire started by PREPARE).
+        self._tp_acquire = kernel.trace.point("vres.acquire")
+        self._tp_hold = kernel.trace.point("vres.hold")
+        self._tp_release = kernel.trace.point("vres.release")
+
+    def _fire(self, tp, key):
+        kernel = self._kernel
+        thread = kernel.current_thread
+        tp.fire(kernel.now_us, key=key,
+                tid=None if thread is None else thread.tid)
 
     # -- raw state events ------------------------------------------------
 
     def prepare(self, key):
         """The current pBox starts being deferred by ``key``."""
+        if self._tp_acquire.active:
+            self._fire(self._tp_acquire, key)
         self.runtime.update_pbox(key, StateEvent.PREPARE)
 
     def enter(self, key):
@@ -55,10 +71,14 @@ class Instrumentation:
 
     def hold(self, key):
         """The current pBox is holding ``key``."""
+        if self._tp_hold.active:
+            self._fire(self._tp_hold, key)
         self.runtime.update_pbox(key, StateEvent.HOLD)
 
     def unhold(self, key):
         """The current pBox released ``key``."""
+        if self._tp_release.active:
+            self._fire(self._tp_release, key)
         self.runtime.update_pbox(key, StateEvent.UNHOLD)
 
     # -- bundled patterns -------------------------------------------------

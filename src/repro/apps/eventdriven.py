@@ -71,6 +71,9 @@ class PBoxWorkerPool:
         )
         self.tasks_processed = 0
         self._worker_threads = []
+        self._tp_enqueue = kernel.trace.point("pool.enqueue")
+        self._tp_dispatch = kernel.trace.point("pool.dispatch")
+        self._tp_complete = kernel.trace.point("pool.complete")
 
     # ------------------------------------------------------------------
     # Kernel-side state-event tracing (Section 5)
@@ -101,6 +104,11 @@ class PBoxWorkerPool:
             self.manager.activate(pbox)
             self.manager.update(pbox, self, StateEvent.PREPARE)
         self.queue.put(task)
+        if self._tp_enqueue.active:
+            self._tp_enqueue.fire(
+                self.kernel.now_us, pool=self.name,
+                psid=connection.psid, depth=len(self.queue),
+            )
         return task
 
     def wait(self, task):
@@ -123,6 +131,12 @@ class PBoxWorkerPool:
     def _worker_body(self):
         while True:
             task = yield from self.queue.get()
+            dispatched_at = self.kernel.now_us
+            if self._tp_dispatch.active:
+                self._tp_dispatch.fire(
+                    dispatched_at, pool=self.name, psid=task.connection.psid,
+                    queued_us=dispatched_at - task.enqueued_at_us,
+                )
             pbox = self._pbox_of(task)
             if pbox is not None:
                 self.manager.update(pbox, self, StateEvent.ENTER)
@@ -144,6 +158,12 @@ class PBoxWorkerPool:
             task.done = True
             task.finished_at_us = self.kernel.now_us
             self.tasks_processed += 1
+            if self._tp_complete.active:
+                self._tp_complete.fire(
+                    task.finished_at_us, pool=self.name,
+                    psid=task.connection.psid,
+                    service_us=task.finished_at_us - dispatched_at,
+                )
             self.kernel.futex_wake(task, n=1 << 30)
 
     def __repr__(self):

@@ -40,6 +40,7 @@ class BufferPool:
         self._inflight = set()      # pages currently being read in
         self.misses = 0
         self.hits = 0
+        self._tp_note = kernel.trace.point("app.note")
 
     def access(self, page_key, dirty=False, read_io_us=None):
         """Access one page; returns True on a buffer-pool hit.
@@ -62,6 +63,9 @@ class BufferPool:
             yield Compute(us=self.hit_us)
             return True
         self.misses += 1
+        if self._tp_note.active:
+            self._tp_note.fire(self.kernel.now_us, what="bufpool.miss",
+                               page=page_key, free=self.free_blocks)
         self._inflight.add(page_key)
         yield from self._take_free_block()
         yield Sleep(us=read_io_us if read_io_us is not None else self.read_io_us)
@@ -127,6 +131,7 @@ class UndoLog:
         self.heavy_backlog = 0    # heavy entries ready to purge
         self.light_backlog = 0
         self.purged_total = 0
+        self._tp_note = kernel.trace.point("app.note")
 
     @property
     def entries(self):
@@ -183,6 +188,9 @@ class UndoLog:
             self.light_backlog -= batch
         self.purged_total += batch
         self.instr.release_mutex(self.mutex)
+        if self._tp_note.active:
+            self._tp_note.fire(self.kernel.now_us, what="undo.purge",
+                               batch=batch, backlog=self.entries)
         return batch
 
 

@@ -55,6 +55,7 @@ class VacuumState:
         self.table_lock = RWLock(kernel, "relation_lock", policy="reader_pref")
         self.dead_rows = 0
         self.vacuumed_total = 0
+        self._tp_note = kernel.trace.point("app.note")
 
     def add_dead_rows(self, rows):
         """Updates/deletes leave dead row versions behind."""
@@ -75,6 +76,9 @@ class VacuumState:
         self.dead_rows -= batch
         self.vacuumed_total += batch
         self.instr.release_exclusive(self.table_lock)
+        if self._tp_note.active:
+            self._tp_note.fire(self.kernel.now_us, what="vacuum.batch",
+                               batch=batch, dead_rows=self.dead_rows)
         return batch
 
 
@@ -96,6 +100,7 @@ class WriteAheadLog:
         self.lock = Mutex(kernel, "wal_insert_lock")
         self.pending_kb = 0
         self.flushes = 0
+        self._tp_note = kernel.trace.point("app.note")
 
     def append(self, record_kb):
         """Copy a record into the WAL buffer under the insert lock."""
@@ -112,3 +117,6 @@ class WriteAheadLog:
         yield Sleep(us=self.flush_floor_us + pending * self.flush_us_per_kb)
         self.flushes += 1
         self.instr.release_mutex(self.lock)
+        if self._tp_note.active:
+            self._tp_note.fire(self.kernel.now_us, what="wal.flush",
+                               kb=pending)

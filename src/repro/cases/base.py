@@ -69,6 +69,9 @@ class CaseEnv:
         self.isolation_level = 50  # paper default; Figure 15 varies it
         self.victim_recorders = []
         self.noisy_recorders = []
+        # Optional obs.metrics.MetricsRegistry; when set, recorders
+        # mirror their samples into per-role latency histograms.
+        self.metrics = None
         self._groups = set()
 
     @property
@@ -78,8 +81,13 @@ class CaseEnv:
 
     def recorder(self, name, victim=False, noisy=False, warmup=True):
         """Create a latency recorder, tracked for result aggregation."""
+        histogram = None
+        if self.metrics is not None:
+            role = "victim" if victim else ("noisy" if noisy else "other")
+            histogram = self.metrics.histogram("latency.%s_us" % role)
         recorder = LatencyRecorder(
-            name, record_from_us=self.warmup_us if warmup else 0
+            name, record_from_us=self.warmup_us if warmup else 0,
+            histogram=histogram,
         )
         if victim:
             self.victim_recorders.append(recorder)
@@ -189,12 +197,16 @@ class CaseRun:
 
 
 def run_case(case, solution, seed=1, baseline_us=None, duration_s=None,
-             penalty_engine=None, call_filter=None, isolation_level=None):
+             penalty_engine=None, call_filter=None, isolation_level=None,
+             observer=None):
     """Run ``case`` once under ``solution`` and return a :class:`CaseRun`.
 
     ``penalty_engine`` (Table 4), ``call_filter`` (Section 6.8), and
     ``isolation_level`` (Figure 15) expose the knobs the sensitivity
-    experiments vary.
+    experiments vary.  ``observer(env)``, called after the environment
+    is assembled but before the case builds, is the attachment point for
+    observability (tracepoint subscribers, metrics registries): it may
+    subscribe to ``env.kernel.trace`` and set ``env.metrics``.
     """
     kernel = Kernel(cores=case.cores, seed=seed)
     pbox_on = solution is Solution.PBOX
@@ -219,6 +231,8 @@ def run_case(case, solution, seed=1, baseline_us=None, duration_s=None,
     env.interference = solution is not Solution.NO_INTERFERENCE
     if isolation_level is not None:
         env.isolation_level = isolation_level
+    if observer is not None:
+        observer(env)
     case.build(env)
     env.finalize()
     kernel.run(until_us=duration_us)

@@ -6,8 +6,14 @@ Commands:
 - ``run-case c5 [--solution pbox]``   measure To/Ti/Ts for one case
 - ``table3``                          interference levels for all cases
 - ``analyze file.c``                  run Algorithm 2 over mini-C source
-- ``trace c5``                        run a case under pBox and print
-                                      the Section 7 trace report
+- ``trace c5 [--export t.json]``      run a case under pBox and print
+                                      the Section 7 trace report; with
+                                      --export, also write a Perfetto-
+                                      compatible trace-event JSON file
+- ``metrics c5``                      run a case under pBox with the
+                                      metrics registry attached and
+                                      print counters + latency
+                                      histograms
 - ``report [--results-dir results]``  stitch benchmark outputs into
                                       results/REPORT.md
 """
@@ -23,8 +29,13 @@ from repro.analyzer import (
     parse_python,
 )
 from repro.cases import ALL_CASES, Solution, evaluate_case, get_case, run_case
-from repro.core import PBoxManager
 from repro.core.trace import PBoxTracer
+from repro.obs import (
+    MetricsCollector,
+    MetricsRegistry,
+    SpanRecorder,
+    write_chrome_trace,
+)
 from repro.report import write_report
 
 
@@ -107,21 +118,44 @@ def cmd_analyze(args):
 
 
 def cmd_trace(args):
-    """Run a case under pBox and print the trace report."""
-    tracer = PBoxTracer()
-    original_init = PBoxManager.__init__
+    """Run a case under pBox and print the trace report.
 
-    def patched(self, *pargs, **kwargs):
-        kwargs.setdefault("tracer", tracer)
-        original_init(self, *pargs, **kwargs)
+    With ``--export PATH`` the run is also recorded as spans and written
+    out as Chrome trace-event JSON (open it in ui.perfetto.dev).
+    """
+    tracer = PBoxTracer(record_events=args.record_events)
+    recorder = SpanRecorder() if args.export else None
 
-    PBoxManager.__init__ = patched
-    try:
-        run_case(get_case(args.case), Solution.PBOX,
-                 duration_s=args.duration, seed=args.seed)
-    finally:
-        PBoxManager.__init__ = original_init
+    def observer(env):
+        tracer.attach(env.kernel.trace)
+        if recorder is not None:
+            recorder.attach(env.kernel.trace)
+
+    run_case(get_case(args.case), Solution.PBOX,
+             duration_s=args.duration, seed=args.seed, observer=observer)
     print(tracer.format_report())
+    if recorder is not None:
+        path = write_chrome_trace(recorder, args.export, case_id=args.case)
+        print("wrote %s (%d spans, %d flow pairs)"
+              % (path, len(recorder.spans), len(recorder.paired_flows())))
+    return 0
+
+
+def cmd_metrics(args):
+    """Run a case under pBox and print the unified metrics registry."""
+    registry = MetricsRegistry()
+    collector = MetricsCollector(registry)
+
+    def observer(env):
+        env.metrics = registry
+        collector.attach(env.kernel.trace)
+
+    run_case(get_case(args.case), Solution.PBOX,
+             duration_s=args.duration, seed=args.seed, observer=observer)
+    print(registry.format_report())
+    if args.json:
+        registry.save_json(args.json)
+        print("wrote %s" % args.json)
     return 0
 
 
@@ -164,6 +198,21 @@ def build_parser():
                                                      key=_case_order))
     trace_parser.add_argument("--duration", type=float, default=6)
     trace_parser.add_argument("--seed", type=int, default=1)
+    trace_parser.add_argument("--export", metavar="PATH", default=None,
+                              help="write Chrome trace-event JSON "
+                                   "(Perfetto-compatible) to PATH")
+    trace_parser.add_argument("--record-events", action="store_true",
+                              help="keep per-event records in the tracer "
+                                   "ring buffer")
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="run a case and print the metrics registry")
+    metrics_parser.add_argument("case", choices=sorted(ALL_CASES,
+                                                       key=_case_order))
+    metrics_parser.add_argument("--duration", type=float, default=6)
+    metrics_parser.add_argument("--seed", type=int, default=1)
+    metrics_parser.add_argument("--json", metavar="PATH", default=None,
+                                help="also dump the registry as JSON")
 
     report_parser = sub.add_parser("report",
                                    help="aggregate results/ into a report")
@@ -177,6 +226,7 @@ COMMANDS = {
     "table3": cmd_table3,
     "analyze": cmd_analyze,
     "trace": cmd_trace,
+    "metrics": cmd_metrics,
     "report": cmd_report,
 }
 

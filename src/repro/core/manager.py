@@ -18,6 +18,8 @@ Implements the monitoring and mitigation pipeline of Sections 4.3-4.4:
   defers their queued tasks (Section 5).
 """
 
+import itertools
+
 from repro.core.events import CompetitorEntry, StateEvent
 from repro.core.pbox import ActivityRecord, PBox, PBoxStatus
 from repro.core.penalty import AdaptivePenalty
@@ -82,6 +84,23 @@ class PBoxManager:
         self._next_psid = 1
         self.competitor_map = {}     # resource key -> [CompetitorEntry]
         self.last_releaser = {}      # resource key -> (psid, time_us)
+        # Observability: everything the manager used to report to a
+        # tracer now goes through the kernel's tracepoint bus; the
+        # tracer (if any) is simply the first subscriber.
+        trace = kernel.trace
+        self._tp_create = trace.point("pbox.create")
+        self._tp_release = trace.point("pbox.release")
+        self._tp_activate = trace.point("pbox.activate")
+        self._tp_freeze = trace.point("pbox.freeze")
+        self._tp_event = trace.point("pbox.event")
+        self._tp_detect = trace.point("pbox.detect")
+        self._tp_action = trace.point("pbox.action")
+        self._tp_penalty = trace.point("pbox.penalty")
+        # Flow ids link each detection to the penalty it causes (used by
+        # the trace exporter to draw detection -> penalty arrows).
+        self._flow_ids = itertools.count(1)
+        if tracer is not None:
+            tracer.attach(trace)
         self.stats = {
             "detections": 0,
             "actions": 0,
@@ -105,6 +124,11 @@ class PBoxManager:
         self._pboxes[pbox.psid] = pbox
         if thread is not None:
             thread.pbox = pbox
+        if self._tp_create.active:
+            self._tp_create.fire(
+                self.kernel.now_us, psid=pbox.psid,
+                tid=None if thread is None else thread.tid,
+            )
         return pbox
 
     def release(self, pbox):
@@ -122,6 +146,8 @@ class PBoxManager:
         if pbox.thread is not None and pbox.thread.pbox is pbox:
             pbox.thread.pbox = None
         self._pboxes.pop(pbox.psid, None)
+        if self._tp_release.active:
+            self._tp_release.fire(self.kernel.now_us, psid=pbox.psid)
 
     def activate(self, pbox):
         """Start tracing a new activity inside the pBox.
@@ -138,6 +164,8 @@ class PBoxManager:
         pbox.status = PBoxStatus.ACTIVE
         pbox.activity_start_us = self.kernel.now_us
         pbox.defer_time_us = 0
+        if self._tp_activate.active:
+            self._tp_activate.fire(self.kernel.now_us, psid=pbox.psid)
 
     def _remove_competitor(self, key, pbox):
         entries = self.competitor_map.get(key)
@@ -159,6 +187,10 @@ class PBoxManager:
         pbox.total_exec_us += record.exec_us
         pbox.activities_completed += 1
         pbox.status = PBoxStatus.FROZEN
+        if self._tp_freeze.active:
+            self._tp_freeze.fire(now, psid=pbox.psid,
+                                 defer_us=record.defer_us,
+                                 exec_us=record.exec_us)
         if self.enabled:
             self._pbox_level_detection(pbox)
 
@@ -193,8 +225,8 @@ class PBoxManager:
         """Process one state event (the kernel side of update_pbox)."""
         self.stats["events"] += 1
         now = self.kernel.now_us
-        if self.tracer is not None:
-            self.tracer.on_event(now, pbox, key, event)
+        if self._tp_event.active:
+            self._tp_event.fire(now, pbox=pbox, key=key, event=event)
 
         if event is StateEvent.PREPARE:
             if key in pbox.prepares:
@@ -282,9 +314,12 @@ class PBoxManager:
                     victim_defer = total_defer
         if victim is not None:
             self.stats["detections"] += 1
-            if self.tracer is not None:
-                self.tracer.on_detection(now, holder, victim, key)
-            self.take_action(holder, victim, key, victim_defer_us=victim_defer)
+            flow = next(self._flow_ids)
+            if self._tp_detect.active:
+                self._tp_detect.fire(now, noisy=holder, victim=victim,
+                                     key=key, flow=flow)
+            self.take_action(holder, victim, key, victim_defer_us=victim_defer,
+                             flow_id=flow)
 
     def _pbox_level_detection(self, pbox):
         """Freeze-time detection over the activity history (Section 4.3.1).
@@ -321,7 +356,8 @@ class PBoxManager:
     # Actions (Section 4.4)
     # ------------------------------------------------------------------
 
-    def take_action(self, noisy, victim, key, victim_defer_us=None):
+    def take_action(self, noisy, victim, key, victim_defer_us=None,
+                    flow_id=None):
         """Schedule a penalty on ``noisy`` for deferring ``victim``.
 
         The penalty is not applied immediately: for dedicated-thread
@@ -345,18 +381,28 @@ class PBoxManager:
         self.stats["actions"] += 1
         noisy.penalties_received += 1
         noisy.penalty_total_us += decision.length_us
-        if self.tracer is not None:
-            self.tracer.on_action(now, noisy, victim, key, decision.length_us)
+        if self._tp_action.active:
+            self._tp_action.fire(now, noisy=noisy, victim=victim, key=key,
+                                 length_us=decision.length_us, flow=flow_id)
         if noisy.shared_thread:
             noisy.penalty_until_us = now + decision.length_us
+            if self._tp_penalty.active:
+                self._tp_penalty.fire(now, pbox=noisy,
+                                      delay_us=decision.length_us,
+                                      mode="defer-window", flow=flow_id)
         elif self.penalty_mode == "priority" and noisy.thread is not None:
             noisy.thread.demoted_until_us = max(
                 noisy.thread.demoted_until_us, now + decision.length_us
             )
             self.stats["penalties_applied"] += 1
             self.stats["penalty_applied_us"] += decision.length_us
+            if self._tp_penalty.active:
+                self._tp_penalty.fire(now, pbox=noisy,
+                                      delay_us=decision.length_us,
+                                      mode="demote", flow=flow_id)
         else:
             noisy.pending_penalty_us += decision.length_us
+            noisy.pending_penalty_flow = flow_id
         victim.blame.clear()
 
     def is_task_deferred(self, pbox):
@@ -391,6 +437,9 @@ class PBoxManager:
         pbox.pending_penalty_us = 0
         self.stats["penalties_applied"] += 1
         self.stats["penalty_applied_us"] += delay
-        if self.tracer is not None:
-            self.tracer.on_penalty_served(self.kernel.now_us, pbox, delay)
+        if self._tp_penalty.active:
+            self._tp_penalty.fire(self.kernel.now_us, pbox=pbox,
+                                  delay_us=delay, mode="delay",
+                                  flow=pbox.pending_penalty_flow)
+        pbox.pending_penalty_flow = None
         return delay

@@ -1,0 +1,53 @@
+"""Cross-layer observability: tracepoints, spans, export, metrics.
+
+Section 7 of the paper presents pBox's log traces as the debugging aid
+for interference incidents, and Figure 16's overhead claim requires the
+instrumentation to be near-free when nobody is looking.  This package
+provides both halves for the reproduction:
+
+- :mod:`repro.obs.tracepoints` -- a named tracepoint bus.  The sim
+  kernel, futex table, cgroups, the pBox manager, and the application
+  resource models all fire tracepoints; with no subscribers each firing
+  site costs one attribute check.
+- :mod:`repro.obs.spans` -- a span recorder that subscribes to the bus
+  and reconstructs per-thread and per-pBox timelines in virtual time.
+- :mod:`repro.obs.export` -- Chrome trace-event JSON (Perfetto
+  compatible) serialization of a recorded run, including flow events
+  linking each detection to the penalty it caused.
+- :mod:`repro.obs.metrics` -- a unified registry of counters, gauges
+  and mergeable log-bucketed latency histograms, fed from the bus by
+  :class:`~repro.obs.metrics.MetricsCollector`.
+"""
+
+from repro.obs.tracepoints import CATALOG, Tracepoint, TracepointBus, key_label
+from repro.obs.spans import SpanRecorder
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "SpanRecorder",
+    "Tracepoint",
+    "TracepointBus",
+    "chrome_trace",
+    "chrome_trace_events",
+    "key_label",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,147 @@
+"""Chrome trace-event (Perfetto-compatible) JSON export.
+
+Serializes a :class:`~repro.obs.spans.SpanRecorder` into the JSON
+object format of the Chrome trace-event spec, which ``ui.perfetto.dev``
+(and ``chrome://tracing``) load directly:
+
+- process 1 ("threads") carries one track per simulated thread;
+- process 2 ("pBoxes") carries one lane per pBox id;
+- spans are ``"X"`` complete events (``ts``/``dur`` in microseconds of
+  *virtual* time), instants are ``"i"`` events;
+- each detection -> penalty causality link is a flow event pair
+  (``"s"``/``"f"`` with a shared ``id``).
+
+``validate_chrome_trace`` checks the invariants the format requires; it
+is used by the test suite and the ``make verify`` smoke target.
+"""
+
+import json
+
+THREADS_PID = 1
+PBOXES_PID = 2
+
+_TRACK_PIDS = {"thread": THREADS_PID, "pbox": PBOXES_PID}
+
+
+def _clean_args(args):
+    if not args:
+        return {}
+    return {key: value for key, value in args.items() if value is not None}
+
+
+def chrome_trace_events(recorder):
+    """Flatten a SpanRecorder into a list of trace-event dicts."""
+    events = []
+
+    # Metadata: name the two processes and every known track.
+    for pid, label in ((THREADS_PID, "threads"), (PBOXES_PID, "pBoxes")):
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": label}})
+    for tid, name in sorted(recorder.thread_names.items()):
+        events.append({"ph": "M", "name": "thread_name", "pid": THREADS_PID,
+                       "tid": tid, "args": {"name": name}})
+    for psid in sorted(recorder.pbox_ids):
+        events.append({"ph": "M", "name": "thread_name", "pid": PBOXES_PID,
+                       "tid": psid, "args": {"name": "pbox %d" % psid}})
+
+    for track, tid, name, cat, start, dur, args in recorder.spans:
+        events.append({"ph": "X", "name": name, "cat": cat,
+                       "pid": _TRACK_PIDS[track], "tid": tid,
+                       "ts": start, "dur": dur, "args": _clean_args(args)})
+    for track, tid, name, cat, ts, args in recorder.instants:
+        events.append({"ph": "i", "s": "t", "name": name, "cat": cat,
+                       "pid": _TRACK_PIDS[track], "tid": tid,
+                       "ts": ts, "args": _clean_args(args)})
+
+    paired = recorder.paired_flows()
+    for track, tid, flow, ts in recorder.flow_starts:
+        if flow not in paired:
+            continue
+        events.append({"ph": "s", "name": "detection->penalty",
+                       "cat": "pbox-flow", "id": flow,
+                       "pid": _TRACK_PIDS[track], "tid": tid, "ts": ts})
+    for track, tid, flow, ts in recorder.flow_ends:
+        if flow not in paired:
+            continue
+        events.append({"ph": "f", "bp": "e", "name": "detection->penalty",
+                       "cat": "pbox-flow", "id": flow,
+                       "pid": _TRACK_PIDS[track], "tid": tid, "ts": ts})
+    return events
+
+
+def chrome_trace(recorder, case_id=None):
+    """The full trace-event JSON object for one recorded run."""
+    other = {"source": "pBox reproduction (python -m repro trace)",
+             "clock": "virtual microseconds"}
+    if case_id is not None:
+        other["case"] = case_id
+    if recorder.truncated:
+        other["truncated"] = ("event cap reached; tail of the run "
+                              "was not recorded")
+    return {
+        "traceEvents": chrome_trace_events(recorder),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(recorder, path, case_id=None):
+    """Serialize the recorder to ``path``; returns ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(recorder, case_id=case_id), handle)
+        handle.write("\n")
+    return path
+
+
+def validate_chrome_trace(obj):
+    """Validate a trace-event JSON object; returns summary statistics.
+
+    Raises :class:`ValueError` on the first violation.  Checks the
+    fields Perfetto's legacy JSON importer requires: every event has
+    ``ph``/``pid``/``tid``, non-metadata events carry a numeric ``ts``,
+    ``X`` events carry a non-negative ``dur``, and every flow-finish
+    ``id`` has a matching flow-start.
+    """
+    if isinstance(obj, list):
+        events = obj
+    elif isinstance(obj, dict):
+        events = obj.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("traceEvents must be a list")
+    else:
+        raise ValueError("trace must be a JSON object or array")
+    counts = {}
+    flow_starts = set()
+    flow_ends = set()
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError("event %d is not an object" % index)
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            raise ValueError("event %d lacks ph" % index)
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ValueError("event %d lacks integer %s" % (index, field))
+        if ph != "M":
+            if not isinstance(event.get("ts"), (int, float)):
+                raise ValueError("event %d lacks numeric ts" % index)
+            if not isinstance(event.get("name"), str):
+                raise ValueError("event %d lacks name" % index)
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError("event %d: X needs non-negative dur" % index)
+        if ph in ("s", "f"):
+            if "id" not in event:
+                raise ValueError("event %d: flow event needs id" % index)
+            (flow_starts if ph == "s" else flow_ends).add(event["id"])
+        counts[ph] = counts.get(ph, 0) + 1
+    unmatched = flow_ends - flow_starts
+    if unmatched:
+        raise ValueError("flow finish without start: %r"
+                         % sorted(unmatched)[:5])
+    return {
+        "events": len(events),
+        "by_phase": counts,
+        "flows_paired": len(flow_starts & flow_ends),
+    }

@@ -26,7 +26,12 @@ SECTIONS = [
     ("tab05_analyzer.txt", "Table 5 — static analyzer"),
     ("sec68_mistake_tolerance.txt", "Section 6.8 — mistake tolerance"),
     ("ablations.txt", "Ablations — design-choice costs"),
+    ("obs_overhead.txt", "Observability — tracing overhead"),
 ]
+
+#: Metrics-registry snapshot (``python -m repro metrics <case> --json``)
+#: rendered as its own report section.
+METRICS_SNAPSHOT = "obs_metrics.json"
 
 
 def load_section(results_dir, filename):
@@ -82,11 +87,32 @@ def generate_report(results_dir="results"):
         else:
             parts.extend(_as_markdown_table(lines))
         parts.append("")
+    parts.append("## Observability — unified metrics registry")
+    parts.append("")
+    metrics_lines = _load_metrics_section(results_dir)
+    if metrics_lines is None:
+        parts.append("*(not yet generated — run `python -m repro metrics "
+                     "<case> --json results/%s`)*" % METRICS_SNAPSHOT)
+        missing.append(METRICS_SNAPSHOT)
+    else:
+        parts.extend(metrics_lines)
+    parts.append("")
     if missing:
         parts.append("---")
         parts.append("%d of %d sections missing." % (len(missing),
-                                                     len(SECTIONS)))
+                                                     len(SECTIONS) + 1))
     return "\n".join(parts)
+
+
+def _load_metrics_section(results_dir):
+    """Render the saved metrics-registry snapshot, or None if absent."""
+    path = os.path.join(results_dir, METRICS_SNAPSHOT)
+    if not os.path.exists(path):
+        return None
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry.load_json(path)
+    return _as_markdown_table(registry.format_table())
 
 
 def write_report(results_dir="results", output_path=None):

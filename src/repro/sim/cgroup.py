@@ -36,6 +36,20 @@ class Cgroup:
         self.period_start_us = 0
         self.throttled_threads = []   # threads parked until refresh
         self.total_cpu_us = 0         # lifetime accounting
+        self._tp_throttle = None
+        self._tp_unthrottle = None
+
+    def attach_trace(self, bus):
+        """Wire this group's throttle tracepoints to ``bus``."""
+        self._tp_throttle = bus.point("cgroup.throttle")
+        self._tp_unthrottle = bus.point("cgroup.unthrottle")
+
+    def park(self, thread, now_us):
+        """Park a thread that hit the quota until the next refresh."""
+        self.throttled_threads.append(thread)
+        tp = self._tp_throttle
+        if tp is not None and tp.active:
+            tp.fire(now_us, group=self.name, tid=thread.tid)
 
     def set_quota(self, quota_us):
         """Change the quota at runtime (used by PARTIES-style shifting)."""
@@ -56,6 +70,10 @@ class Cgroup:
         self.runtime_us = 0
         released = self.throttled_threads
         self.throttled_threads = []
+        tp = self._tp_unthrottle
+        if tp is not None and tp.active and released:
+            tp.fire(now_us, group=self.name,
+                    tids=[thread.tid for thread in released])
         return released
 
     def remaining_us(self, now_us):

@@ -10,10 +10,22 @@ from collections import OrderedDict, deque
 
 
 class WaitQueueTable:
-    """FIFO wait queues keyed by arbitrary hashable objects."""
+    """FIFO wait queues keyed by arbitrary hashable objects.
 
-    def __init__(self):
+    When constructed with a clock and a tracepoint bus, the table fires
+    ``futex.wait`` / ``futex.wake`` tracepoints so observers can follow
+    blocking without patching the kernel.
+    """
+
+    def __init__(self, clock=None, trace=None):
         self._queues = {}
+        self._clock = clock
+        if trace is not None and clock is not None:
+            self._tp_wait = trace.point("futex.wait")
+            self._tp_wake = trace.point("futex.wake")
+        else:
+            self._tp_wait = None
+            self._tp_wake = None
 
     def add(self, key, thread):
         """Append ``thread`` to the queue for ``key``."""
@@ -22,6 +34,10 @@ class WaitQueueTable:
             queue = deque()
             self._queues[key] = queue
         queue.append(thread)
+        tp = self._tp_wait
+        if tp is not None and tp.active:
+            tp.fire(self._clock.now_us, tid=thread.tid, key=key,
+                    waiters=len(queue))
 
     def remove(self, key, thread):
         """Remove ``thread`` from ``key``'s queue; returns True if found."""
@@ -46,6 +62,10 @@ class WaitQueueTable:
             woken.append(queue.popleft())
         if not queue:
             del self._queues[key]
+        tp = self._tp_wake
+        if tp is not None and tp.active and woken:
+            tp.fire(self._clock.now_us, key=key, requested=n,
+                    woken=[thread.tid for thread in woken])
         return woken
 
     def waiters(self, key):

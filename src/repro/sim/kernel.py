@@ -24,6 +24,7 @@ Typical use::
 import heapq
 import itertools
 
+from repro.obs.tracepoints import TracepointBus
 from repro.sim.cgroup import Cgroup
 from repro.sim.clock import Clock
 from repro.sim.errors import DeadlockError, ThreadCrashedError
@@ -80,9 +81,20 @@ class Kernel:
         self.quantum_us = quantum_us
         self.run_queue = RunQueue()
         self.run_queue._now = lambda: self.clock.now_us
-        self.futexes = WaitQueueTable()
+        # Observability: the tracepoint bus every layer fires into.
+        # Firing sites pre-fetch their Tracepoint and guard on its
+        # ``active`` flag, so a run with no subscribers pays one
+        # attribute check per site (the Figure 16 "disabled" story).
+        self.trace = TracepointBus()
+        self._tp_enqueue = self.trace.point("sched.enqueue")
+        self._tp_switch = self.trace.point("sched.switch")
+        self._tp_switchout = self.trace.point("sched.switchout")
+        self._tp_sleep = self.trace.point("sched.sleep")
+        self._tp_penalty = self.trace.point("penalty.inject")
+        self.futexes = WaitQueueTable(clock=self.clock, trace=self.trace)
         self.rngs = RngRegistry(seed)
         self.root_cgroup = Cgroup("root", quota_us=None)
+        self.root_cgroup.attach_trace(self.trace)
         self.cgroups = {"root": self.root_cgroup}
         self.current_thread = None
         self.threads = []
@@ -115,6 +127,7 @@ class Kernel:
         if name in self.cgroups:
             raise ValueError("cgroup %r already exists" % name)
         group = Cgroup(name, quota_us=quota_us, period_us=period_us)
+        group.attach_trace(self.trace)
         self.cgroups[name] = group
         return group
 
@@ -224,6 +237,9 @@ class Kernel:
     def _enqueue(self, thread, compute_us, resume_value, front=False):
         thread.pending_compute_us = compute_us
         thread._resume_value = resume_value
+        if self._tp_enqueue.active:
+            self._tp_enqueue.fire(self.clock.now_us, tid=thread.tid,
+                                  name=thread.name)
         if front:
             self.run_queue.push_front(thread)
         else:
@@ -259,6 +275,10 @@ class Kernel:
         core.running = thread
         thread.state = ThreadState.RUNNING
         self.stats["context_switches"] += 1
+        if self._tp_switch.active:
+            self._tp_switch.fire(self.clock.now_us, tid=thread.tid,
+                                 name=thread.name, core=core.index,
+                                 slice_us=slice_us)
         timer = self.post(self.now_us + slice_us, lambda: self._slice_end(core))
         core.slice_end_event = timer
         core._slice_started_us = self.now_us
@@ -274,6 +294,10 @@ class Kernel:
             group = thread.cgroup or self.root_cgroup
             group.charge(ran)
             thread.pending_compute_us -= ran
+        if self._tp_switchout.active:
+            self._tp_switchout.fire(self.clock.now_us, tid=thread.tid,
+                                    core=core.index, ran_us=ran,
+                                    done=thread.pending_compute_us <= 0)
         if thread.pending_compute_us > 0:
             self.run_queue.push(thread)
             self._dispatch()
@@ -283,7 +307,7 @@ class Kernel:
 
     def _throttle(self, thread, group):
         thread.state = ThreadState.THROTTLED
-        group.throttled_threads.append(thread)
+        group.park(thread, self.clock.now_us)
         self.stats["throttles"] += 1
         if not getattr(group, "_refresh_scheduled", False):
             group._refresh_scheduled = True
@@ -322,6 +346,12 @@ class Kernel:
             if delay:
                 self.stats["penalties"] += 1
                 self.stats["penalty_us"] += delay
+                if self._tp_penalty.active:
+                    pbox = thread.pbox
+                    self._tp_penalty.fire(
+                        self.clock.now_us, tid=thread.tid, delay_us=delay,
+                        psid=None if pbox is None else pbox.psid,
+                    )
                 thread.state = ThreadState.SLEEPING
                 thread.wakeup_event = self.post(
                     self.now_us + delay, lambda: self._advance(thread, send_value)
@@ -365,6 +395,9 @@ class Kernel:
 
         if isinstance(syscall, Sleep):
             thread.state = ThreadState.SLEEPING
+            if self._tp_sleep.active:
+                self._tp_sleep.fire(self.clock.now_us, tid=thread.tid,
+                                    us=syscall.us)
             thread.wakeup_event = self.post(
                 self.now_us + syscall.us, lambda: self._wake_sleeper(thread)
             )

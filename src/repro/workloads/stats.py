@@ -49,11 +49,14 @@ class LatencyRecorder:
     way the paper's 90-second runs do.
     """
 
-    def __init__(self, name="client", record_from_us=0):
+    def __init__(self, name="client", record_from_us=0, histogram=None):
         self.name = name
         self.record_from_us = record_from_us
         self.samples_us = []
         self.completion_times_us = []
+        # Optional obs.metrics.Histogram mirror: every accepted sample
+        # also lands in the shared metrics registry.
+        self.histogram = histogram
 
     def record(self, latency_us, completed_at_us):
         """Record one request's latency, honoring the warmup cutoff."""
@@ -61,6 +64,8 @@ class LatencyRecorder:
             return
         self.samples_us.append(latency_us)
         self.completion_times_us.append(completed_at_us)
+        if self.histogram is not None:
+            self.histogram.record(latency_us)
 
     @property
     def count(self):

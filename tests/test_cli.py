@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import MetricsRegistry, validate_chrome_trace
 
 
 def test_list_cases(capsys):
@@ -33,6 +36,55 @@ def test_trace_command(capsys):
     out = capsys.readouterr().out
     assert "pBox trace report" in out
     assert "state events" in out
+
+
+def test_trace_command_exports_chrome_trace(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert main(["trace", "c1", "--duration", "3",
+                 "--export", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote %s" % path in out
+    with open(path) as handle:
+        trace = json.load(handle)
+    summary = validate_chrome_trace(trace)
+    assert summary["events"] > 0
+    assert summary["by_phase"]["X"] > 0
+    assert trace["otherData"]["case"] == "c1"
+    # Per-thread tracks and pBox lanes both exist as named processes.
+    names = {event["args"]["name"] for event in trace["traceEvents"]
+             if event["ph"] == "M" and event["name"] == "process_name"}
+    assert names == {"threads", "pBoxes"}
+
+
+def test_trace_command_record_events(capsys):
+    assert main(["trace", "c1", "--duration", "2", "--record-events"]) == 0
+    out = capsys.readouterr().out
+    assert "pBox trace report" in out
+
+
+def test_metrics_command(capsys):
+    assert main(["metrics", "c1", "--duration", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "metrics registry" in out
+    assert "sched.context_switches" in out
+    assert "latency.victim_us" in out
+    assert "p50" in out and "p95" in out and "p99" in out
+
+
+def test_metrics_command_json_feeds_report(tmp_path, capsys):
+    path = tmp_path / "obs_metrics.json"
+    assert main(["metrics", "c1", "--duration", "2",
+                 "--json", str(path)]) == 0
+    registry = MetricsRegistry.load_json(str(path))
+    assert registry.counters["sched.context_switches"].value > 0
+    assert registry.histograms["latency.victim_us"].count > 0
+    # report.py consumes the same snapshot.
+    assert main(["report", "--results-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    with open(tmp_path / "REPORT.md") as handle:
+        report = handle.read()
+    assert "unified metrics registry" in report
+    assert "latency.victim_us" in report
 
 
 def test_analyze_command(tmp_path, capsys):

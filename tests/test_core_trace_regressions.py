@@ -1,0 +1,126 @@
+"""Regression tests for PBoxTracer capacity accounting and key naming.
+
+Two historical bugs:
+
+- a flood of cheap ``event`` records could evict the rare
+  detection/action/penalty records from the shared ring buffer;
+- ``_key_name`` crashed the ranking helpers on tuple keys with
+  unhashable parts and rendered ``None`` keys as the string "None".
+"""
+
+from repro.core import IsolationRule, PBoxManager, StateEvent
+from repro.core.trace import PBoxTracer
+from repro.sim import Kernel, Sleep
+
+
+def test_event_flood_does_not_evict_rich_records():
+    tracer = PBoxTracer(capacity=8, record_events=True)
+    kernel = Kernel(cores=1)
+    manager = PBoxManager(kernel, tracer=tracer)
+    pbox = manager.create(IsolationRule(50))
+    victim = manager.create(IsolationRule(50))
+    manager.activate(pbox)
+    # Rare, valuable records first...
+    tracer.on_detection(10, pbox, victim, "res")
+    tracer.on_action(11, pbox, victim, "res", 5_000)
+    tracer.on_penalty_served(12, pbox, 5_000)
+    # ...then a flood of state events far beyond the capacity.
+    for index in range(100):
+        manager.update(pbox, "k%d" % index, StateEvent.HOLD)
+    kinds = [record.kind for record in tracer.records]
+    assert "detection" in kinds
+    assert "action" in kinds
+    assert "penalty" in kinds
+    # Both rings stay bounded.
+    assert kinds.count("event") <= tracer.capacity
+    assert len(tracer.records) <= 2 * tracer.capacity
+
+
+def test_records_merged_in_time_order():
+    tracer = PBoxTracer(capacity=100, record_events=True)
+    kernel = Kernel(cores=1)
+    manager = PBoxManager(kernel, tracer=tracer)
+    pbox = manager.create(IsolationRule(50))
+    victim = manager.create(IsolationRule(50))
+    tracer.on_event(5, pbox, "a", StateEvent.HOLD)
+    tracer.on_detection(3, pbox, victim, "a")
+    tracer.on_event(1, pbox, "b", StateEvent.PREPARE)
+    times = [record.time_us for record in tracer.records]
+    assert times == sorted(times)
+
+
+def test_dropped_counter_tracks_evictions():
+    tracer = PBoxTracer(capacity=4, record_events=True)
+    kernel = Kernel(cores=1)
+    manager = PBoxManager(kernel, tracer=tracer)
+    pbox = manager.create(IsolationRule(50))
+    for index in range(10):
+        manager.update(pbox, "k%d" % index, StateEvent.HOLD)
+    assert tracer.dropped["event"] == 6
+    assert tracer.dropped["detection"] == 0
+
+
+def test_key_name_handles_none_and_tuples():
+    assert PBoxTracer._key_name(None) == "<none>"
+    assert PBoxTracer._key_name("lock") == "lock"
+    assert PBoxTracer._key_name(("table", "idx")) == "(table, idx)"
+
+    class Named:
+        name = "wal_insert_lock"
+
+    assert PBoxTracer._key_name(Named()) == "wal_insert_lock"
+
+    class EmptyName:
+        name = ""
+
+        def __str__(self):
+            return "anon"
+
+    # An empty name attribute must not shadow the fallback rendering.
+    assert PBoxTracer._key_name(EmptyName()) == "anon"
+
+
+def test_action_report_with_exotic_keys():
+    tracer = PBoxTracer()
+    kernel = Kernel(cores=1)
+    manager = PBoxManager(kernel, tracer=tracer)
+    noisy = manager.create(IsolationRule(50))
+    victim = manager.create(IsolationRule(50))
+    tracer.on_action(1, noisy, victim, None, 100)
+    tracer.on_action(2, noisy, victim, ("buf", 7), 100)
+    ranked = dict(tracer.top_contended_resources())
+    assert ranked["<none>"] == 1
+    assert ranked["(buf, 7)"] == 1
+    report = tracer.format_report()
+    assert "(buf, 7)" in report
+
+
+def test_tracer_attach_detach_roundtrip():
+    kernel = Kernel(cores=4)
+    tracer = PBoxTracer()
+    manager = PBoxManager(kernel)  # no tracer at construction
+    tracer.attach(kernel.trace)
+    pbox = manager.create(IsolationRule(50))
+    manager.activate(pbox)
+
+    def body():
+        manager.update(pbox, "k", StateEvent.HOLD)
+        yield Sleep(us=100)
+        manager.update(pbox, "k", StateEvent.UNHOLD)
+
+    kernel.spawn(body, name="t")
+    kernel.run(until_us=10_000)
+    assert tracer.event_counts["hold"] == 1
+    tracer.detach()
+    manager.update(pbox, "k2", StateEvent.HOLD)
+    assert tracer.event_counts["hold"] == 1  # detached: no new counts
+
+
+def test_reattach_is_idempotent():
+    kernel = Kernel(cores=1)
+    tracer = PBoxTracer()
+    manager = PBoxManager(kernel, tracer=tracer)
+    tracer.attach(kernel.trace)  # second attach must not double-count
+    pbox = manager.create(IsolationRule(50))
+    manager.update(pbox, "k", StateEvent.HOLD)
+    assert tracer.event_counts["hold"] == 1

@@ -1,0 +1,167 @@
+"""Tests for the metrics registry: histogram math, merge, collector."""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+    bucket_bounds,
+    bucket_index,
+)
+from repro.obs.tracepoints import TracepointBus
+from repro.workloads.stats import percentile
+
+
+def test_bucket_boundaries_small_values_exact():
+    # Below 16 every value has its own unit-wide bucket.
+    for value in range(16):
+        assert bucket_index(value) == value
+        assert bucket_bounds(value) == (value, value + 1)
+
+
+def test_bucket_boundaries_first_log_range():
+    # [16, 32) still has unit-wide buckets (16 sub-buckets per octave);
+    # [32, 64) is the first range with width-2 buckets.
+    assert bucket_index(16) == 16
+    assert bucket_bounds(bucket_index(16)) == (16, 17)
+    assert bucket_bounds(bucket_index(32)) == (32, 34)
+    assert bucket_index(33) == bucket_index(32)  # shares the [32,34) bucket
+
+
+def test_bucket_bounds_contain_value_and_are_tight():
+    for value in (0, 1, 15, 16, 100, 1_000, 123_456, 10**9):
+        lo, hi = bucket_bounds(bucket_index(value))
+        assert lo <= value < hi
+        # Relative bucket width is at most 1/16 of the lower bound.
+        if lo >= 16:
+            assert (hi - lo) <= lo / 16
+
+
+def test_bucket_index_is_monotonic():
+    previous = -1
+    for value in range(0, 5_000):
+        index = bucket_index(value)
+        assert index >= previous
+        previous = index
+
+
+def test_histogram_negative_values_clamped_to_zero():
+    histogram = Histogram("h")
+    histogram.record(-5)
+    assert histogram.count == 1
+    assert histogram.min_value == 0
+
+
+def test_histogram_percentile_agrees_with_exact_percentile():
+    rng = random.Random(42)
+    samples = [rng.randint(0, 500_000) for _ in range(5_000)]
+    histogram = Histogram("lat")
+    histogram.record_many(samples)
+    for p in (0, 25, 50, 90, 95, 99, 100):
+        exact = percentile(samples, p)
+        lo, hi = histogram.percentile_bounds(p)
+        assert lo <= exact < hi
+        # The reported value (bucket upper bound) is within one bucket
+        # width above the exact percentile.
+        assert histogram.percentile(p) == hi
+
+
+def test_histogram_merge_equals_combined_recording():
+    rng = random.Random(7)
+    first_samples = [rng.randint(0, 10_000) for _ in range(500)]
+    second_samples = [rng.randint(0, 10_000) for _ in range(700)]
+    first = Histogram("a")
+    first.record_many(first_samples)
+    second = Histogram("b")
+    second.record_many(second_samples)
+    combined = Histogram("c")
+    combined.record_many(first_samples + second_samples)
+    first.merge(second)
+    assert first.buckets == combined.buckets
+    assert first.count == combined.count
+    assert first.total == combined.total
+    assert first.min_value == combined.min_value
+    assert first.max_value == combined.max_value
+    assert first.percentile_bounds(95) == combined.percentile_bounds(95)
+
+
+def test_histogram_empty_raises():
+    histogram = Histogram("h")
+    with pytest.raises(ValueError):
+        histogram.mean()
+    with pytest.raises(ValueError):
+        histogram.percentile(50)
+
+
+def test_registry_accessors_are_get_or_create():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+    registry.inc("x", 3)
+    assert registry.counters["x"].value == 3
+
+
+def test_registry_json_roundtrip(tmp_path):
+    registry = MetricsRegistry()
+    registry.inc("requests", 10)
+    registry.gauge("depth").set(4)
+    registry.gauge("depth").set(2)
+    registry.histogram("lat").record_many([5, 50, 500])
+    path = str(tmp_path / "metrics.json")
+    registry.save_json(path)
+    loaded = MetricsRegistry.load_json(path)
+    assert loaded.counters["requests"].value == 10
+    assert loaded.gauges["depth"].value == 2
+    assert loaded.gauges["depth"].max_value == 4
+    assert loaded.histograms["lat"].count == 3
+    assert loaded.histograms["lat"].buckets == \
+        registry.histograms["lat"].buckets
+
+
+def test_registry_merge():
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    left.inc("n", 1)
+    right.inc("n", 2)
+    right.histogram("h").record(100)
+    left.merge(right)
+    assert left.counters["n"].value == 3
+    assert left.histograms["h"].count == 1
+
+
+def test_registry_format_report_and_table():
+    registry = MetricsRegistry()
+    registry.inc("events", 5)
+    registry.histogram("lat_us").record_many(range(100))
+    report = registry.format_report()
+    assert "metrics registry" in report
+    assert "events" in report
+    assert "p50" in report and "p95" in report and "p99" in report
+    table = registry.format_table()
+    assert table[0].startswith("metric\tkind")
+    assert any(line.startswith("events\tcounter") for line in table)
+    assert any(line.startswith("lat_us\thistogram") for line in table)
+
+
+def test_collector_translates_tracepoints_to_metrics():
+    bus = TracepointBus()
+    collector = MetricsCollector()
+    collector.attach(bus)
+    bus.point("sched.switch").fire(0, tid=1, name="t", core=0, slice_us=100)
+    bus.point("futex.wait").fire(10, tid=1, key="k", waiters=1)
+    bus.point("sched.enqueue").fire(250, tid=1, name="t")
+    bus.point("futex.wake").fire(250, key="k", requested=1, woken=[1])
+    registry = collector.registry
+    assert registry.counters["sched.context_switches"].value == 1
+    assert registry.counters["futex.waits"].value == 1
+    assert registry.counters["futex.woken"].value == 1
+    assert registry.histograms["futex.wait_us"].count == 1
+    lo, hi = registry.histograms["futex.wait_us"].percentile_bounds(50)
+    assert lo <= 240 < hi
+    collector.detach()
+    bus.point("sched.switch").fire(300, tid=1, name="t", core=0, slice_us=1)
+    assert registry.counters["sched.context_switches"].value == 1

@@ -1,0 +1,181 @@
+"""Tests for the tracepoint bus: enable/disable semantics and kernel wiring."""
+
+from repro.obs.tracepoints import CATALOG, Tracepoint, TracepointBus, key_label
+from repro.sim import FutexWait, FutexWake, Kernel, Sleep
+
+
+def test_tracepoint_disabled_by_default():
+    tp = Tracepoint("x")
+    assert tp.active is False
+    assert not tp
+    tp.fire(0, a=1)  # no subscribers: harmless
+
+
+def test_subscribe_enables_unsubscribe_disables():
+    tp = Tracepoint("x")
+    seen = []
+
+    def sub(name, t, fields):
+        seen.append((name, t, fields))
+
+    tp.subscribe(sub)
+    assert tp.active is True
+    tp.fire(5, a=1)
+    assert seen == [("x", 5, {"a": 1})]
+    tp.unsubscribe(sub)
+    assert tp.active is False
+    tp.fire(6, a=2)
+    assert len(seen) == 1
+
+
+def test_unsubscribe_keeps_active_while_others_remain():
+    tp = Tracepoint("x")
+    first = tp.subscribe(lambda *a: None)
+    second = tp.subscribe(lambda *a: None)
+    tp.unsubscribe(first)
+    assert tp.active is True
+    assert tp.subscriber_count == 1
+    tp.unsubscribe(second)
+    assert tp.active is False
+
+
+def test_unsubscribe_unknown_fn_is_noop():
+    tp = Tracepoint("x")
+    tp.subscribe(lambda *a: None)
+    tp.unsubscribe(lambda *a: None)  # never subscribed
+    assert tp.active is True
+
+
+def test_bus_preregisters_catalog():
+    bus = TracepointBus()
+    names = bus.names()
+    for name, _desc in CATALOG:
+        assert name in names
+    assert not any(bus.enabled(name) for name in names)
+
+
+def test_bus_point_is_get_or_create():
+    bus = TracepointBus()
+    custom = bus.point("my.custom")
+    assert bus.point("my.custom") is custom
+    assert bus.point("sched.switch") is bus.point("sched.switch")
+
+
+def test_bus_subscribe_all_and_unsubscribe_all():
+    bus = TracepointBus()
+    hits = []
+
+    def sub(name, t, fields):
+        hits.append(name)
+
+    bus.subscribe_all(sub)
+    assert all(bus.enabled(name) for name in bus.names())
+    bus.point("sched.switch").fire(0, tid=1)
+    assert hits == ["sched.switch"]
+    bus.unsubscribe_all(sub)
+    assert not any(bus.enabled(name) for name in bus.names())
+
+
+def test_key_label_handles_all_key_shapes():
+    assert key_label(None) == "<none>"
+    assert key_label("lock") == "lock"
+    assert key_label(("a", "b")) == "(a, b)"
+    assert key_label((None, ("x", "y"))) == "(<none>, (x, y))"
+
+    class Named:
+        name = "undo_log_latch"
+
+    assert key_label(Named()) == "undo_log_latch"
+
+    class EmptyName:
+        name = ""
+
+        def __str__(self):
+            return "fallback"
+
+    assert key_label(EmptyName()) == "fallback"
+    assert key_label(42) == "42"
+
+
+def test_kernel_bus_inactive_run_records_nothing():
+    kernel = Kernel(cores=1)
+
+    def body():
+        yield Sleep(us=10)
+
+    kernel.spawn(body, name="t")
+    kernel.run(until_us=1_000)
+    assert not any(kernel.trace.enabled(n) for n in kernel.trace.names())
+
+
+def test_two_thread_futex_handoff_tracepoint_sequence():
+    """Kernel smoke test: the canonical blocking handoff fires the
+    expected tracepoint sequence for the waiter, plus one futex.wake."""
+    kernel = Kernel(cores=1)
+    events = []
+
+    def sub(name, t, fields):
+        events.append((name, t, dict(fields)))
+
+    for name in ("sched.enqueue", "sched.switch", "sched.switchout",
+                 "futex.wait", "futex.wake", "sched.sleep"):
+        kernel.trace.subscribe(name, sub)
+
+    tids = {}
+
+    def waiter():
+        yield FutexWait("door")
+
+    def opener():
+        yield Sleep(us=100)
+        yield FutexWake("door", n=1)
+
+    tids["waiter"] = kernel.spawn(waiter, name="waiter").tid
+    tids["opener"] = kernel.spawn(opener, name="opener").tid
+    kernel.run(until_us=10_000)
+
+    waiter_seq = [name for name, _t, fields in events
+                  if fields.get("tid") == tids["waiter"]]
+    # Runnable -> on CPU -> blocks on the futex -> woken -> on CPU again.
+    assert waiter_seq == [
+        "sched.enqueue", "sched.switch", "sched.switchout",
+        "futex.wait",
+        "sched.enqueue", "sched.switch", "sched.switchout",
+    ]
+    wakes = [(t, fields) for name, t, fields in events
+             if name == "futex.wake"]
+    assert len(wakes) == 1
+    wake_time, wake_fields = wakes[0]
+    assert wake_fields["key"] == "door"
+    assert wake_fields["woken"] == [tids["waiter"]]
+    assert wake_time >= 100  # after the opener's sleep
+
+    wait_fields = [fields for name, _t, fields in events
+                   if name == "futex.wait"][0]
+    assert wait_fields["key"] == "door"
+    assert wait_fields["waiters"] == 1
+
+
+def test_throttle_tracepoints_fire_for_limited_cgroup():
+    kernel = Kernel(cores=1)
+    group = kernel.create_cgroup("limited", quota_us=1_000, period_us=10_000)
+    events = []
+
+    def sub(name, t, fields):
+        events.append((name, fields))
+
+    kernel.trace.subscribe("cgroup.throttle", sub)
+    kernel.trace.subscribe("cgroup.unthrottle", sub)
+
+    def spinner():
+        from repro.sim import Compute
+        for _ in range(100):
+            yield Compute(us=500)
+
+    thread = kernel.spawn(spinner, name="spinner", cgroup=group)
+    kernel.run(until_us=50_000)
+    throttles = [f for n, f in events if n == "cgroup.throttle"]
+    unthrottles = [f for n, f in events if n == "cgroup.unthrottle"]
+    assert throttles and throttles[0]["group"] == "limited"
+    assert throttles[0]["tid"] == thread.tid
+    assert unthrottles and thread.tid in unthrottles[0]["tids"]
