@@ -9,8 +9,9 @@ test:
 	pytest tests/
 
 # Tier-1 tests, then a trace-export smoke run validated against the
-# Chrome trace-event schema.  PYTHONPATH=src so it also works on a
-# fresh checkout without `make install`.
+# Chrome trace-event schema, then a contention-attribution profiler
+# smoke run over the buffer-pool motivation case.  PYTHONPATH=src so
+# it also works on a fresh checkout without `make install`.
 verify:
 	PYTHONPATH=src python -m pytest -x -q tests/
 	PYTHONPATH=src python -m repro trace c5 --duration 2 \
@@ -19,6 +20,14 @@ verify:
 	  from repro.obs import validate_chrome_trace; \
 	  stats = validate_chrome_trace(json.load(open('/tmp/pbox-trace.json'))); \
 	  print('trace OK:', stats)"
+	PYTHONPATH=src python -m repro profile c17 --duration 2 \
+	  --folded /tmp/pbox-profile.folded \
+	  --json /tmp/pbox-profile.speedscope.json \
+	  --html /tmp/pbox-profile.html | tail -n 5
+	PYTHONPATH=src python -c "import json; \
+	  doc = json.load(open('/tmp/pbox-profile.speedscope.json')); \
+	  assert doc['profiles'][0]['type'] == 'sampled'; \
+	  print('profile OK:', len(doc['shared']['frames']), 'frames')"
 
 bench:
 	pytest benchmarks/ --benchmark-only

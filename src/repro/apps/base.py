@@ -137,11 +137,18 @@ class Connection:
 
     Subclasses implement ``_handle(request)`` as a generator performing
     the application work for one request.
+
+    ``rule`` overrides the isolation rule for this connection's pBox;
+    by default the app config's rule applies.  Passing a loose
+    (background-style) rule lets a case model batch clients -- an
+    analytics connection, say -- whose pBox should be blamable as an
+    aggressor but not protected as a victim.
     """
 
-    def __init__(self, app, name):
+    def __init__(self, app, name, rule=None):
         self.app = app
         self.name = name
+        self.rule = rule
         self.psid = None
 
     @property
@@ -156,7 +163,9 @@ class Connection:
 
     def open(self):
         """Create this connection's pBox (bound to the calling thread)."""
-        self.psid = self.runtime.create_pbox(self.app.config.make_rule())
+        rule = self.rule if self.rule is not None else (
+            self.app.config.make_rule())
+        self.psid = self.runtime.create_pbox(rule)
         yield from self._on_open()
 
     def _on_open(self):

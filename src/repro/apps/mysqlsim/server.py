@@ -82,9 +82,14 @@ class MySQLServer:
                                    policy="reader_pref")
         self.stopped = False
 
-    def connect(self, name):
-        """Create a connection (one per client thread)."""
-        return MySQLConnection(self, name)
+    def connect(self, name, rule=None):
+        """Create a connection (one per client thread).
+
+        ``rule`` optionally overrides the connection pBox's isolation
+        rule (e.g. ``config.make_background_rule()`` for batch clients
+        such as the analytics scanner of case c17).
+        """
+        return MySQLConnection(self, name, rule=rule)
 
     def stop(self):
         """Ask background threads to wind down."""
@@ -143,8 +148,8 @@ class MySQLServer:
 class MySQLConnection(Connection):
     """One client connection; dispatches the request kinds of cases c1-c5."""
 
-    def __init__(self, app, name):
-        super().__init__(app, name)
+    def __init__(self, app, name, rule=None):
+        super().__init__(app, name, rule=rule)
         self.tickets = 0
         self.in_innodb = False
         self.txn_pinned = False
@@ -269,6 +274,30 @@ class MySQLConnection(Connection):
             yield Compute(us=self.app.config.dict_mutex_pk_us)
             self.instr.release_mutex(self.app.dict_mutex)
         yield Compute(us=request.get("work_us", 5_000))
+
+    def _do_analytics_scan(self, request):
+        """An analytics batch pass over a table that does not fit in the
+        buffer pool (noisy of c17).
+
+        Every page is a miss, so the pass continuously consumes free
+        blocks and holds ``buf_pool.free_blocks`` for the duration of
+        each read -- the hold windows the attribution profiler blames
+        OLTP defer time on.  With ``dirty`` set (an ETL-style pass that
+        rewrites the staging table) the evicted LRU tail fills with
+        dirty analytics pages, so every OLTP miss additionally pays a
+        flush *inside its defer window* -- the Figure 4 free-block path
+        at its worst.
+        """
+        pages = request.get("pages", 48)
+        base = request.get("base", 0)
+        dirty = request.get("dirty", False)
+        for offset in range(pages):
+            yield from self.app.buffer_pool.access(
+                ("analytics", base + offset), dirty=dirty,
+                read_io_us=request.get("read_io_us", 150),
+            )
+            yield Compute(us=request.get("row_work_us", 20))
+        yield Compute(us=request.get("work_us", 200))
 
     def _do_long_txn_read(self, request):
         """Case c5's client A: a read in a transaction held open for long.

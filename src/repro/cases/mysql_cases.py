@@ -205,6 +205,62 @@ class SerializableCase(InterferenceCase):
             )
 
 
+class BufferPoolCase(InterferenceCase):
+    """c17: an analytics scan floods the buffer pool's free blocks.
+
+    The Figure 2/4 motivating scenario as a client-vs-client case: an
+    analytics connection scans a table that does not fit in the buffer
+    pool, so every OLTP point read misses and pays the free-block path
+    (LRU scan under pressure, plus waiting out the scanner's holds).
+    The analytics connection runs under the loose background rule --
+    it should be *blamable* as an aggressor and penalizable, but never
+    protected as a victim.  This is the attribution profiler's
+    reference case: the blame matrix must pin the majority of the OLTP
+    client's ``buf_pool.free_blocks`` wait on the analytics pBox.
+    """
+
+    case_id = "c17"
+    app_name = "mysql"
+    from_bug_report = False
+    virtual_resource = "free blocks"
+    description = ("Analytics batch pass evicts the OLTP working set "
+                   "from the buffer pool")
+    paper_interference_level = None  # motivating case (Fig. 2), not Table 3
+    cores = 2
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        server = _make_server(env, buffer_pool_blocks=16)
+        victim = env.recorder("oltp", victim=True)
+        env.spawn_client(
+            "oltp",
+            server.connect("oltp"),
+            lambda: {"kind": "oltp_read",
+                     "pages": [("hot", index) for index in range(4)],
+                     "work_us": 200, "type": "read"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=20_000,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            noisy = env.recorder("analytics", noisy=True)
+            env.spawn_client(
+                "analytics",
+                server.connect(
+                    "analytics", rule=server.config.make_background_rule()),
+                lambda: {"kind": "analytics_scan", "pages": 48,
+                         "dirty": True, "read_io_us": 150,
+                         "row_work_us": 20, "type": "select"},
+                noisy,
+                group="noisy",
+                think_us=1_000,
+                rng=env.kernel.rng("noisy-think"),
+                start_us=200_000,
+            )
+
+
 class UndoLogCase(InterferenceCase):
     """c5: the purge thread cleaning a huge UNDO backlog blocks writes.
 

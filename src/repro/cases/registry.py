@@ -1,6 +1,9 @@
-"""Registry of all 16 interference cases (Table 3)."""
+"""Registry of the interference cases: the 16 Table 3 cases plus c17,
+the Figure 2 buffer-pool motivating case (the attribution profiler's
+reference scenario)."""
 
 from repro.cases.mysql_cases import (
+    BufferPoolCase,
     CustomLockCase,
     CustomMutexCase,
     SerializableCase,
@@ -39,6 +42,7 @@ _CASE_CLASSES = [
     BigObjectCase,
     SumStatCase,
     CacheLockCase,
+    BufferPoolCase,
 ]
 
 ALL_CASES = {cls.case_id: cls for cls in _CASE_CLASSES}

@@ -14,6 +14,13 @@ Commands:
                                       metrics registry attached and
                                       print counters + latency
                                       histograms
+- ``profile c17 [--folded out.txt]``  run a case under pBox with the
+                                      attribution profiler attached and
+                                      print the blame matrix; optional
+                                      flags write folded stacks
+                                      (flamegraph.pl), speedscope JSON,
+                                      an HTML summary, and the raw
+                                      attribution JSON
 - ``report [--results-dir results]``  stitch benchmark outputs into
                                       results/REPORT.md
 """
@@ -31,6 +38,8 @@ from repro.analyzer import (
 from repro.cases import ALL_CASES, Solution, evaluate_case, get_case, run_case
 from repro.core.trace import PBoxTracer
 from repro.obs import (
+    AttributionProfiler,
+    FoldedProfile,
     MetricsCollector,
     MetricsRegistry,
     SpanRecorder,
@@ -159,6 +168,47 @@ def cmd_metrics(args):
     return 0
 
 
+def cmd_profile(args):
+    """Run a case under pBox with the attribution profiler attached.
+
+    Prints the blame matrix and wait-for cycle warnings; optional flags
+    write flamegraph.pl folded stacks (``--folded``), speedscope JSON
+    (``--json``), a self-contained HTML summary (``--html``) and the raw
+    attribution snapshot (``--blame``).
+    """
+    profiler = AttributionProfiler()
+    recorder = SpanRecorder(record_slices=not args.no_slices)
+
+    def observer(env):
+        profiler.attach(env.kernel.trace)
+        recorder.attach(env.kernel.trace)
+
+    run_case(get_case(args.case), Solution(args.solution),
+             duration_s=args.duration, seed=args.seed, observer=observer)
+    print(profiler.format_report(top=args.top))
+    profile = FoldedProfile.from_recorder(
+        recorder, name="repro %s (%s)" % (args.case, args.solution))
+    print("profile: %d folded stacks, %.2f ms of virtual time"
+          % (len(profile.weights), profile.total_us() / 1_000))
+    if args.folded:
+        profile.write_folded(args.folded)
+        print("wrote %s" % args.folded)
+    if args.json:
+        profile.write_speedscope(args.json)
+        print("wrote %s" % args.json)
+    if args.html:
+        profile.write_html(args.html, attribution=profiler.to_dict(),
+                           top=args.top)
+        print("wrote %s" % args.html)
+    if args.blame:
+        import json as _json
+        with open(args.blame, "w") as handle:
+            _json.dump(profiler.to_dict(), handle, indent=1)
+            handle.write("\n")
+        print("wrote %s" % args.blame)
+    return 0
+
+
 def cmd_report(args):
     """Aggregate benchmark outputs into a markdown report."""
     path = write_report(args.results_dir)
@@ -214,6 +264,30 @@ def build_parser():
     metrics_parser.add_argument("--json", metavar="PATH", default=None,
                                 help="also dump the registry as JSON")
 
+    profile_parser = sub.add_parser(
+        "profile", help="run a case with the contention attribution "
+                        "profiler and flame-profile the run")
+    profile_parser.add_argument("case", choices=sorted(ALL_CASES,
+                                                       key=_case_order))
+    profile_parser.add_argument("--solution", default="pbox",
+                                choices=[s.value for s in Solution])
+    profile_parser.add_argument("--duration", type=float, default=6)
+    profile_parser.add_argument("--seed", type=int, default=1)
+    profile_parser.add_argument("--top", type=int, default=20,
+                                help="rows to show per report section")
+    profile_parser.add_argument("--no-slices", action="store_true",
+                                help="skip per-CPU-slice spans (smaller "
+                                     "profiles on long runs)")
+    profile_parser.add_argument("--folded", metavar="PATH", default=None,
+                                help="write flamegraph.pl folded stacks")
+    profile_parser.add_argument("--json", metavar="PATH", default=None,
+                                help="write speedscope JSON")
+    profile_parser.add_argument("--html", metavar="PATH", default=None,
+                                help="write a self-contained HTML summary")
+    profile_parser.add_argument("--blame", metavar="PATH", default=None,
+                                help="write the attribution snapshot as "
+                                     "JSON")
+
     report_parser = sub.add_parser("report",
                                    help="aggregate results/ into a report")
     report_parser.add_argument("--results-dir", default="results")
@@ -227,6 +301,7 @@ COMMANDS = {
     "analyze": cmd_analyze,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "profile": cmd_profile,
     "report": cmd_report,
 }
 

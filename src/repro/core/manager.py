@@ -128,6 +128,7 @@ class PBoxManager:
             self._tp_create.fire(
                 self.kernel.now_us, psid=pbox.psid,
                 tid=None if thread is None else thread.tid,
+                name=None if thread is None else thread.name,
             )
         return pbox
 
@@ -383,7 +384,9 @@ class PBoxManager:
         noisy.penalty_total_us += decision.length_us
         if self._tp_action.active:
             self._tp_action.fire(now, noisy=noisy, victim=victim, key=key,
-                                 length_us=decision.length_us, flow=flow_id)
+                                 length_us=decision.length_us,
+                                 victim_defer_us=victim_defer_us,
+                                 flow=flow_id)
         if noisy.shared_thread:
             noisy.penalty_until_us = now + decision.length_us
             if self._tp_penalty.active:

@@ -17,10 +17,23 @@ provides both halves for the reproduction:
 - :mod:`repro.obs.metrics` -- a unified registry of counters, gauges
   and mergeable log-bucketed latency histograms, fed from the bus by
   :class:`~repro.obs.metrics.MetricsCollector`.
+- :mod:`repro.obs.attribution` -- the contention attribution profiler:
+  a virtual-time wait-for graph (with cycle warnings) and a per-
+  (aggressor pBox x resource x victim pBox) blame matrix, fed from the
+  bus by :class:`~repro.obs.attribution.AttributionProfiler`.
+- :mod:`repro.obs.profile` -- virtual-time flame profiles folded from
+  recorded spans: flamegraph.pl folded stacks, speedscope JSON, and a
+  self-contained HTML summary.
 """
 
 from repro.obs.tracepoints import CATALOG, Tracepoint, TracepointBus, key_label
 from repro.obs.spans import SpanRecorder
+from repro.obs.attribution import (
+    AttributionProfiler,
+    BlameMatrix,
+    WaitForGraph,
+)
+from repro.obs.profile import FoldedProfile
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_events,
@@ -36,8 +49,12 @@ from repro.obs.metrics import (
 )
 
 __all__ = [
+    "AttributionProfiler",
+    "BlameMatrix",
     "CATALOG",
     "Counter",
+    "FoldedProfile",
+    "WaitForGraph",
     "Gauge",
     "Histogram",
     "MetricsCollector",

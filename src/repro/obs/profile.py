@@ -1,0 +1,245 @@
+"""Virtual-time flame profiles from recorded spans.
+
+Turns a :class:`~repro.obs.spans.SpanRecorder` run into the two
+interchange formats the profiling ecosystem already understands, plus a
+self-contained HTML summary:
+
+- **folded stacks** (``frame;frame;frame weight`` lines), directly
+  consumable by Brendan Gregg's ``flamegraph.pl``;
+- **speedscope JSON** (the ``"sampled"`` profile type, weights in
+  virtual microseconds), loadable at speedscope.app;
+- **HTML**: one dependency-free page with the heaviest stacks as
+  horizontal bars and, when supplied, the contention attribution
+  summary next to them.
+
+Stack model.  Thread tracks fold as ``thread;state[;detail]`` --
+``running``, ``wait;futex:<key>``, ``wait;sleep``, ``penalty`` -- and
+pBox lanes as ``pbox:<label>;activity[;defer:<key>|hold:<key>]``.
+Because a folded line's weight is *self* time, activity spans have the
+time of their nested defer/hold children subtracted (the span recorder
+emits them well-nested: defer and hold windows always sit inside an
+activity window).
+"""
+
+import html as _html
+import json
+
+from repro.obs.spans import PBOX_TRACK, THREAD_TRACK
+
+SPEEDSCOPE_SCHEMA = "https://www.speedscope.app/file-format-schema.json"
+
+
+class FoldedProfile:
+    """A weighted multiset of call stacks in virtual microseconds."""
+
+    def __init__(self, name="repro profile"):
+        self.name = name
+        self.weights = {}   # tuple(frame, ...) -> weight_us
+
+    def add(self, frames, weight_us):
+        """Add ``weight_us`` to the stack ``frames`` (an iterable)."""
+        if weight_us <= 0:
+            return
+        stack = tuple(frames)
+        if not stack:
+            return
+        self.weights[stack] = self.weights.get(stack, 0) + weight_us
+
+    def total_us(self):
+        """Sum of all stack weights."""
+        return sum(self.weights.values())
+
+    def stacks(self):
+        """``[(frames, weight_us)]`` sorted heaviest-first, then by name."""
+        return sorted(self.weights.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_recorder(cls, recorder, name="repro profile"):
+        """Fold a :class:`SpanRecorder`'s spans into a profile."""
+        profile = cls(name=name)
+        pbox_children = {}   # psid -> child span time inside activities
+        pbox_activity = {}   # psid -> total activity time
+        for track, tid, span_name, cat, _start, dur, _args in recorder.spans:
+            if dur <= 0:
+                continue
+            if track == THREAD_TRACK:
+                profile.add(cls._thread_stack(recorder, tid, span_name, cat),
+                            dur)
+            elif track == PBOX_TRACK:
+                label = "pbox:%d" % tid
+                if span_name == "activity":
+                    pbox_activity[tid] = pbox_activity.get(tid, 0) + dur
+                elif span_name == "penalty":
+                    profile.add((label, "penalty"), dur)
+                else:
+                    # defer:<key>, hold:<key>, queued:<pool> -- nested
+                    # inside an activity window; charge as its child.
+                    profile.add((label, "activity", span_name), dur)
+                    pbox_children[tid] = pbox_children.get(tid, 0) + dur
+        for psid, activity_us in pbox_activity.items():
+            self_us = activity_us - pbox_children.get(psid, 0)
+            profile.add(("pbox:%d" % psid, "activity"), max(0, self_us))
+        return profile
+
+    @staticmethod
+    def _thread_stack(recorder, tid, span_name, cat):
+        thread = recorder.thread_names.get(tid, "thread-%d" % tid)
+        if span_name == "running":
+            return (thread, "running")
+        if span_name == "pbox penalty":
+            return (thread, "penalty")
+        if cat in ("futex", "cgroup") or span_name == "sleep":
+            return (thread, "wait", span_name)
+        return (thread, span_name)
+
+    # -- folded stacks (flamegraph.pl) ------------------------------------
+
+    def folded_lines(self):
+        """``"frame;frame weight"`` lines, heaviest stack first."""
+        return ["%s %d" % (";".join(frames), weight)
+                for frames, weight in self.stacks()]
+
+    def write_folded(self, path):
+        """Write flamegraph.pl-compatible folded stacks to ``path``."""
+        with open(path, "w") as handle:
+            for line in self.folded_lines():
+                handle.write(line + "\n")
+
+    # -- speedscope -------------------------------------------------------
+
+    def to_speedscope(self):
+        """The profile as a speedscope ``"sampled"`` file (a dict)."""
+        frame_index = {}
+        frames = []
+        samples = []
+        weights = []
+        for stack, weight in self.stacks():
+            indexed = []
+            for frame in stack:
+                index = frame_index.get(frame)
+                if index is None:
+                    index = frame_index[frame] = len(frames)
+                    frames.append({"name": frame})
+                indexed.append(index)
+            samples.append(indexed)
+            weights.append(weight)
+        return {
+            "$schema": SPEEDSCOPE_SCHEMA,
+            "name": self.name,
+            "exporter": "repro-profile",
+            "shared": {"frames": frames},
+            "profiles": [{
+                "type": "sampled",
+                "name": self.name,
+                "unit": "microseconds",
+                "startValue": 0,
+                "endValue": self.total_us(),
+                "samples": samples,
+                "weights": weights,
+            }],
+        }
+
+    def write_speedscope(self, path):
+        """Write the speedscope JSON document to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_speedscope(), handle, indent=1)
+            handle.write("\n")
+
+    # -- HTML summary -----------------------------------------------------
+
+    def to_html(self, attribution=None, top=40):
+        """Self-contained HTML summary (inline CSS, no scripts).
+
+        ``attribution`` is an optional
+        :meth:`AttributionProfiler.to_dict` snapshot rendered alongside
+        the heaviest stacks.
+        """
+        total = self.total_us() or 1
+        rows = []
+        for frames, weight in self.stacks()[:top]:
+            percent = 100.0 * weight / total
+            rows.append(
+                "<tr><td class=\"bar\"><div style=\"width:%.1f%%\"></div>"
+                "</td><td class=\"num\">%.2f ms</td>"
+                "<td class=\"num\">%.1f%%</td><td>%s</td></tr>"
+                % (percent, weight / 1_000, percent,
+                   _html.escape(" &rarr; ".join(frames), quote=False))
+            )
+        sections = [
+            "<h1>%s</h1>" % _html.escape(self.name),
+            "<p>%d stacks, %.2f ms of virtual time.</p>"
+            % (len(self.weights), self.total_us() / 1_000),
+            "<h2>Heaviest stacks</h2>",
+            "<table><tr><th></th><th>time</th><th>share</th>"
+            "<th>stack</th></tr>%s</table>" % "".join(rows),
+        ]
+        if attribution:
+            sections.append(self._attribution_html(attribution))
+        return _HTML_TEMPLATE % {
+            "title": _html.escape(self.name),
+            "body": "\n".join(sections),
+        }
+
+    @staticmethod
+    def _attribution_html(attribution):
+        rows = []
+        for cell in attribution.get("cells", [])[:20]:
+            rows.append(
+                "<tr><td>%s</td><td>%s</td><td>%s</td>"
+                "<td class=\"num\">%.2f ms</td><td class=\"num\">%d</td>"
+                "<td class=\"num\">%.2f ms</td><td class=\"num\">%d</td>"
+                "</tr>" % (
+                    _html.escape(str(cell["aggressor"])),
+                    _html.escape(str(cell["resource"])),
+                    _html.escape(str(cell["victim"])),
+                    cell["blamed_us"] / 1_000, cell["waits"],
+                    cell["p95_us"] / 1_000, cell["actions"],
+                )
+            )
+        cycles = attribution.get("cycles", [])
+        cycle_html = ("<p>%d wait-for cycle warning(s).</p>" % len(cycles)
+                      if cycles else "<p>No wait-for cycles observed.</p>")
+        return (
+            "<h2>Contention attribution</h2>"
+            "<table><tr><th>aggressor</th><th>resource</th><th>victim</th>"
+            "<th>blamed</th><th>waits</th><th>p95</th><th>actions</th></tr>"
+            "%s</table>%s" % ("".join(rows), cycle_html)
+        )
+
+    def write_html(self, path, attribution=None, top=40):
+        """Write the HTML summary to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_html(attribution=attribution, top=top))
+
+    def __repr__(self):
+        return "FoldedProfile(name=%r, stacks=%d, total_us=%d)" % (
+            self.name, len(self.weights), self.total_us()
+        )
+
+
+_HTML_TEMPLATE = """\
+<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>%(title)s</title>
+<style>
+body { font-family: -apple-system, "Segoe UI", sans-serif; margin: 2em;
+       color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.5em; }
+table { border-collapse: collapse; width: 100%%; font-size: 0.85em; }
+th, td { text-align: left; padding: 3px 8px;
+         border-bottom: 1px solid #e5e5e5; }
+td.num { text-align: right; white-space: nowrap; font-variant-numeric:
+         tabular-nums; }
+td.bar { width: 18%%; min-width: 120px; }
+td.bar div { background: #e5703a; height: 11px; border-radius: 2px; }
+</style>
+</head>
+<body>
+%(body)s
+</body>
+</html>
+"""

@@ -27,18 +27,20 @@ CATALOG = [
     ("sched.switch", "thread begins a CPU slice (tid, name, core, slice_us)"),
     ("sched.switchout", "thread ends a CPU slice (tid, core, ran_us, done)"),
     ("sched.sleep", "timed sleep begins (tid, us)"),
-    ("futex.wait", "thread blocks on a futex key (tid, key, waiters)"),
-    ("futex.wake", "wake-up pops waiters (key, requested, woken)"),
+    ("futex.wait", "thread blocks on a futex key (tid, key, waiters, "
+                   "holders, holder_psids)"),
+    ("futex.wake", "wake-up pops waiters (key, requested, woken, waker)"),
     ("cgroup.throttle", "thread hits its group's CPU quota (group, tid)"),
     ("cgroup.unthrottle", "period refresh releases threads (group, tids)"),
     ("penalty.inject", "resume hook injects a delay (tid, psid, delay_us)"),
-    ("pbox.create", "a pBox is created (psid, tid)"),
+    ("pbox.create", "a pBox is created (psid, tid, name)"),
     ("pbox.release", "a pBox is destroyed (psid)"),
     ("pbox.activate", "an activity starts tracing (psid)"),
     ("pbox.freeze", "an activity ends (psid, defer_us, exec_us)"),
     ("pbox.event", "state event reaches the manager (pbox, key, event)"),
     ("pbox.detect", "Algorithm 1 detection (noisy, victim, key, flow)"),
-    ("pbox.action", "penalty scheduled (noisy, victim, key, length_us, flow)"),
+    ("pbox.action", "penalty scheduled (noisy, victim, key, length_us, "
+                    "victim_defer_us, flow)"),
     ("pbox.penalty", "penalty delivered (pbox, delay_us, mode, flow)"),
     ("vres.acquire", "app starts acquiring a virtual resource (tid, key)"),
     ("vres.hold", "app holds a virtual resource (tid, key)"),

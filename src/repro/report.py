@@ -33,6 +33,10 @@ SECTIONS = [
 #: rendered as its own report section.
 METRICS_SNAPSHOT = "obs_metrics.json"
 
+#: Attribution snapshot written by ``benchmarks/test_profile_overhead.py``
+#: (profiler overhead plus per-case blame summaries).
+ATTRIBUTION_SNAPSHOT = "BENCH_attribution.json"
+
 
 def load_section(results_dir, filename):
     """Return the file's lines, or None if it has not been generated."""
@@ -97,10 +101,20 @@ def generate_report(results_dir="results"):
     else:
         parts.extend(metrics_lines)
     parts.append("")
+    parts.append("## Observability — contention attribution")
+    parts.append("")
+    attribution_lines = _load_attribution_section(results_dir)
+    if attribution_lines is None:
+        parts.append("*(not yet generated — run `PYTHONPATH=src python -m "
+                     "pytest benchmarks/test_profile_overhead.py`)*")
+        missing.append(ATTRIBUTION_SNAPSHOT)
+    else:
+        parts.extend(attribution_lines)
+    parts.append("")
     if missing:
         parts.append("---")
         parts.append("%d of %d sections missing." % (len(missing),
-                                                     len(SECTIONS) + 1))
+                                                     len(SECTIONS) + 2))
     return "\n".join(parts)
 
 
@@ -113,6 +127,48 @@ def _load_metrics_section(results_dir):
 
     registry = MetricsRegistry.load_json(path)
     return _as_markdown_table(registry.format_table())
+
+
+def _load_attribution_section(results_dir):
+    """Render the attribution benchmark snapshot, or None if absent."""
+    path = os.path.join(results_dir, ATTRIBUTION_SNAPSHOT)
+    if not os.path.exists(path):
+        return None
+    import json
+
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    lines = []
+    overhead = snapshot.get("overhead", {})
+    if overhead:
+        lines.append(
+            "Profiler overhead: %.1f%% attached, %.1f%% detached "
+            "(guard: <5%% attached)." % (
+                100.0 * overhead.get("attached_ratio", 0),
+                100.0 * overhead.get("detached_ratio", 0),
+            )
+        )
+        lines.append("")
+    cases = snapshot.get("cases", {})
+    if cases:
+        lines.append("| case | victim p95 (ms) | blamed on top aggressor "
+                     "| top aggressor | actions | penalty (ms) | "
+                     "recovered est. (ms) |")
+        lines.append("|---|---|---|---|---|---|---|")
+        for case_id in sorted(cases):
+            entry = cases[case_id]
+            recovered = entry.get("recovered_est_us")
+            lines.append("| %s | %.2f | %.0f%% | %s | %d | %.2f | %s |" % (
+                case_id,
+                entry.get("victim_p95_us", 0) / 1_000,
+                100.0 * entry.get("top_share", 0),
+                entry.get("top_aggressor", "?"),
+                entry.get("actions", 0),
+                entry.get("penalty_us", 0) / 1_000,
+                ("n/a" if recovered is None
+                 else "%.2f" % (recovered / 1_000)),
+            ))
+    return lines
 
 
 def write_report(results_dir="results", output_path=None):

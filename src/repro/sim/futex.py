@@ -4,9 +4,17 @@ The kernel keeps one FIFO wait queue per key (any hashable object).  This
 mirrors how the paper's heuristic (Section 4.2.2) frames intra-app
 interference: victims end up in waiting-related syscalls such as ``futex``
 keyed by some shared object.
+
+The table also tracks *owners*: the threads currently holding the
+resource a key stands for.  Synchronization primitives register and
+deregister themselves (:meth:`WaitQueueTable.add_owner` /
+:meth:`WaitQueueTable.remove_owner`), so the ``futex.wait`` tracepoint
+can report who a blocking thread is actually waiting *for* -- the
+identity the contention attribution profiler needs to blame an
+aggressor instead of recording "unknown".
 """
 
-from collections import OrderedDict, deque
+from collections import deque
 
 
 class WaitQueueTable:
@@ -14,11 +22,15 @@ class WaitQueueTable:
 
     When constructed with a clock and a tracepoint bus, the table fires
     ``futex.wait`` / ``futex.wake`` tracepoints so observers can follow
-    blocking without patching the kernel.
+    blocking without patching the kernel.  ``futex.wait`` carries the
+    registered owners of the key (holder tids and, when the holding
+    threads are bound to pBoxes, holder psids); ``futex.wake`` carries
+    the waking thread's identity.
     """
 
     def __init__(self, clock=None, trace=None):
         self._queues = {}
+        self._owners = {}   # key -> {thread: hold count} (insertion order)
         self._clock = clock
         if trace is not None and clock is not None:
             self._tp_wait = trace.point("futex.wait")
@@ -26,6 +38,34 @@ class WaitQueueTable:
         else:
             self._tp_wait = None
             self._tp_wake = None
+
+    # -- owner registry --------------------------------------------------
+
+    def add_owner(self, key, thread):
+        """Register ``thread`` as (one of) the holder(s) of ``key``."""
+        if thread is None:
+            return
+        holders = self._owners.get(key)
+        if holders is None:
+            holders = self._owners[key] = {}
+        holders[thread] = holders.get(thread, 0) + 1
+
+    def remove_owner(self, key, thread):
+        """Deregister one hold of ``key`` by ``thread``."""
+        holders = self._owners.get(key)
+        if not holders or thread not in holders:
+            return
+        holders[thread] -= 1
+        if holders[thread] <= 0:
+            del holders[thread]
+        if not holders:
+            del self._owners[key]
+
+    def owners(self, key):
+        """Threads currently registered as holding ``key``."""
+        return tuple(self._owners.get(key, ()))
+
+    # -- wait queues -----------------------------------------------------
 
     def add(self, key, thread):
         """Append ``thread`` to the queue for ``key``."""
@@ -36,8 +76,15 @@ class WaitQueueTable:
         queue.append(thread)
         tp = self._tp_wait
         if tp is not None and tp.active:
+            holders = self.owners(key)
             tp.fire(self._clock.now_us, tid=thread.tid, key=key,
-                    waiters=len(queue))
+                    waiters=len(queue),
+                    holders=[holder.tid for holder in holders],
+                    holder_psids=[
+                        None if holder.pbox is None else holder.pbox.psid
+                        for holder in holders
+                    ])
+        return queue
 
     def remove(self, key, thread):
         """Remove ``thread`` from ``key``'s queue; returns True if found."""
@@ -52,7 +99,7 @@ class WaitQueueTable:
             del self._queues[key]
         return True
 
-    def pop_waiters(self, key, n):
+    def pop_waiters(self, key, n, waker=None):
         """Dequeue up to ``n`` threads waiting on ``key`` (FIFO order)."""
         queue = self._queues.get(key)
         if not queue:
@@ -65,7 +112,8 @@ class WaitQueueTable:
         tp = self._tp_wake
         if tp is not None and tp.active and woken:
             tp.fire(self._clock.now_us, key=key, requested=n,
-                    woken=[thread.tid for thread in woken])
+                    woken=[thread.tid for thread in woken],
+                    waker=None if waker is None else waker.tid)
         return woken
 
     def waiters(self, key):

@@ -198,7 +198,7 @@ class Kernel:
         Callable directly from thread bodies (synchronously, in zero
         virtual time) because waking only moves threads to the run queue.
         """
-        woken = self.futexes.pop_waiters(key, n)
+        woken = self.futexes.pop_waiters(key, n, waker=self.current_thread)
         for thread in woken:
             if thread.wakeup_event is not None:
                 thread.wakeup_event.cancel()

@@ -23,13 +23,17 @@ class Mutex:
     Like a pthread mutex, a releasing thread wakes one waiter but does not
     hand the lock over: a running thread can barge in first.  Holder
     identity is tracked so application models (and tests) can assert who
-    owns a resource.
+    owns a resource, and registered with the kernel's wait-queue table so
+    blocking tracepoints can name the holder (contention attribution).
     """
 
     def __init__(self, kernel, name=None):
         self._kernel = kernel
         self.name = name or "mutex"
         self._owner = None
+
+    def _register_owner(self):
+        self._kernel.futexes.add_owner(self, self._owner)
 
     @property
     def locked(self):
@@ -46,11 +50,13 @@ class Mutex:
         while self._owner is not None:
             yield FutexWait(self)
         self._owner = self._kernel.current_thread
+        self._register_owner()
 
     def try_acquire(self):
         """Take the lock if free; returns True on success."""
         if self._owner is None:
             self._owner = self._kernel.current_thread
+            self._register_owner()
             return True
         return False
 
@@ -58,6 +64,7 @@ class Mutex:
         """Release the lock and wake one waiter."""
         if self._owner is None:
             raise RuntimeError("releasing unlocked mutex %r" % self.name)
+        self._kernel.futexes.remove_owner(self, self._owner)
         self._owner = None
         self._kernel.futex_wake(self, 1)
 
@@ -101,6 +108,7 @@ class RWLock:
         while self._blocked_for_reader():
             yield FutexWait(self)
         self._readers += 1
+        self._kernel.futexes.add_owner(self, self._kernel.current_thread)
 
     def _blocked_for_reader(self):
         if self._writer is not None:
@@ -116,6 +124,7 @@ class RWLock:
             while self._writer is not None or self._readers > 0:
                 yield FutexWait(self)
             self._writer = self._kernel.current_thread
+            self._kernel.futexes.add_owner(self, self._writer)
         finally:
             self._writers_waiting -= 1
 
@@ -124,6 +133,7 @@ class RWLock:
         if self._readers <= 0:
             raise RuntimeError("releasing un-held shared lock %r" % self.name)
         self._readers -= 1
+        self._kernel.futexes.remove_owner(self, self._kernel.current_thread)
         if self._readers == 0:
             self._kernel.futex_wake(self, n=1 << 30)
 
@@ -131,6 +141,7 @@ class RWLock:
         """Drop the exclusive hold and wake all waiters."""
         if self._writer is None:
             raise RuntimeError("releasing un-held exclusive lock %r" % self.name)
+        self._kernel.futexes.remove_owner(self, self._writer)
         self._writer = None
         self._kernel.futex_wake(self, n=1 << 30)
 
@@ -163,17 +174,22 @@ class Semaphore:
         while self._units < n:
             yield FutexWait(self)
         self._units -= n
+        self._kernel.futexes.add_owner(self, self._kernel.current_thread)
 
     def try_acquire(self, n=1):
         """Take ``n`` units if available; returns True on success."""
         if self._units >= n:
             self._units -= n
+            self._kernel.futexes.add_owner(
+                self, self._kernel.current_thread
+            )
             return True
         return False
 
     def release(self, n=1):
         """Return ``n`` units and wake waiters."""
         self._units += n
+        self._kernel.futexes.remove_owner(self, self._kernel.current_thread)
         self._kernel.futex_wake(self, n=1 << 30)
 
     def __repr__(self):

@@ -87,6 +87,52 @@ def test_metrics_command_json_feeds_report(tmp_path, capsys):
     assert "latency.victim_us" in report
 
 
+def test_profile_command(capsys):
+    assert main(["profile", "c17", "--duration", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "contention attribution" in out
+    assert "blame matrix" in out
+    assert "buf_pool.free_blocks" in out
+    assert "folded stacks" in out
+
+
+def test_profile_command_writes_all_outputs(tmp_path, capsys):
+    folded = tmp_path / "out.folded"
+    speedscope = tmp_path / "out.speedscope.json"
+    html = tmp_path / "out.html"
+    blame = tmp_path / "blame.json"
+    assert main(["profile", "c17", "--duration", "2",
+                 "--folded", str(folded), "--json", str(speedscope),
+                 "--html", str(html), "--blame", str(blame)]) == 0
+    out = capsys.readouterr().out
+    for path in (folded, speedscope, html, blame):
+        assert "wrote %s" % path in out
+    # Folded: "frame;frame weight" lines.
+    for line in folded.read_text().splitlines():
+        stack, weight = line.rsplit(" ", 1)
+        assert ";" in stack and int(weight) > 0
+    # Speedscope: valid sampled profile.
+    with open(speedscope) as handle:
+        doc = json.load(handle)
+    assert doc["profiles"][0]["type"] == "sampled"
+    # HTML: self-contained summary including attribution.
+    page = html.read_text()
+    assert page.startswith("<!DOCTYPE html>")
+    assert "Contention attribution" in page
+    # Blame snapshot: the profiler's to_dict schema.
+    with open(blame) as handle:
+        snapshot = json.load(handle)
+    assert snapshot["cells"]
+    assert snapshot["stats"]["events"] > 0
+
+
+def test_profile_command_vanilla_solution(capsys):
+    assert main(["profile", "c17", "--duration", "2",
+                 "--solution", "none", "--no-slices"]) == 0
+    out = capsys.readouterr().out
+    assert "contention attribution" in out
+
+
 def test_analyze_command(tmp_path, capsys):
     source = tmp_path / "demo.c"
     source.write_text("""

@@ -1,0 +1,388 @@
+"""Tests for the contention attribution profiler.
+
+Unit coverage drives :class:`WaitForGraph` and :class:`BlameMatrix`
+directly and the full profiler through a bare :class:`TracepointBus`;
+the end-to-end test runs the buffer-pool case (c17) and asserts the
+matrix pins the majority of the OLTP victim's wait on the analytics
+pBox -- the acceptance bar for the attribution layer.
+"""
+
+import pytest
+
+from repro.cases import Solution, get_case, run_case
+from repro.core.events import StateEvent
+from repro.obs import AttributionProfiler, TracepointBus, WaitForGraph
+from repro.obs.attribution import UNKNOWN, BlameMatrix
+
+
+class _FakePBox:
+    def __init__(self, psid):
+        self.psid = psid
+
+
+def fire_event(bus, now, psid, key, event):
+    bus.point("pbox.event").fire(now, pbox=_FakePBox(psid), key=key,
+                                 event=event)
+
+
+# ---------------------------------------------------------------------------
+# WaitForGraph
+# ---------------------------------------------------------------------------
+
+
+def test_wait_for_graph_tracks_edges():
+    graph = WaitForGraph()
+    graph.add_wait("a", "b", "lock1", now_us=10)
+    graph.add_wait("a", "c", "lock1", now_us=10)
+    assert sorted(graph.waiting_on("a")) == ["b", "c"]
+    assert len(graph.edges()) == 2
+    graph.clear_waits("a")
+    assert graph.waiting_on("a") == []
+
+
+def test_wait_for_graph_self_edge_ignored():
+    graph = WaitForGraph()
+    graph.add_wait("a", "a", "lock1", now_us=0)
+    assert graph.edges() == []
+
+
+def test_wait_for_graph_clear_by_resource():
+    graph = WaitForGraph()
+    graph.add_wait("a", "b", "lock1", now_us=0)
+    graph.add_wait("a", "c", "lock2", now_us=0)
+    graph.clear_waits("a", resource="lock1")
+    assert graph.waiting_on("a") == ["c"]
+
+
+def test_wait_for_graph_detects_two_cycle():
+    graph = WaitForGraph()
+    graph.add_wait("a", "b", "lock1", now_us=5)
+    assert graph.cycle_warnings == []
+    graph.add_wait("b", "a", "lock2", now_us=9)
+    assert len(graph.cycle_warnings) == 1
+    warning = graph.cycle_warnings[0]
+    assert set(warning["nodes"]) == {"a", "b"}
+    assert warning["at_us"] == 9
+
+
+def test_wait_for_graph_detects_longer_cycle_once():
+    graph = WaitForGraph()
+    graph.add_wait("a", "b", "l1", now_us=1)
+    graph.add_wait("b", "c", "l2", now_us=2)
+    graph.add_wait("c", "a", "l3", now_us=3)
+    assert len(graph.cycle_warnings) == 1
+    # Re-adding an edge of the same cycle does not duplicate the warning.
+    graph.add_wait("c", "a", "l3", now_us=4)
+    assert len(graph.cycle_warnings) == 1
+
+
+def test_wait_for_graph_warning_cap():
+    graph = WaitForGraph(max_warnings=1)
+    graph.add_wait("a", "b", "l", now_us=1)
+    graph.add_wait("b", "a", "l", now_us=2)
+    graph.add_wait("c", "d", "l", now_us=3)
+    graph.add_wait("d", "c", "l", now_us=4)
+    assert len(graph.cycle_warnings) == 1
+
+
+# ---------------------------------------------------------------------------
+# BlameMatrix
+# ---------------------------------------------------------------------------
+
+
+def test_blame_matrix_accumulates_cells():
+    matrix = BlameMatrix()
+    matrix.record_wait(2, "lock", 1, 100, 400)
+    matrix.record_wait(2, "lock", 1, 500, 600)
+    matrix.record_wait(3, "lock", 1, 500, 550)
+    cell = matrix.cell(2, "lock", 1)
+    assert cell.total_us == 400
+    assert cell.waits == 2
+    assert matrix.victim_total_us(1) == 450
+    assert matrix.aggressor_total_us(2) == 400
+    shares = matrix.aggressor_share(1)
+    assert shares[2] == pytest.approx(400 / 450)
+    assert shares[3] == pytest.approx(50 / 450)
+
+
+def test_blame_matrix_ignores_empty_intervals():
+    matrix = BlameMatrix()
+    matrix.record_wait(2, "lock", 1, 100, 100)
+    matrix.record_wait(2, "lock", 1, 100, 90)
+    assert matrix.cells == {}
+
+
+def test_blame_matrix_p95_uses_histogram():
+    matrix = BlameMatrix()
+    for _ in range(99):
+        matrix.record_wait(2, "lock", 1, 0, 100)
+    matrix.record_wait(2, "lock", 1, 0, 10_000)
+    cell = matrix.cell(2, "lock", 1)
+    # p95 lands in the 100us bucket, far below the one outlier.
+    assert cell.p95_us() < 1_000
+
+
+def test_blame_matrix_rows_sorted_by_total():
+    matrix = BlameMatrix()
+    matrix.record_wait(2, "lock", 1, 0, 100)
+    matrix.record_wait(3, "lock", 1, 0, 900)
+    rows = matrix.rows()
+    assert rows[0].aggressor == 3
+    assert rows[1].aggressor == 2
+
+
+def test_blame_matrix_recovered_estimate():
+    matrix = BlameMatrix()
+    # 1000us blamed over a 10_000us un-penalized prefix: rate 0.1.
+    matrix.record_wait(2, "lock", 1, 0, 1_000)
+    matrix.note_time(0)
+    # A 5_000us penalty window during which only 100us is blamed.
+    matrix.record_penalty(2, 5_000, 10_000)
+    matrix.record_wait(2, "lock", 1, 11_000, 11_100)
+    matrix.note_time(20_000)
+    recovered = matrix.recovered_us(2)
+    # rate_outside = 1000/15000; estimate = rate * 5000 - 100.
+    assert recovered == pytest.approx(1_000 / 15_000 * 5_000 - 100)
+
+
+def test_blame_matrix_recovered_none_without_penalty():
+    matrix = BlameMatrix()
+    matrix.record_wait(2, "lock", 1, 0, 1_000)
+    assert matrix.recovered_us(2) is None
+
+
+def test_blame_matrix_to_dict_labels():
+    matrix = BlameMatrix()
+    matrix.record_wait(2, "lock", 1, 0, 500)
+    matrix.record_unknown(250)
+    data = matrix.to_dict(labels={1: "victim", 2: "noisy"})
+    assert data["total_blamed_us"] == 500
+    assert data["unknown_us"] == 250
+    [cell] = data["cells"]
+    assert cell["aggressor"] == "noisy"
+    assert cell["victim"] == "victim"
+    assert data["aggressors"][0]["recovered_est_us"] is None
+
+
+# ---------------------------------------------------------------------------
+# AttributionProfiler against a bare bus
+# ---------------------------------------------------------------------------
+
+
+def test_profiler_blames_holder_for_wait():
+    bus = TracepointBus()
+    profiler = AttributionProfiler().attach(bus)
+    bus.point("pbox.create").fire(0, psid=1, tid=11, name="victim")
+    bus.point("pbox.create").fire(0, psid=2, tid=22, name="noisy")
+    fire_event(bus, 100, 2, "lock", StateEvent.HOLD)
+    fire_event(bus, 200, 1, "lock", StateEvent.PREPARE)
+    fire_event(bus, 700, 1, "lock", StateEvent.ENTER)
+    cell = profiler.matrix.cell(2, "lock", 1)
+    assert cell.total_us == 500
+    assert cell.waits == 1
+    assert profiler.label(2) == "noisy (pbox 2)"
+
+
+def test_profiler_splits_blame_when_holder_changes_mid_wait():
+    bus = TracepointBus()
+    profiler = AttributionProfiler().attach(bus)
+    fire_event(bus, 0, 2, "lock", StateEvent.HOLD)
+    fire_event(bus, 100, 1, "lock", StateEvent.PREPARE)
+    # Holder 2 leaves at 400; holder 3 takes over immediately.
+    fire_event(bus, 400, 3, "lock", StateEvent.HOLD)
+    fire_event(bus, 400, 2, "lock", StateEvent.UNHOLD)
+    fire_event(bus, 1_000, 1, "lock", StateEvent.ENTER)
+    first = profiler.matrix.cell(2, "lock", 1)
+    second = profiler.matrix.cell(3, "lock", 1)
+    assert first.total_us == 300     # 100 -> 400
+    assert second.total_us == 600    # 400 -> 1000
+    assert profiler.matrix.victim_total_us(1) == 900
+
+
+def test_profiler_shares_blame_across_concurrent_holders():
+    bus = TracepointBus()
+    profiler = AttributionProfiler().attach(bus)
+    fire_event(bus, 0, 2, "lock", StateEvent.HOLD)
+    fire_event(bus, 0, 3, "lock", StateEvent.HOLD)
+    fire_event(bus, 100, 1, "lock", StateEvent.PREPARE)
+    fire_event(bus, 500, 1, "lock", StateEvent.ENTER)
+    assert profiler.matrix.cell(2, "lock", 1).total_us == pytest.approx(200)
+    assert profiler.matrix.cell(3, "lock", 1).total_us == pytest.approx(200)
+
+
+def test_profiler_falls_back_to_last_releaser():
+    bus = TracepointBus()
+    profiler = AttributionProfiler().attach(bus)
+    fire_event(bus, 0, 2, "lock", StateEvent.HOLD)
+    fire_event(bus, 50, 2, "lock", StateEvent.UNHOLD)
+    # Victim defers with nobody holding: blame the last releaser.
+    fire_event(bus, 100, 1, "lock", StateEvent.PREPARE)
+    fire_event(bus, 400, 1, "lock", StateEvent.ENTER)
+    assert profiler.matrix.cell(2, "lock", 1).total_us == 300
+    assert profiler.matrix.unknown_us == 0
+
+
+def test_profiler_unknown_when_no_holder_ever():
+    bus = TracepointBus()
+    profiler = AttributionProfiler().attach(bus)
+    fire_event(bus, 100, 1, "lock", StateEvent.PREPARE)
+    fire_event(bus, 400, 1, "lock", StateEvent.ENTER)
+    assert profiler.matrix.cells == {}
+    assert profiler.matrix.unknown_us == 300
+
+
+def test_profiler_does_not_self_blame():
+    bus = TracepointBus()
+    profiler = AttributionProfiler().attach(bus)
+    fire_event(bus, 0, 1, "lock", StateEvent.HOLD)
+    fire_event(bus, 100, 1, "lock", StateEvent.PREPARE)
+    fire_event(bus, 400, 1, "lock", StateEvent.ENTER)
+    assert profiler.matrix.cells == {}
+    assert profiler.matrix.unknown_us == 300
+
+
+def test_profiler_thread_graph_from_futex_holders():
+    bus = TracepointBus()
+    profiler = AttributionProfiler().attach(bus)
+    bus.point("futex.wait").fire(10, tid=5, key="m", waiters=1,
+                                 holders=[7], holder_psids=[2])
+    assert profiler.thread_graph.waiting_on(("thread", 5)) == [
+        ("thread", 7)
+    ]
+    bus.point("futex.wake").fire(20, key="m", requested=1, woken=[5],
+                                 waker=7)
+    assert profiler.thread_graph.waiting_on(("thread", 5)) == []
+
+
+def test_profiler_thread_graph_clears_stale_wait_on_new_wait():
+    # A timeout wakeup fires no futex.wake; the stale edge must not
+    # survive the thread's next wait.
+    bus = TracepointBus()
+    profiler = AttributionProfiler().attach(bus)
+    bus.point("futex.wait").fire(10, tid=5, key="m", waiters=1,
+                                 holders=[7], holder_psids=[2])
+    bus.point("futex.wait").fire(50, tid=5, key="q", waiters=1,
+                                 holders=[9], holder_psids=[3])
+    assert profiler.thread_graph.waiting_on(("thread", 5)) == [
+        ("thread", 9)
+    ]
+
+
+def test_profiler_counts_unknown_thread_waits():
+    bus = TracepointBus()
+    profiler = AttributionProfiler().attach(bus)
+    bus.point("futex.wait").fire(10, tid=5, key="m", waiters=1,
+                                 holders=[], holder_psids=[])
+    assert profiler.stats["unknown_thread_waits"] == 1
+
+
+def test_profiler_detach_stops_recording():
+    bus = TracepointBus()
+    profiler = AttributionProfiler().attach(bus)
+    profiler.detach()
+    fire_event(bus, 0, 2, "lock", StateEvent.HOLD)
+    fire_event(bus, 100, 1, "lock", StateEvent.PREPARE)
+    fire_event(bus, 400, 1, "lock", StateEvent.ENTER)
+    assert profiler.stats["events"] == 0
+    assert not bus.enabled("pbox.event")
+
+
+def test_profiler_activate_drops_stale_waits():
+    bus = TracepointBus()
+    profiler = AttributionProfiler().attach(bus)
+    fire_event(bus, 100, 1, "lock", StateEvent.PREPARE)
+    bus.point("pbox.activate").fire(200, psid=1)
+    fire_event(bus, 400, 1, "lock", StateEvent.ENTER)
+    # The PREPARE was abandoned by the new activity; nothing blamed.
+    assert profiler.matrix.victim_total_us(1) == 0
+    assert profiler.stats["abandoned_waits"] == 1
+
+
+def test_profiler_report_renders_unknown_and_cycles():
+    bus = TracepointBus()
+    profiler = AttributionProfiler().attach(bus)
+    fire_event(bus, 0, 2, "lock_a", StateEvent.HOLD)
+    fire_event(bus, 0, 1, "lock_b", StateEvent.HOLD)
+    fire_event(bus, 10, 1, "lock_a", StateEvent.PREPARE)
+    fire_event(bus, 20, 2, "lock_b", StateEvent.PREPARE)
+    report = profiler.format_report()
+    assert "wait-for cycle warnings:" in report
+    assert len(profiler.pbox_graph.cycle_warnings) == 1
+    data = profiler.to_dict()
+    assert data["cycles"][0]["level"] == "pbox"
+
+
+def test_unknown_label_is_stable():
+    profiler = AttributionProfiler()
+    assert profiler.label(UNKNOWN) == UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: the buffer-pool case
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def c17_profile():
+    profiler = AttributionProfiler()
+
+    def observer(env):
+        profiler.attach(env.kernel.trace)
+
+    run = run_case(get_case("c17"), Solution.PBOX, duration_s=4, seed=1,
+                   observer=observer)
+    return run, profiler
+
+
+def test_c17_blames_analytics_for_victim_wait(c17_profile):
+    """The acceptance bar: the analytics pBox owns the majority of the
+    OLTP victim's blamed wait on the free-blocks resource."""
+    run, profiler = c17_profile
+    names = {psid: name for psid, name in profiler.pbox_names.items()}
+    victims = [psid for psid, name in names.items() if name == "oltp"]
+    noisies = [psid for psid, name in names.items() if name == "analytics"]
+    assert len(victims) == 1 and len(noisies) == 1
+    shares = profiler.matrix.aggressor_share(victims[0])
+    assert shares, "no blamed wait recorded for the victim"
+    assert shares.get(noisies[0], 0.0) > 0.5
+    # The contended resource is the buffer pool's free blocks.
+    top = max(
+        (cell for cell in profiler.matrix.rows()
+         if cell.victim == victims[0]),
+        key=lambda cell: cell.total_us,
+    )
+    assert top.resource == "buf_pool.free_blocks"
+
+
+def test_c17_attributes_penalties_to_aggressor(c17_profile):
+    run, profiler = c17_profile
+    noisy = [psid for psid, name in profiler.pbox_names.items()
+             if name == "analytics"][0]
+    assert profiler.stats["detections"] > 0
+    assert profiler.stats["penalty_us"] > 0
+    cells = [cell for cell in profiler.matrix.rows()
+             if cell.aggressor == noisy and cell.actions > 0]
+    assert cells, "no penalty action recorded against analytics"
+    recovered = profiler.matrix.recovered_us(noisy)
+    assert recovered is not None and recovered > 0
+
+
+def test_c17_never_blames_unknown_aggressor(c17_profile):
+    """Holder identity flows end to end: no cell carries UNKNOWN."""
+    _run, profiler = c17_profile
+    assert all(cell.aggressor != UNKNOWN
+               for cell in profiler.matrix.rows())
+    assert profiler.stats["unknown_thread_waits"] == 0
+
+
+def test_c17_profiler_snapshot_schema(c17_profile):
+    _run, profiler = c17_profile
+    data = profiler.to_dict()
+    assert set(data) >= {"cells", "aggressors", "cycles", "stats",
+                         "total_blamed_us", "unknown_us", "window_us"}
+    for cell in data["cells"]:
+        assert set(cell) == {"aggressor", "aggressor_psid", "resource",
+                             "victim", "victim_psid", "blamed_us", "waits",
+                             "p95_us", "actions", "penalty_us"}
+        assert cell["blamed_us"] >= 0
+        assert cell["p95_us"] >= 0

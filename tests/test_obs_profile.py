@@ -1,0 +1,207 @@
+"""Tests for the virtual-time flame profile builder.
+
+Schema coverage: the folded-stack text format (flamegraph.pl), the
+speedscope JSON file format, and the self-contained HTML summary, both
+from hand-built profiles and from a real recorded case run.
+"""
+
+import json
+
+import pytest
+
+from repro.cases import Solution, get_case, run_case
+from repro.obs import FoldedProfile, SpanRecorder
+from repro.obs.profile import SPEEDSCOPE_SCHEMA
+from repro.obs.spans import PBOX_TRACK, THREAD_TRACK
+
+
+def make_profile():
+    profile = FoldedProfile(name="unit")
+    profile.add(("worker", "running"), 700)
+    profile.add(("worker", "wait", "futex:lock"), 200)
+    profile.add(("worker", "wait", "futex:lock"), 100)
+    return profile
+
+
+# ---------------------------------------------------------------------------
+# Core container behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_add_merges_identical_stacks():
+    profile = make_profile()
+    assert profile.weights[("worker", "wait", "futex:lock")] == 300
+    assert profile.total_us() == 1_000
+
+
+def test_add_ignores_nonpositive_and_empty():
+    profile = FoldedProfile()
+    profile.add(("a",), 0)
+    profile.add(("a",), -5)
+    profile.add((), 100)
+    assert profile.weights == {}
+
+
+def test_stacks_sorted_heaviest_first():
+    profile = make_profile()
+    stacks = profile.stacks()
+    assert stacks[0] == (("worker", "running"), 700)
+
+
+# ---------------------------------------------------------------------------
+# Folded output (flamegraph.pl format)
+# ---------------------------------------------------------------------------
+
+
+def test_folded_lines_format():
+    lines = make_profile().folded_lines()
+    assert lines == ["worker;running 700", "worker;wait;futex:lock 300"]
+    for line in lines:
+        stack, weight = line.rsplit(" ", 1)
+        assert stack and int(weight) > 0
+
+
+def test_write_folded_roundtrip(tmp_path):
+    path = tmp_path / "out.folded"
+    make_profile().write_folded(str(path))
+    assert path.read_text().splitlines() == make_profile().folded_lines()
+
+
+# ---------------------------------------------------------------------------
+# Speedscope output
+# ---------------------------------------------------------------------------
+
+
+def test_speedscope_schema():
+    doc = make_profile().to_speedscope()
+    assert doc["$schema"] == SPEEDSCOPE_SCHEMA
+    frames = doc["shared"]["frames"]
+    assert all(set(frame) == {"name"} for frame in frames)
+    [prof] = doc["profiles"]
+    assert prof["type"] == "sampled"
+    assert prof["unit"] == "microseconds"
+    assert prof["startValue"] == 0
+    assert prof["endValue"] == 1_000
+    assert len(prof["samples"]) == len(prof["weights"]) == 2
+    # Every sample is a list of valid frame indices.
+    for sample in prof["samples"]:
+        assert all(0 <= index < len(frames) for index in sample)
+    # The heaviest stack resolves back to its frame names.
+    resolved = [frames[i]["name"] for i in prof["samples"][0]]
+    assert resolved == ["worker", "running"]
+
+
+def test_speedscope_frames_deduplicated():
+    doc = make_profile().to_speedscope()
+    names = [frame["name"] for frame in doc["shared"]["frames"]]
+    assert len(names) == len(set(names))
+    assert "worker" in names and "futex:lock" in names
+
+
+def test_write_speedscope_is_valid_json(tmp_path):
+    path = tmp_path / "out.speedscope.json"
+    make_profile().write_speedscope(str(path))
+    with open(path) as handle:
+        doc = json.load(handle)
+    assert doc["profiles"][0]["weights"] == [700, 300]
+
+
+# ---------------------------------------------------------------------------
+# HTML output
+# ---------------------------------------------------------------------------
+
+
+def test_html_is_self_contained():
+    html = make_profile().to_html()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<script" not in html
+    assert "http" not in html  # no external references
+    assert "futex:lock" in html
+
+
+def test_html_escapes_frame_names():
+    profile = FoldedProfile()
+    profile.add(("<evil>", "running"), 100)
+    html = profile.to_html()
+    assert "<evil>" not in html
+    assert "&lt;evil&gt;" in html
+
+
+def test_html_includes_attribution_when_given(tmp_path):
+    attribution = {
+        "cells": [{"aggressor": "noisy (pbox 2)", "resource": "lock",
+                   "victim": "victim (pbox 1)", "blamed_us": 1_500,
+                   "waits": 3, "p95_us": 700, "actions": 2,
+                   "penalty_us": 900}],
+        "cycles": [],
+    }
+    html = make_profile().to_html(attribution=attribution)
+    assert "Contention attribution" in html
+    assert "noisy (pbox 2)" in html
+    path = tmp_path / "out.html"
+    make_profile().write_html(str(path), attribution=attribution)
+    assert "noisy (pbox 2)" in path.read_text()
+
+
+# ---------------------------------------------------------------------------
+# Folding recorded spans
+# ---------------------------------------------------------------------------
+
+
+def test_from_recorder_folds_thread_and_pbox_tracks():
+    recorder = SpanRecorder()
+    recorder.thread_names[3] = "client-a"
+    recorder.spans = [
+        (THREAD_TRACK, 3, "running", "sched", 0, 400, None),
+        (THREAD_TRACK, 3, "futex:lock", "futex", 400, 300, None),
+        (THREAD_TRACK, 3, "sleep", "sched", 700, 100, None),
+        (THREAD_TRACK, 3, "pbox penalty", "penalty", 800, 50, None),
+        (PBOX_TRACK, 1, "activity", "pbox", 0, 1_000, None),
+        (PBOX_TRACK, 1, "defer:lock", "vres", 100, 250, None),
+        (PBOX_TRACK, 1, "penalty", "penalty", 1_000, 60, None),
+    ]
+    profile = FoldedProfile.from_recorder(recorder, name="case")
+    weights = profile.weights
+    assert weights[("client-a", "running")] == 400
+    assert weights[("client-a", "wait", "futex:lock")] == 300
+    assert weights[("client-a", "wait", "sleep")] == 100
+    assert weights[("client-a", "penalty")] == 50
+    # Activity self-time excludes the nested defer child.
+    assert weights[("pbox:1", "activity")] == 750
+    assert weights[("pbox:1", "activity", "defer:lock")] == 250
+    assert weights[("pbox:1", "penalty")] == 60
+
+
+def test_from_recorder_skips_zero_duration_spans():
+    recorder = SpanRecorder()
+    recorder.spans = [(THREAD_TRACK, 3, "running", "sched", 0, 0, None)]
+    assert FoldedProfile.from_recorder(recorder).weights == {}
+
+
+@pytest.fixture(scope="module")
+def recorded_case():
+    recorder = SpanRecorder()
+
+    def observer(env):
+        recorder.attach(env.kernel.trace)
+
+    run_case(get_case("c17"), Solution.PBOX, duration_s=2, seed=1,
+             observer=observer)
+    return recorder
+
+
+def test_case_profile_covers_wait_and_defer(recorded_case):
+    profile = FoldedProfile.from_recorder(recorded_case, name="c17")
+    joined = "\n".join(profile.folded_lines())
+    assert "oltp;" in joined
+    assert "analytics;" in joined
+    assert "defer:buf_pool.free_blocks" in joined
+    assert profile.total_us() > 0
+
+
+def test_case_profile_speedscope_loads(recorded_case):
+    profile = FoldedProfile.from_recorder(recorded_case, name="c17")
+    doc = json.loads(json.dumps(profile.to_speedscope()))
+    [prof] = doc["profiles"]
+    assert prof["endValue"] == profile.total_us()
+    assert len(prof["samples"]) == len(profile.weights)

@@ -6,9 +6,9 @@ from repro.report import SECTIONS, generate_report, load_section, write_report
 
 
 def test_report_handles_missing_results(tmp_path):
-    # +1: the metrics-registry snapshot section is tracked alongside
-    # the tab-separated SECTIONS files.
-    total = len(SECTIONS) + 1
+    # +2: the metrics-registry and attribution snapshot sections are
+    # tracked alongside the tab-separated SECTIONS files.
+    total = len(SECTIONS) + 2
     report = generate_report(str(tmp_path))
     assert "not yet generated" in report
     assert "%d of %d sections missing" % (total, total) in report
@@ -24,6 +24,28 @@ def test_report_renders_tables(tmp_path):
     assert "| app | manual | detected |" in report
     assert "| mysql | 57 | 40 |" in report
     assert "Table 5 commentary" in report
+
+
+def test_report_renders_attribution_snapshot(tmp_path):
+    import json
+
+    (tmp_path / "BENCH_attribution.json").write_text(json.dumps({
+        "overhead": {"attached_ratio": 0.021, "detached_ratio": 0.002},
+        "cases": {
+            "c17": {"victim_p95_us": 5_200, "top_share": 0.97,
+                    "top_aggressor": "analytics (pbox 2)", "actions": 120,
+                    "penalty_us": 1_500_000, "recovered_est_us": 80_000},
+            "c2": {"victim_p95_us": 6_000, "top_share": 0.88,
+                   "top_aggressor": "nopk-inserter (pbox 2)", "actions": 40,
+                   "penalty_us": 200_000, "recovered_est_us": None},
+        },
+    }))
+    report = generate_report(str(tmp_path))
+    assert "contention attribution" in report
+    assert "analytics (pbox 2)" in report
+    assert "97%" in report
+    assert "2.1% attached" in report
+    assert "n/a" in report  # c2 has no recovered estimate
 
 
 def test_write_report_creates_file(tmp_path):
