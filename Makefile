@@ -1,6 +1,6 @@
 # Convenience targets for the pBox reproduction.
 
-.PHONY: install test verify bench report examples clean
+.PHONY: install test verify docs-check bench report examples clean
 
 install:
 	pip install -e .
@@ -28,6 +28,11 @@ verify:
 	  doc = json.load(open('/tmp/pbox-profile.speedscope.json')); \
 	  assert doc['profiles'][0]['type'] == 'sampled'; \
 	  print('profile OK:', len(doc['shared']['frames']), 'frames')"
+
+# Documentation checks: every relative markdown link resolves, every
+# fenced `python -m repro ...` example runs (smoke mode, scratch cwd).
+docs-check:
+	python tools/check_docs.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

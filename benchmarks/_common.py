@@ -20,6 +20,30 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 EVAL_DURATION_S = 6
 
 
+def default_jobs():
+    """Worker count for benchmark sweeps: ``$REPRO_JOBS`` or the CPU count."""
+    return int(os.environ.get("REPRO_JOBS") or os.cpu_count() or 1)
+
+
+def sweep_evaluations(case_ids, solutions, duration_s=EVAL_DURATION_S,
+                      seed=1):
+    """Evaluate ``case_ids`` under ``solutions`` via the parallel runner.
+
+    Returns ``{case_id: SweepEvaluation}`` in ``case_ids`` order —
+    API-compatible with per-case ``repro.cases.evaluate_case`` results,
+    but fanned over :func:`repro.runner.run_sweep`'s worker pool and
+    backed by the content-addressed cache, so unchanged figure
+    benchmarks are instant replays (``--no-cache`` equivalent: delete
+    ``.repro-cache`` or set ``REPRO_CACHE_DIR`` to a fresh directory).
+    """
+    from repro.runner import run_sweep
+
+    result = run_sweep(case_ids=list(case_ids), solutions=list(solutions),
+                       seeds=(seed,), duration_s=duration_s,
+                       jobs=default_jobs())
+    return result.by_case(seed)
+
+
 def write_result(name, lines):
     """Write (and echo) a benchmark's output rows."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

@@ -14,9 +14,9 @@ Shape assertions (not absolute numbers): pBox mitigates at least 14 of
 baseline mitigates far fewer cases and makes several cases worse.
 """
 
-from _common import EVAL_DURATION_S, once, write_result
+from _common import once, sweep_evaluations, write_result
 
-from repro.cases import ALL_CASES, Solution, evaluate_case, get_case
+from repro.cases import ALL_CASES, Solution, get_case
 
 SOLUTIONS = [Solution.PBOX, Solution.CGROUP, Solution.PARTIES,
              Solution.RETRO, Solution.DARC]
@@ -28,16 +28,17 @@ def evaluations():
     """Evaluate all 16 Table 3 cases once; reused by the three tests.
 
     Cases without a ``paper_interference_level`` (c17, the Figure 2
-    motivating case) are not part of the Table 3 evaluation.
+    motivating case) are not part of the Table 3 evaluation.  The sweep
+    goes through ``repro.runner`` (parallel workers + result cache);
+    the numbers are bit-identical to serial ``evaluate_case`` calls.
     """
     if not _cache:
-        for case_id in sorted(ALL_CASES, key=lambda c: int(c[1:])):
-            case = get_case(case_id)
-            if case.paper_interference_level is None:
-                continue
-            _cache[case_id] = evaluate_case(
-                case, solutions=SOLUTIONS, duration_s=EVAL_DURATION_S,
-            )
+        case_ids = [
+            case_id
+            for case_id in sorted(ALL_CASES, key=lambda c: int(c[1:]))
+            if get_case(case_id).paper_interference_level is not None
+        ]
+        _cache.update(sweep_evaluations(case_ids, SOLUTIONS))
     return _cache
 
 

@@ -6,9 +6,15 @@ paper's shape: a more relaxed (larger) rule generally decreases
 mitigation effectiveness, with the mild case c2 the most sensitive.
 """
 
-from _common import once, write_result
+from _common import default_jobs, once, write_result
 
-from repro.cases import Solution, get_case, run_case
+from repro.runner import (
+    baseline_spec,
+    code_fingerprint,
+    interference_spec,
+    run_jobs,
+    solution_spec,
+)
 
 CASES = ["c1", "c2", "c3", "c4", "c5", "c7", "c8", "c9", "c10", "c12"]
 RULES = [25, 50, 75, 100, 125]
@@ -16,23 +22,31 @@ DURATION_S = 5
 
 
 def run_sweep():
+    """70 independent jobs (10 cases x {To, Ti, 5 rules}) via the runner."""
+    specs = {}
+    for case_id in CASES:
+        specs[(case_id, "to")] = baseline_spec(case_id, 1, DURATION_S)
+        specs[(case_id, "ti")] = interference_spec(case_id, 1, DURATION_S)
+        for rule in RULES:
+            specs[(case_id, rule)] = solution_spec(
+                case_id, "pbox", 1, DURATION_S, isolation_level=rule)
+    fingerprint = code_fingerprint()
+    outputs = run_jobs(specs.values(), jobs=default_jobs(),
+                       fingerprint=fingerprint)
+
+    def mean_us(tag):
+        return outputs[specs[tag].key(fingerprint)]["victim_mean_us"]
+
     results = {}
     for case_id in CASES:
-        case = get_case(case_id)
-        baseline = run_case(case, Solution.NO_INTERFERENCE,
-                            duration_s=DURATION_S)
-        interference = run_case(case, Solution.NONE, duration_s=DURATION_S)
-        to_us = baseline.victim_mean_us
-        ti_us = interference.victim_mean_us
-        per_rule = {}
-        for rule in RULES:
-            run = run_case(case, Solution.PBOX, duration_s=DURATION_S,
-                           isolation_level=rule)
-            denominator = ti_us - to_us
-            ratio = ((ti_us - run.victim_mean_us) / denominator
-                     if denominator else 0.0)
-            per_rule[rule] = ratio
-        results[case_id] = per_rule
+        to_us = mean_us((case_id, "to"))
+        ti_us = mean_us((case_id, "ti"))
+        denominator = ti_us - to_us
+        results[case_id] = {
+            rule: ((ti_us - mean_us((case_id, rule))) / denominator
+                   if denominator else 0.0)
+            for rule in RULES
+        }
     return results
 
 

@@ -1,0 +1,149 @@
+"""Runner speedup guards: parallel vs serial, cached vs cold, kernel rate.
+
+Three properties of the experiment runner are load-bearing enough to
+guard with assertions rather than prose:
+
+1. **parallel speedup** — a ``--jobs 4`` registry sweep must beat the
+   serial sweep by >= 2x when at least 4 cores are available.  The
+   threshold scales down with the host's core count (CI containers are
+   sometimes single-core, where a pool can only add overhead; there we
+   assert the overhead stays bounded instead).
+2. **cache replay** — re-running the identical sweep must take < 10%
+   of the cold run's wall time: replays read JSON objects, they never
+   simulate.
+3. **bit-identity** — the parallel and serial sweeps must agree on
+   every To/Ti/Ts to the last bit, or the cache and the figures built
+   on it would silently depend on the worker count.
+
+The kernel event-loop microbenchmark at the end records the simulator's
+syscall throughput (the hot path tuned in ``repro.sim.kernel``) so the
+next hot-path pass has a measured baseline in ``results/``.
+"""
+
+import os
+import time
+
+from _common import once, write_result
+
+from repro.cases import Solution, get_case, run_case
+from repro.runner import ResultCache, run_sweep, sweep_case_ids
+from repro.sim.thread import reset_thread_ids
+
+#: Short per-job duration keeps the three sweeps (serial, parallel,
+#: cached) to tens of seconds of wall clock while still dominating the
+#: pool's fork/IPC overhead.
+DURATION_S = 2
+PARALLEL_JOBS = 4
+
+
+def _speedup_floor(cores):
+    """Required parallel-over-serial speedup for this host.
+
+    >= 4 cores is the configuration the acceptance criterion names
+    (2x); 2-3 cores can still demonstrably overlap work; a single core
+    can only lose to pool overhead, so we merely bound the loss.
+    """
+    if cores >= 4:
+        return 2.0
+    if cores >= 2:
+        return 1.3
+    return 0.6
+
+
+def test_runner_speedup_and_cache(benchmark, tmp_path):
+    case_ids = sweep_case_ids()
+    cache = ResultCache(str(tmp_path / "cache"))
+
+    def measure():
+        timings = {}
+        started = time.perf_counter()
+        serial = run_sweep(case_ids=case_ids, solutions=[Solution.PBOX],
+                           duration_s=DURATION_S, jobs=1, use_cache=False)
+        timings["serial_s"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        parallel = run_sweep(case_ids=case_ids, solutions=[Solution.PBOX],
+                             duration_s=DURATION_S, jobs=PARALLEL_JOBS,
+                             cache=cache)
+        timings["parallel_s"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        cached = run_sweep(case_ids=case_ids, solutions=[Solution.PBOX],
+                           duration_s=DURATION_S, jobs=PARALLEL_JOBS,
+                           cache=cache)
+        timings["cached_s"] = time.perf_counter() - started
+        return serial, parallel, cached, timings
+
+    serial, parallel, cached, timings = once(benchmark, measure)
+    cores = os.cpu_count() or 1
+    floor = _speedup_floor(cores)
+    speedup = timings["serial_s"] / timings["parallel_s"]
+    cached_fraction = timings["cached_s"] / timings["parallel_s"]
+
+    lines = [
+        "# Runner speedup: %d-job registry sweep (%d cases, duration %ss)"
+        % (parallel.stats["total"], len(case_ids), DURATION_S),
+        "metric\tvalue",
+        "host_cores\t%d" % cores,
+        "serial_wall_s\t%.2f" % timings["serial_s"],
+        "parallel_wall_s\t%.2f" % timings["parallel_s"],
+        "parallel_speedup\t%.2fx" % speedup,
+        "speedup_floor\t%.1fx" % floor,
+        "cached_wall_s\t%.3f" % timings["cached_s"],
+        "cached_fraction\t%.1f%%" % (100.0 * cached_fraction),
+        "cache_hits\t%d/%d" % (cached.stats["cache_hits"],
+                               cached.stats["total"]),
+    ]
+    write_result("runner_speedup.txt", lines)
+
+    # 1. parallel speedup (core-scaled floor; 2x is the >=4-core bar).
+    assert speedup >= floor, (
+        "parallel sweep %.2fx vs floor %.1fx on %d cores"
+        % (speedup, floor, cores))
+    # 2. cached replay under 10% of the cold run.
+    assert cached.stats["cache_hits"] == cached.stats["total"]
+    assert cached_fraction < 0.10, (
+        "cached replay took %.1f%% of the cold run"
+        % (100.0 * cached_fraction))
+    # 3. bit-identical results, serial vs parallel vs cache replay.
+    for key, serial_ev in serial.evaluations.items():
+        for other in (parallel, cached):
+            other_ev = other.evaluations[key]
+            assert other_ev.to_us == serial_ev.to_us, key
+            assert other_ev.ti_us == serial_ev.ti_us, key
+            assert (other_ev.ts_us(Solution.PBOX)
+                    == serial_ev.ts_us(Solution.PBOX)), key
+
+
+def test_kernel_event_loop_rate(benchmark):
+    """Record the kernel hot path's syscall throughput in results/."""
+    case = get_case("c1")
+
+    def run_once():
+        reset_thread_ids()
+        run = run_case(case, Solution.NONE, duration_s=DURATION_S)
+        return run.env.kernel.stats
+
+    # Warm up once, then take the best of three (least-noise estimate).
+    run_once()
+    best_s, stats = None, None
+    for _ in range(3):
+        started = time.perf_counter()
+        stats = run_once()
+        elapsed = time.perf_counter() - started
+        best_s = elapsed if best_s is None else min(best_s, elapsed)
+    rate = stats["syscalls"] / best_s
+    lines = [
+        "# Kernel event-loop microbenchmark (c1 vanilla, duration %ss)"
+        % DURATION_S,
+        "metric\tvalue",
+        "syscalls\t%d" % stats["syscalls"],
+        "context_switches\t%d" % stats["context_switches"],
+        "wall_s_best_of_3\t%.3f" % best_s,
+        "syscalls_per_s\t%.0f" % rate,
+    ]
+    write_result("runner_kernel_rate.txt", lines)
+    once(benchmark, lambda: None)
+    # Loose sanity floor -- an accidental O(n^2) regression in the run
+    # loop drops throughput by orders of magnitude, not percent.
+    assert rate > 50_000

@@ -6,25 +6,35 @@ compares victim latency.  The paper finds the adaptive design better in
 7 of 9 cases; we assert a majority.
 """
 
-from _common import EVAL_DURATION_S, once, write_result
+from _common import EVAL_DURATION_S, default_jobs, once, write_result
 
-from repro.cases import Solution, get_case, run_case
-from repro.core import FixedPenalty
+from repro.runner import run_jobs, solution_spec
 
 CASES = ["c1", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10"]
 
+#: Penalty variants per case: spec string (None = adaptive engine).
+VARIANTS = [("fixed:10000", "fixed10"), ("fixed:100000", "fixed100"),
+            (None, "adaptive")]
+
 
 def run_matrix():
+    """27 independent jobs (9 cases x 3 penalty designs) via the runner."""
+    specs = {}
+    for case_id in CASES:
+        for penalty, label in VARIANTS:
+            specs[(case_id, label)] = solution_spec(
+                case_id, "pbox", 1, EVAL_DURATION_S, penalty=penalty)
+    from repro.runner import code_fingerprint
+
+    fingerprint = code_fingerprint()
+    outputs = run_jobs(specs.values(), jobs=default_jobs(),
+                       fingerprint=fingerprint)
     results = {}
     for case_id in CASES:
-        case = get_case(case_id)
-        fixed10 = run_case(case, Solution.PBOX, duration_s=EVAL_DURATION_S,
-                           penalty_engine=FixedPenalty(10_000))
-        fixed100 = run_case(case, Solution.PBOX, duration_s=EVAL_DURATION_S,
-                            penalty_engine=FixedPenalty(100_000))
-        adaptive = run_case(case, Solution.PBOX, duration_s=EVAL_DURATION_S)
-        results[case_id] = (fixed10.victim_mean_us, fixed100.victim_mean_us,
-                            adaptive.victim_mean_us)
+        results[case_id] = tuple(
+            outputs[specs[(case_id, label)].key(fingerprint)]
+            ["victim_mean_us"]
+            for _, label in VARIANTS)
     return results
 
 

@@ -1,6 +1,23 @@
 """Registry of the interference cases: the 16 Table 3 cases plus c17,
 the Figure 2 buffer-pool motivating case (the attribution profiler's
-reference scenario)."""
+reference scenario).
+
+The registry is the enumeration surface of the experiment runner:
+``repro.runner.sweep`` walks :data:`ALL_CASES` (in numeric id order)
+to build its job graph, and a job's cache identity includes only the
+case *id* — not the case object — because :func:`get_case` is
+deterministic: it constructs a fresh, unconfigured case instance
+whose behaviour is fully determined by the case class and the
+(seed, duration, solution) parameters supplied at run time.  Two
+consequences for authors of new cases:
+
+- a case class must not read ambient state (wall clock, environment,
+  module-level mutable globals) in ``__init__`` or ``build``; all
+  variability must flow from the kernel's seeded RNG streams, or the
+  runner's determinism/caching contract breaks;
+- registering a case makes it sweepable immediately (``python -m
+  repro sweep --filter <id>``) — there is nothing else to wire up.
+"""
 
 from repro.cases.mysql_cases import (
     BufferPoolCase,

@@ -21,11 +21,22 @@ Commands:
                                       (flamegraph.pl), speedscope JSON,
                                       an HTML summary, and the raw
                                       attribution JSON
+- ``sweep [--jobs N]``                evaluate the case registry through
+                                      the parallel experiment runner
+                                      with content-addressed result
+                                      caching; writes
+                                      results/SWEEP.json
 - ``report [--results-dir results]``  stitch benchmark outputs into
                                       results/REPORT.md
+
+Setting the ``REPRO_SMOKE`` environment variable (any non-empty value)
+clamps every command's ``--duration`` to 1.5 simulated seconds and
+restricts a filter-less ``sweep`` to two cases — the mode the docs CI
+job uses to execute every quoted command quickly.
 """
 
 import argparse
+import os
 import sys
 
 from repro.analyzer import (
@@ -209,6 +220,87 @@ def cmd_profile(args):
     return 0
 
 
+#: Duration ceiling (simulated seconds) applied when REPRO_SMOKE is set.
+#: Must exceed the cases' 1 s warmup or victim recorders stay empty.
+SMOKE_DURATION_S = 1.5
+
+
+def _smoke_mode():
+    """True when the docs-CI smoke mode is requested via environment."""
+    return bool(os.environ.get("REPRO_SMOKE"))
+
+
+def cmd_sweep(args):
+    """Evaluate the registry through the parallel experiment runner.
+
+    Jobs are content-addressed by (spec, code fingerprint): a re-run
+    with unchanged code replays results from the on-disk cache in
+    milliseconds.  ``--jobs N`` fans uncached jobs out over N worker
+    processes; results are bit-identical to ``--jobs 1`` because every
+    job re-seeds its own kernel (see docs/RUNNING_EXPERIMENTS.md).
+    """
+    from repro.runner import ResultCache, run_sweep, sweep_case_ids
+
+    case_ids = sweep_case_ids(args.filter)
+    if not case_ids:
+        print("no cases match filter %r" % args.filter)
+        return 1
+    if _smoke_mode() and not args.filter:
+        case_ids = case_ids[:2]
+    solutions = []
+    for name in args.solutions.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        solution = Solution(name)
+        if solution in (Solution.NONE, Solution.NO_INTERFERENCE):
+            print("solution %r is implicit (every sweep measures To and "
+                  "Ti); pick from the mitigating solutions" % name)
+            return 1
+        solutions.append(solution)
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    cache = ResultCache(args.cache_dir) if not args.no_cache else None
+
+    def progress(done, total, spec, cached, wall_s):
+        if args.quiet:
+            return
+        status = "hit " if cached else "%5.2fs" % wall_s
+        print("[%3d/%3d] %-28s %s" % (done, total, spec.label(), status))
+
+    result = run_sweep(
+        case_ids=case_ids,
+        solutions=solutions,
+        seeds=seeds,
+        duration_s=args.duration,
+        jobs=args.jobs,
+        cache=cache,
+        use_cache=not args.no_cache,
+        progress=progress,
+    )
+
+    solution_names = [s.value for s in solutions]
+    print()
+    print("%-5s %10s %10s %8s  %s" % (
+        "case", "To(ms)", "Ti(ms)", "p",
+        "  ".join("r(%s)" % n for n in solution_names)))
+    for seed in seeds:
+        for case_id, ev in result.by_case(seed).items():
+            ratios = "  ".join(
+                "%+6.2f" % ev.reduction_ratio(s) for s in solutions)
+            print("%-5s %10.2f %10.2f %8.2f  %s%s" % (
+                case_id, ev.to_us / 1_000, ev.ti_us / 1_000,
+                ev.interference_level, ratios,
+                ("   [seed %d]" % seed) if len(seeds) > 1 else ""))
+    stats = result.stats
+    print()
+    print("%d jobs: %d executed, %d cache hits; %d worker(s), %.2fs wall"
+          % (stats["total"], stats["executed"], stats["cache_hits"],
+             stats["workers"], stats["wall_s"]))
+    path = result.write_json(args.out)
+    print("wrote %s" % path)
+    return 0
+
+
 def cmd_report(args):
     """Aggregate benchmark outputs into a markdown report."""
     path = write_report(args.results_dir)
@@ -288,6 +380,34 @@ def build_parser():
                                 help="write the attribution snapshot as "
                                      "JSON")
 
+    sweep_parser = sub.add_parser(
+        "sweep", help="evaluate the case registry through the parallel "
+                      "experiment runner (content-addressed cache)")
+    sweep_parser.add_argument("--jobs", type=int,
+                              default=os.cpu_count() or 1,
+                              help="worker processes (default: CPU count); "
+                                   "1 = serial in-process")
+    sweep_parser.add_argument("--solutions", default="pbox",
+                              help="comma-separated solutions to measure "
+                                   "(default: pbox; e.g. "
+                                   "pbox,cgroup,parties,retro,darc)")
+    sweep_parser.add_argument("--filter", default=None,
+                              help="comma-separated case ids or app/resource "
+                                   "substrings (e.g. 'c1,c3' or 'mysql')")
+    sweep_parser.add_argument("--seeds", default="1",
+                              help="comma-separated RNG seeds (default: 1)")
+    sweep_parser.add_argument("--duration", type=float, default=6,
+                              help="simulated seconds per run (default: 6)")
+    sweep_parser.add_argument("--no-cache", action="store_true",
+                              help="skip cache reads and writes")
+    sweep_parser.add_argument("--cache-dir", default=None,
+                              help="cache root (default: $REPRO_CACHE_DIR "
+                                   "or .repro-cache)")
+    sweep_parser.add_argument("--out", default="results/SWEEP.json",
+                              help="machine-readable sweep summary path")
+    sweep_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-job progress lines")
+
     report_parser = sub.add_parser("report",
                                    help="aggregate results/ into a report")
     report_parser.add_argument("--results-dir", default="results")
@@ -302,13 +422,21 @@ COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "profile": cmd_profile,
+    "sweep": cmd_sweep,
     "report": cmd_report,
 }
 
 
 def main(argv=None):
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    With ``REPRO_SMOKE`` set in the environment, any ``--duration`` is
+    clamped to :data:`SMOKE_DURATION_S` so every documented command can
+    be executed cheaply by the docs CI job.
+    """
     args = build_parser().parse_args(argv)
+    if _smoke_mode() and getattr(args, "duration", None) is not None:
+        args.duration = min(args.duration, SMOKE_DURATION_S)
     return COMMANDS[args.command](args)
 
 

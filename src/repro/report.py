@@ -37,6 +37,9 @@ METRICS_SNAPSHOT = "obs_metrics.json"
 #: (profiler overhead plus per-case blame summaries).
 ATTRIBUTION_SNAPSHOT = "BENCH_attribution.json"
 
+#: Machine-readable sweep output (``python -m repro sweep``).
+SWEEP_SNAPSHOT = "SWEEP.json"
+
 
 def load_section(results_dir, filename):
     """Return the file's lines, or None if it has not been generated."""
@@ -111,10 +114,19 @@ def generate_report(results_dir="results"):
     else:
         parts.extend(attribution_lines)
     parts.append("")
+    parts.append("## Sweep — registry-wide To/Ti/Ts summary")
+    parts.append("")
+    sweep_lines = _load_sweep_section(results_dir)
+    if sweep_lines is None:
+        parts.append("*(not yet generated — run `python -m repro sweep`)*")
+        missing.append(SWEEP_SNAPSHOT)
+    else:
+        parts.extend(sweep_lines)
+    parts.append("")
     if missing:
         parts.append("---")
         parts.append("%d of %d sections missing." % (len(missing),
-                                                     len(SECTIONS) + 2))
+                                                     len(SECTIONS) + 3))
     return "\n".join(parts)
 
 
@@ -168,6 +180,52 @@ def _load_attribution_section(results_dir):
                 ("n/a" if recovered is None
                  else "%.2f" % (recovered / 1_000)),
             ))
+    return lines
+
+
+def _load_sweep_section(results_dir):
+    """Render the ``repro sweep`` snapshot, or None if absent."""
+    path = os.path.join(results_dir, SWEEP_SNAPSHOT)
+    if not os.path.exists(path):
+        return None
+    import json
+
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    solutions = snapshot.get("solutions", [])
+    jobs = snapshot.get("jobs", {})
+    lines = []
+    if jobs:
+        lines.append(
+            "%d jobs (%d executed, %d cache hits) over %d worker(s) in "
+            "%.2fs; duration %ss, seeds %s." % (
+                jobs.get("total", 0), jobs.get("executed", 0),
+                jobs.get("cache_hits", 0), jobs.get("workers", 1),
+                jobs.get("wall_s", 0.0), snapshot.get("duration_s", "?"),
+                ",".join(str(s) for s in snapshot.get("seeds", [])),
+            )
+        )
+        lines.append("")
+    header = ["case", "To (ms)", "Ti (ms)", "p"]
+    header += ["r(%s)" % s for s in solutions]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for case_id in sorted(snapshot.get("cases", {}),
+                          key=lambda cid: int(cid[1:])):
+        seeds = snapshot["cases"][case_id]["seeds"]
+        for seed in sorted(seeds, key=int):
+            entry = seeds[seed]
+            row = [
+                case_id if len(seeds) == 1 else "%s/s%s" % (case_id, seed),
+                "%.2f" % (entry["to_us"] / 1_000),
+                "%.2f" % (entry["ti_us"] / 1_000),
+                "%.2f" % entry["interference_level"],
+            ]
+            for solution in solutions:
+                sol = entry["solutions"].get(solution)
+                row.append("%+.2f" % sol["reduction_ratio"]
+                           if sol else "n/a")
+            lines.append("| " + " | ".join(row) + " |")
     return lines
 
 

@@ -1,0 +1,154 @@
+"""Job specifications for the parallel experiment runner.
+
+A *job* is one deterministic ``run_case`` invocation, fully described
+by a :class:`JobSpec`: (case, solution, seed, duration) plus the three
+knobs the sensitivity experiments vary (isolation level, penalty
+engine, measured baseline).  Because the simulator is bit-for-bit
+deterministic (see ``repro.sim.kernel``), a job spec plus a fingerprint
+of the ``repro`` source tree *content-addresses* its result: equal keys
+mean equal results, no matter which worker process — or which past
+sweep — produced them.
+
+The canonical encoding (sorted-key JSON of :meth:`JobSpec.to_dict`) is
+the contract the on-disk cache is keyed by; changing the meaning of any
+field therefore requires bumping :data:`SPEC_VERSION`.
+"""
+
+import hashlib
+import json
+
+#: Bump when the semantics of the spec encoding change, so stale cache
+#: entries written by an older scheme can never be misread as current.
+SPEC_VERSION = 1
+
+#: ``solution`` values whose policy consumes the measured To baseline
+#: (the PARTIES SLO and the Retro slowdown reference).  Every other
+#: solution ignores ``baseline_us``, so specs leave it ``None`` to
+#: maximise cache hits across sweeps.
+BASELINE_SOLUTIONS = ("parties", "retro")
+
+
+class JobSpec:
+    """Immutable description of one simulation run.
+
+    Parameters
+    ----------
+    case_id:
+        Registry id, e.g. ``"c5"``.
+    solution:
+        A :class:`repro.cases.Solution` value string (``"pbox"``,
+        ``"none"``, ``"no_interference"``, ``"cgroup"``, ...).
+    seed:
+        Root RNG seed handed to the kernel.  Same seed, same spec, same
+        code => identical results; this is the determinism contract the
+        cache and the parallel/serial equivalence guarantee rest on.
+    duration_s:
+        Simulated duration in seconds.
+    isolation_level:
+        Optional isolation-rule percentage (Figure 15); ``None`` keeps
+        the case default (50%).
+    penalty:
+        Optional penalty-engine override as a string: ``"fixed:<us>"``
+        for :class:`repro.core.FixedPenalty` (Table 4); ``None`` keeps
+        the adaptive engine.
+    baseline_us:
+        Measured interference-free victim latency fed to
+        baseline-consuming solutions (see :data:`BASELINE_SOLUTIONS`);
+        embedded in the spec so the content address covers every input
+        that can influence the result.
+    """
+
+    __slots__ = ("case_id", "solution", "seed", "duration_s",
+                 "isolation_level", "penalty", "baseline_us")
+
+    def __init__(self, case_id, solution, seed=1, duration_s=6,
+                 isolation_level=None, penalty=None, baseline_us=None):
+        self.case_id = str(case_id)
+        self.solution = str(solution)
+        self.seed = int(seed)
+        self.duration_s = float(duration_s)
+        self.isolation_level = (
+            None if isolation_level is None else int(isolation_level))
+        self.penalty = None if penalty is None else str(penalty)
+        self.baseline_us = (
+            None if baseline_us is None else float(baseline_us))
+
+    def to_dict(self):
+        """Canonical, JSON-safe encoding (the cache-key input)."""
+        return {
+            "version": SPEC_VERSION,
+            "case_id": self.case_id,
+            "solution": self.solution,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "isolation_level": self.isolation_level,
+            "penalty": self.penalty,
+            "baseline_us": self.baseline_us,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Inverse of :meth:`to_dict` (version field is ignored)."""
+        return cls(
+            payload["case_id"], payload["solution"], payload["seed"],
+            payload["duration_s"], payload.get("isolation_level"),
+            payload.get("penalty"), payload.get("baseline_us"),
+        )
+
+    def key(self, fingerprint):
+        """Content address: sha256 of (canonical spec, code fingerprint).
+
+        ``fingerprint`` is the hash of every ``repro`` source file (see
+        :func:`repro.runner.cache.code_fingerprint`), so *any* code
+        change invalidates every cached result — the conservative
+        invalidation rule documented in docs/RUNNING_EXPERIMENTS.md.
+        """
+        body = json.dumps(
+            {"spec": self.to_dict(), "code": fingerprint},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+    def label(self):
+        """Short human-readable tag for progress lines."""
+        parts = ["%s:%s" % (self.case_id, self.solution), "seed%d" % self.seed]
+        if self.isolation_level is not None:
+            parts.append("rule%d" % self.isolation_level)
+        if self.penalty is not None:
+            parts.append(self.penalty)
+        return ":".join(parts)
+
+    def __repr__(self):
+        return "JobSpec(%s)" % self.label()
+
+    def __eq__(self, other):
+        return (isinstance(other, JobSpec)
+                and self.to_dict() == other.to_dict())
+
+    def __hash__(self):
+        return hash(json.dumps(self.to_dict(), sort_keys=True))
+
+
+def baseline_spec(case_id, seed, duration_s):
+    """The To job (victim alone, no noisy activity) for a case."""
+    return JobSpec(case_id, "no_interference", seed=seed,
+                   duration_s=duration_s)
+
+
+def interference_spec(case_id, seed, duration_s):
+    """The Ti job (noisy activity active, vanilla build) for a case."""
+    return JobSpec(case_id, "none", seed=seed, duration_s=duration_s)
+
+
+def solution_spec(case_id, solution, seed, duration_s, to_us=None,
+                  isolation_level=None, penalty=None):
+    """The Ts job for one solution.
+
+    ``to_us`` (the measured To) is embedded only for solutions that
+    actually consume it, keeping the content address of e.g. a pBox run
+    independent of the baseline measurement.
+    """
+    baseline_us = to_us if solution in BASELINE_SOLUTIONS else None
+    return JobSpec(case_id, solution, seed=seed, duration_s=duration_s,
+                   isolation_level=isolation_level, penalty=penalty,
+                   baseline_us=baseline_us)

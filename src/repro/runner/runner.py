@@ -1,0 +1,177 @@
+"""Job execution: serial in-process, or fanned out over workers.
+
+The execution contract is the heart of the runner's determinism story:
+
+- :func:`execute_spec` resets the global thread-id counter before every
+  job and builds a fresh kernel from the spec's seed, so a job's result
+  depends *only* on its spec and the code — never on which process ran
+  it, how many jobs ran before it, or in which order the pool finished.
+- Workers return plain JSON-safe dicts; the parent process is the only
+  cache writer.  Parallel results are therefore bit-identical to a
+  serial sweep (``tests/test_runner.py`` and
+  ``benchmarks/test_runner_speedup.py`` both assert this).
+"""
+
+import multiprocessing
+import time
+
+from repro.runner.cache import ResultCache, code_fingerprint
+
+#: Result-dict schema version, stored in every payload so readers can
+#: reject entries written by a future incompatible runner.
+RESULT_VERSION = 1
+
+
+def _preferred_start_method():
+    """``fork`` when the platform offers it (cheap workers), else default."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else None
+
+
+def execute_spec(spec_dict):
+    """Run one job described by a :meth:`JobSpec.to_dict` payload.
+
+    Returns a plain JSON-serializable result dict (latency aggregates,
+    sample counts, kernel and manager statistics).  Deterministic: the
+    same ``spec_dict`` always produces the same dict, byte for byte,
+    in any process (seed contract — see the module docstring).
+    """
+    from repro.cases import Solution, get_case, run_case
+    from repro.core import FixedPenalty
+    from repro.sim.thread import reset_thread_ids
+
+    reset_thread_ids()
+    case = get_case(spec_dict["case_id"])
+    solution = Solution(spec_dict["solution"])
+    engine = None
+    penalty = spec_dict.get("penalty")
+    if penalty:
+        kind, _, value = penalty.partition(":")
+        if kind != "fixed":
+            raise ValueError("unknown penalty spec %r" % penalty)
+        engine = FixedPenalty(int(value))
+    run = run_case(
+        case,
+        solution,
+        seed=spec_dict.get("seed", 1),
+        duration_s=spec_dict.get("duration_s"),
+        baseline_us=spec_dict.get("baseline_us"),
+        isolation_level=spec_dict.get("isolation_level"),
+        penalty_engine=engine,
+    )
+    victim_count = sum(len(recorder.samples_us)
+                       for recorder in run.env.victim_recorders)
+    noisy_count = sum(len(recorder.samples_us)
+                      for recorder in run.env.noisy_recorders)
+    result = {
+        "version": RESULT_VERSION,
+        "victim_mean_us": run.victim_mean_us,
+        "victim_p95_us": run.victim_p95_us,
+        "noisy_mean_us": run.noisy_mean_us,
+        "victim_samples": victim_count,
+        "noisy_samples": noisy_count,
+        "sim_stats": dict(run.env.kernel.stats),
+        "manager_stats": dict(run.manager.stats),
+    }
+    engine = getattr(run.manager, "penalty_engine", None)
+    if engine is not None and hasattr(engine, "action_count"):
+        result["penalty_actions"] = engine.action_count()
+    return result
+
+
+def _execute_keyed(item):
+    """Pool worker: ``(key, spec_dict)`` -> ``(key, result, wall_s)``."""
+    key, spec_dict = item
+    started = time.perf_counter()
+    result = execute_spec(spec_dict)
+    return key, result, time.perf_counter() - started
+
+
+def run_jobs(specs, jobs=1, cache=None, use_cache=True, progress=None,
+             fingerprint=None):
+    """Execute ``specs``; return ``{cache_key: result_dict}``.
+
+    Parameters
+    ----------
+    specs:
+        Iterable of :class:`~repro.runner.jobs.JobSpec`.  Duplicate
+        specs (same content address) are executed once.
+    jobs:
+        Worker processes.  ``1`` runs everything in-process (the
+        *serial path*); higher values fan uncached jobs out over a
+        ``multiprocessing`` pool.  Results are identical either way.
+    cache / use_cache:
+        With ``use_cache`` true (default), each job is first looked up
+        in the content-addressed ``cache`` (a fresh
+        :class:`ResultCache` at the default root if not given); hits
+        skip execution entirely, misses are executed and stored.  With
+        ``use_cache`` false the cache is neither read nor written.
+    progress:
+        Optional callable ``(done, total, spec, cached, wall_s)``
+        invoked after every job completion, including cache hits.
+    fingerprint:
+        Code fingerprint override; defaults to
+        :func:`code_fingerprint` of the installed ``repro`` package.
+        Tests use this to simulate code changes.
+    """
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    if use_cache and cache is None:
+        cache = ResultCache()
+
+    keyed = []
+    seen = set()
+    for spec in specs:
+        key = spec.key(fingerprint)
+        if key in seen:
+            continue
+        seen.add(key)
+        keyed.append((key, spec))
+
+    results = {}
+    total = len(keyed)
+    done = 0
+    pending = []
+    for key, spec in keyed:
+        cached_result = cache.get(key) if use_cache else None
+        if cached_result is not None:
+            results[key] = cached_result
+            done += 1
+            if progress is not None:
+                progress(done, total, spec, True, 0.0)
+        else:
+            pending.append((key, spec))
+
+    if not pending:
+        return results
+
+    workers = max(1, int(jobs or 1))
+    spec_by_key = dict(pending)
+
+    def _record(key, result, wall_s):
+        nonlocal done
+        results[key] = result
+        if use_cache:
+            cache.put(key, spec_by_key[key].to_dict(), fingerprint, result)
+        done += 1
+        if progress is not None:
+            progress(done, total, spec_by_key[key], False, wall_s)
+
+    if workers == 1 or len(pending) == 1:
+        for key, spec in pending:
+            started = time.perf_counter()
+            result = execute_spec(spec.to_dict())
+            _record(key, result, time.perf_counter() - started)
+        return results
+
+    items = [(key, spec.to_dict()) for key, spec in pending]
+    method = _preferred_start_method()
+    ctx = (multiprocessing.get_context(method) if method
+           else multiprocessing.get_context())
+    with ctx.Pool(processes=min(workers, len(items))) as pool:
+        # chunksize=1: jobs run for seconds each, so load balance beats
+        # batching; completion order is irrelevant (results are keyed).
+        for key, result, wall_s in pool.imap_unordered(
+                _execute_keyed, items, chunksize=1):
+            _record(key, result, wall_s)
+    return results

@@ -1,0 +1,304 @@
+"""Full-registry sweeps: enumerate, fan out, aggregate, persist.
+
+A *sweep* evaluates a set of cases under a set of solutions for one or
+more seeds, exactly like calling :func:`repro.cases.evaluate_case` per
+case — but as an explicit two-stage job graph:
+
+- **stage 1**: the To (interference-free) and Ti (vanilla) jobs of
+  every (case, seed) — mutually independent;
+- **stage 2**: one Ts job per (case, seed, solution), constructed
+  *after* stage 1 so that baseline-consuming solutions (PARTIES,
+  Retro) embed the measured To in their spec, just as
+  ``evaluate_case`` feeds it to an operator-configured baseline.
+
+Both stages go through :func:`repro.runner.runner.run_jobs`, so every
+job is independently cached and parallelizable; the aggregate numbers
+are bit-identical to the serial ``evaluate_case`` path.
+"""
+
+import json
+import os
+import time
+
+from repro.runner.cache import ResultCache, code_fingerprint
+from repro.runner.jobs import (
+    baseline_spec,
+    interference_spec,
+    solution_spec,
+)
+from repro.runner.runner import run_jobs
+
+#: Schema version of ``results/SWEEP.json``.
+SWEEP_SCHEMA = 1
+
+
+class JobResult:
+    """Attribute view over a job's result dict.
+
+    Mirrors the slice of :class:`repro.cases.base.CaseRun` the
+    benchmarks consume (``victim_mean_us``, ``victim_p95_us``,
+    ``noisy_mean_us``), so sweep evaluations are drop-in replacements
+    in the figure/table helpers.
+    """
+
+    __slots__ = ("raw",)
+
+    def __init__(self, raw):
+        self.raw = raw
+
+    @property
+    def victim_mean_us(self):
+        return self.raw["victim_mean_us"]
+
+    @property
+    def victim_p95_us(self):
+        return self.raw["victim_p95_us"]
+
+    @property
+    def noisy_mean_us(self):
+        return self.raw["noisy_mean_us"]
+
+    def __repr__(self):
+        return "JobResult(victim_mean_us=%.1f)" % self.victim_mean_us
+
+
+class SweepEvaluation:
+    """To/Ti/Ts aggregate for one (case, seed) — Section 6.2 math.
+
+    API-compatible with :class:`repro.cases.base.CaseEvaluation`
+    (``to_us``, ``ti_us``, ``ts_us``, ``interference_level``,
+    ``reduction_ratio``, ``normalized_latency``, ``normalized_tail``,
+    plus the ``baseline`` / ``interference`` / ``solution_runs``
+    attributes), built from cached-or-computed job results instead of
+    live ``CaseRun`` objects.
+    """
+
+    def __init__(self, case, seed, baseline, interference, solution_runs):
+        self.case = case
+        self.seed = seed
+        self.baseline = baseline            # JobResult (To)
+        self.interference = interference    # JobResult (Ti)
+        self.solution_runs = solution_runs  # {Solution: JobResult}
+
+    @property
+    def to_us(self):
+        """Interference-free victim latency To."""
+        return self.baseline.victim_mean_us
+
+    @property
+    def ti_us(self):
+        """Victim latency under interference Ti."""
+        return self.interference.victim_mean_us
+
+    def ts_us(self, solution):
+        """Victim latency under ``solution``."""
+        return self.solution_runs[solution].victim_mean_us
+
+    @property
+    def interference_level(self):
+        """p = Ti/To - 1."""
+        return self.ti_us / self.to_us - 1.0
+
+    def reduction_ratio(self, solution):
+        """r = (Ti - Ts)/(Ti - To) for ``solution``."""
+        from repro.workloads import reduction_ratio
+
+        return reduction_ratio(self.ti_us, self.ts_us(solution), self.to_us)
+
+    def normalized_latency(self, solution):
+        """Ts / Ti: the Figure 11 normalization (< 1 means mitigated)."""
+        return self.ts_us(solution) / self.ti_us
+
+    def normalized_tail(self, solution):
+        """p95(Ts) / p95(Ti): the Figure 12 normalization."""
+        return (self.solution_runs[solution].victim_p95_us
+                / self.interference.victim_p95_us)
+
+
+class SweepResult:
+    """Everything a finished sweep produced, plus cache/wall accounting."""
+
+    def __init__(self, evaluations, solutions, seeds, duration_s,
+                 fingerprint, stats):
+        #: {(case_id, seed): SweepEvaluation}
+        self.evaluations = evaluations
+        self.solutions = solutions
+        self.seeds = seeds
+        self.duration_s = duration_s
+        self.fingerprint = fingerprint
+        #: dict with jobs / cache_hits / executed / workers / wall_s
+        self.stats = stats
+
+    def by_case(self, seed=None):
+        """``{case_id: SweepEvaluation}`` for one seed (default: first)."""
+        seed = self.seeds[0] if seed is None else seed
+        return {case_id: evaluation
+                for (case_id, s), evaluation in self.evaluations.items()
+                if s == seed}
+
+    def to_json_dict(self):
+        """The machine-readable ``results/SWEEP.json`` payload."""
+        cases = {}
+        for (case_id, seed), ev in sorted(self.evaluations.items()):
+            per_case = cases.setdefault(case_id, {"seeds": {}})
+            solutions = {}
+            for solution, run in ev.solution_runs.items():
+                solutions[solution.value] = {
+                    "ts_us": ev.ts_us(solution),
+                    "ts_p95_us": run.victim_p95_us,
+                    "reduction_ratio": ev.reduction_ratio(solution),
+                    "normalized_latency": ev.normalized_latency(solution),
+                    "normalized_tail": ev.normalized_tail(solution),
+                    "noisy_mean_us": run.noisy_mean_us,
+                }
+            per_case["seeds"][str(seed)] = {
+                "to_us": ev.to_us,
+                "ti_us": ev.ti_us,
+                "interference_level": ev.interference_level,
+                "solutions": solutions,
+            }
+        return {
+            "schema": SWEEP_SCHEMA,
+            "code_fingerprint": self.fingerprint,
+            "duration_s": self.duration_s,
+            "seeds": list(self.seeds),
+            "solutions": [s.value for s in self.solutions],
+            "jobs": self.stats,
+            "cases": cases,
+        }
+
+    def write_json(self, path):
+        """Write :meth:`to_json_dict` to ``path``; returns the path."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_json_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        return path
+
+
+def sweep_case_ids(case_filter=None):
+    """Registry case ids matching ``case_filter``, in numeric order.
+
+    The filter is a comma-separated list of terms; a case matches if
+    any term equals its id or is a substring of its app name or
+    description (``"c1,c3"``, ``"mysql"``, ``"vacuum"``).  ``None``
+    selects the whole registry.
+    """
+    from repro.cases import ALL_CASES, get_case
+
+    ordered = sorted(ALL_CASES, key=lambda cid: int(cid[1:]))
+    if not case_filter:
+        return ordered
+    terms = [t.strip().lower() for t in case_filter.split(",") if t.strip()]
+    selected = []
+    for case_id in ordered:
+        case = get_case(case_id)
+        # Ids match exactly ("c1" must not select c10-c16); free text
+        # matches by substring.
+        haystack = " ".join([case.app_name, case.virtual_resource,
+                             case.description]).lower()
+        if any(term == case_id or term in haystack for term in terms):
+            selected.append(case_id)
+    return selected
+
+
+def run_sweep(case_ids=None, solutions=None, seeds=(1,), duration_s=6,
+              jobs=1, cache=None, use_cache=True, progress=None,
+              fingerprint=None):
+    """Run a full sweep; returns a :class:`SweepResult`.
+
+    Seed/cache contract: every job spec carries its own seed and the
+    measured-To baseline it depends on, so repeated calls with the same
+    arguments and unchanged code are pure cache replays, and any
+    ``jobs`` value yields identical numbers (the determinism guarantee
+    of ``repro.sim.kernel`` lifted to sweep granularity).
+    """
+    from repro.cases import Solution, get_case
+
+    if solutions is None:
+        solutions = [Solution.PBOX]
+    solutions = [s if isinstance(s, Solution) else Solution(s)
+                 for s in solutions]
+    if case_ids is None:
+        case_ids = sweep_case_ids()
+    seeds = list(seeds)
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    if use_cache and cache is None:
+        cache = ResultCache()
+    started = time.perf_counter()
+    hits_before = cache.hits if cache is not None else 0
+
+    stage1 = []
+    for case_id in case_ids:
+        for seed in seeds:
+            stage1.append(baseline_spec(case_id, seed, duration_s))
+            stage1.append(interference_spec(case_id, seed, duration_s))
+    # Both stage sizes are known up front, so progress callbacks see one
+    # global done/total across the To/Ti stage and the solutions stage.
+    total_jobs = len(stage1) + len(case_ids) * len(seeds) * len(solutions)
+
+    def _staged_progress(offset):
+        if progress is None:
+            return None
+
+        def _report(done, _total, spec, cached, wall_s):
+            progress(offset + done, total_jobs, spec, cached, wall_s)
+
+        return _report
+
+    stage1_results = run_jobs(stage1, jobs=jobs, cache=cache,
+                              use_cache=use_cache,
+                              progress=_staged_progress(0),
+                              fingerprint=fingerprint)
+
+    def result_of(spec):
+        return JobResult(stage1_results[spec.key(fingerprint)])
+
+    stage2 = []
+    baselines = {}
+    for case_id in case_ids:
+        for seed in seeds:
+            to_result = result_of(baseline_spec(case_id, seed, duration_s))
+            baselines[(case_id, seed)] = to_result
+            for solution in solutions:
+                stage2.append(solution_spec(
+                    case_id, solution.value, seed, duration_s,
+                    to_us=to_result.victim_mean_us,
+                ))
+    stage2_results = run_jobs(stage2, jobs=jobs, cache=cache,
+                              use_cache=use_cache,
+                              progress=_staged_progress(len(stage1_results)),
+                              fingerprint=fingerprint)
+
+    evaluations = {}
+    for case_id in case_ids:
+        case = get_case(case_id)
+        for seed in seeds:
+            to_result = baselines[(case_id, seed)]
+            ti_result = JobResult(stage1_results[
+                interference_spec(case_id, seed, duration_s)
+                .key(fingerprint)])
+            runs = {}
+            for solution in solutions:
+                spec = solution_spec(case_id, solution.value, seed,
+                                     duration_s,
+                                     to_us=to_result.victim_mean_us)
+                runs[solution] = JobResult(
+                    stage2_results[spec.key(fingerprint)])
+            evaluations[(case_id, seed)] = SweepEvaluation(
+                case, seed, to_result, ti_result, runs)
+
+    total_jobs = len(stage1) + len(stage2)
+    hits = (cache.hits - hits_before) if cache is not None else 0
+    stats = {
+        "total": total_jobs,
+        "cache_hits": hits,
+        "executed": total_jobs - hits,
+        "workers": max(1, int(jobs or 1)),
+        "wall_s": round(time.perf_counter() - started, 3),
+    }
+    return SweepResult(evaluations, solutions, seeds, duration_s,
+                       fingerprint, stats)

@@ -35,15 +35,19 @@ class Clock:
     Only the kernel advances the clock; everything else reads it.  The
     class exists (rather than a bare int) so that components can hold a
     reference and always observe the current time.
+
+    ``now_us`` is a plain attribute, not a property: the kernel event
+    loop and every tracepoint firing site read it millions of times per
+    simulated second, and the descriptor-protocol overhead of a property
+    was measurable in the full-registry sweep.  Treat it as read-only
+    outside this class; advancing time goes through :meth:`advance_to`,
+    which keeps the monotonicity check.
     """
 
-    def __init__(self, start_us=0):
-        self._now_us = int(start_us)
+    __slots__ = ("now_us",)
 
-    @property
-    def now_us(self):
-        """Current virtual time in integer microseconds."""
-        return self._now_us
+    def __init__(self, start_us=0):
+        self.now_us = int(start_us)
 
     def advance_to(self, when_us):
         """Advance the clock to ``when_us``.
@@ -51,11 +55,11 @@ class Clock:
         Raises ``ValueError`` if asked to move backwards, which would
         indicate a scheduling bug in the kernel event loop.
         """
-        if when_us < self._now_us:
+        if when_us < self.now_us:
             raise ValueError(
-                "clock cannot move backwards: %d -> %d" % (self._now_us, when_us)
+                "clock cannot move backwards: %d -> %d" % (self.now_us, when_us)
             )
-        self._now_us = int(when_us)
+        self.now_us = int(when_us)
 
     def __repr__(self):
-        return "Clock(now_us=%d)" % self._now_us
+        return "Clock(now_us=%d)" % self.now_us

@@ -19,6 +19,31 @@ Typical use::
 
     kernel.spawn(worker)
     kernel.run(until_us=seconds(1))
+
+Determinism guarantees
+----------------------
+
+Simulation is *bit-for-bit deterministic*: two kernels constructed with
+the same ``(cores, quantum_us, seed)`` and driven by the same sequence
+of ``spawn``/``post`` calls produce identical event orderings, identical
+final virtual times, and identical thread/statistics state.  The
+guarantees rest on three invariants:
+
+- virtual time is integer microseconds and every heap entry carries a
+  monotonically increasing sequence number, so event ordering has no
+  ties to break non-deterministically;
+- all randomness flows from the single root ``seed`` through named
+  :class:`~repro.sim.rng.RngRegistry` streams, so adding a new consumer
+  of randomness never perturbs existing streams;
+- no wall-clock, thread-identity, or iteration-order-of-set source ever
+  feeds a scheduling decision.
+
+These invariants are what make the experiment runner's
+content-addressed result cache (``repro.runner``) sound: a run is fully
+described by its job spec (case, solution, seed, duration, knobs) plus
+the code fingerprint, so equal keys really do mean equal results, and
+parallel workers replaying jobs in any order produce output identical
+to a serial sweep.
 """
 
 import heapq
@@ -108,6 +133,12 @@ class Kernel:
         }
         self._heap = []
         self._seq = itertools.count()
+        # Hot path: each core gets one reusable slice-end timer whose
+        # callback is bound once.  A core has at most one slice pending,
+        # so re-arming the same _Timer every context switch saves a
+        # timer + closure allocation per switch (see _start_slice).
+        for core in self.cores:
+            core._slice_timer = _Timer(self._make_slice_end(core))
 
     # ------------------------------------------------------------------
     # Public API
@@ -152,7 +183,10 @@ class Kernel:
     def post(self, when_us, fn):
         """Schedule ``fn()`` to run at virtual time ``when_us``."""
         timer = _Timer(fn)
-        heapq.heappush(self._heap, (max(when_us, self.now_us), next(self._seq), timer))
+        now = self.clock.now_us
+        if when_us < now:
+            when_us = now
+        heapq.heappush(self._heap, (when_us, next(self._seq), timer))
         return timer
 
     def call_every(self, period_us, fn, start_us=None):
@@ -172,15 +206,30 @@ class Kernel:
         Processes events until the heap is empty or virtual time would
         exceed ``until_us``.  Raises :class:`DeadlockError` if the heap
         drains while live threads remain blocked.
+
+        Given the same kernel construction arguments and the same prior
+        ``spawn``/``post`` sequence, ``run`` is fully deterministic (see
+        the module docstring) -- the experiment runner's cache relies on
+        this.
         """
-        while self._heap:
-            when, _seq, timer = self._heap[0]
-            if until_us is not None and when > until_us:
+        # Hot loop: locals instead of attribute lookups, and a float
+        # +inf sentinel so the limit test is a single comparison.
+        heap = self._heap
+        clock = self.clock
+        heappop = heapq.heappop
+        limit = float("inf") if until_us is None else until_us
+        while heap:
+            when = heap[0][0]
+            if when > limit:
                 break
-            heapq.heappop(self._heap)
+            timer = heappop(heap)[2]
             if timer.cancelled:
                 continue
-            self.clock.advance_to(when)
+            if when > clock.now_us:
+                # Inlined advance_to: heap order + the post() clamp make
+                # backwards movement impossible here; int() matches the
+                # clock's integer-microsecond invariant for float delays.
+                clock.now_us = int(when)
             timer.fn()
         if until_us is not None and until_us > self.now_us:
             self.clock.advance_to(until_us)
@@ -246,25 +295,35 @@ class Kernel:
             self.run_queue.push(thread)
         self._dispatch()
 
+    def _make_slice_end(self, core):
+        """Bind the slice-end callback for ``core`` once (timer reuse)."""
+
+        def _end():
+            self._slice_end(core)
+
+        return _end
+
     def _dispatch(self):
+        run_queue = self.run_queue
         for core in self.cores:
-            if not core.idle:
+            if core.running is not None:
                 continue
-            if not len(self.run_queue):
+            if not run_queue._queue:
                 return
-            thread = self.run_queue.pick_for_core(core)
+            thread = run_queue.pick_for_core(core)
             if thread is None:
                 continue
             self._start_slice(core, thread)
 
     def _start_slice(self, core, thread):
+        now = self.clock.now_us
         group = thread.cgroup or self.root_cgroup
         # Roll the bandwidth window forward before checking the budget;
         # otherwise a group that never throttles keeps charging a stale
         # period and the quota never binds.
-        for released in group.refresh(self.now_us):
+        for released in group.refresh(now):
             self.run_queue.push(released)
-        remaining = group.remaining_us(self.now_us)
+        remaining = group.remaining_us(now)
         if remaining == 0:
             self._throttle(thread, group)
             self._dispatch()
@@ -276,18 +335,23 @@ class Kernel:
         thread.state = ThreadState.RUNNING
         self.stats["context_switches"] += 1
         if self._tp_switch.active:
-            self._tp_switch.fire(self.clock.now_us, tid=thread.tid,
+            self._tp_switch.fire(now, tid=thread.tid,
                                  name=thread.name, core=core.index,
                                  slice_us=slice_us)
-        timer = self.post(self.now_us + slice_us, lambda: self._slice_end(core))
+        # Re-arm the core's reusable slice-end timer instead of going
+        # through post(): saves a _Timer + closure allocation per
+        # context switch, the hottest allocation site of the event loop.
+        timer = core._slice_timer
+        timer.cancelled = False
+        heapq.heappush(self._heap, (now + slice_us, next(self._seq), timer))
         core.slice_end_event = timer
-        core._slice_started_us = self.now_us
+        core._slice_started_us = now
 
     def _slice_end(self, core):
         thread = core.running
         core.running = None
         core.slice_end_event = None
-        ran = self.now_us - core._slice_started_us
+        ran = self.clock.now_us - core._slice_started_us
         if ran:
             core.busy_us += ran
             thread.cpu_time_us += ran
@@ -341,27 +405,32 @@ class Kernel:
             self._advance(thread, thread._resume_value)
 
     def _advance(self, thread, send_value):
-        for hook in self.resume_hooks:
-            delay = hook(thread)
-            if delay:
-                self.stats["penalties"] += 1
-                self.stats["penalty_us"] += delay
-                if self._tp_penalty.active:
-                    pbox = thread.pbox
-                    self._tp_penalty.fire(
-                        self.clock.now_us, tid=thread.tid, delay_us=delay,
-                        psid=None if pbox is None else pbox.psid,
+        hooks = self.resume_hooks
+        if hooks:
+            for hook in hooks:
+                delay = hook(thread)
+                if delay:
+                    self.stats["penalties"] += 1
+                    self.stats["penalty_us"] += delay
+                    if self._tp_penalty.active:
+                        pbox = thread.pbox
+                        self._tp_penalty.fire(
+                            self.clock.now_us, tid=thread.tid, delay_us=delay,
+                            psid=None if pbox is None else pbox.psid,
+                        )
+                    thread.state = ThreadState.SLEEPING
+                    thread.wakeup_event = self.post(
+                        self.now_us + delay,
+                        lambda: self._advance(thread, send_value),
                     )
-                thread.state = ThreadState.SLEEPING
-                thread.wakeup_event = self.post(
-                    self.now_us + delay, lambda: self._advance(thread, send_value)
-                )
-                return
+                    return
+        body_send = thread.body.send
+        execute = self._execute
         while True:
             previous = self.current_thread
             self.current_thread = thread
             try:
-                syscall = thread.body.send(send_value)
+                syscall = body_send(send_value)
             except StopIteration as stop:
                 self.current_thread = previous
                 self._exit(thread, stop.value)
@@ -372,15 +441,29 @@ class Kernel:
                     "thread %r crashed: %r" % (thread.name, exc)
                 ) from exc
             self.current_thread = previous
-            result = self._execute(thread, syscall)
+            result = execute(thread, syscall)
             if result is _BLOCKED:
                 return
             send_value = result
 
     def _execute(self, thread, syscall):
-        """Perform ``syscall``; return its value or ``_BLOCKED``."""
+        """Perform ``syscall``; return its value or ``_BLOCKED``.
+
+        Dispatches on the exact syscall class first (the syscall set is
+        closed and flat, so ``type(x) is C`` is both correct and faster
+        than an isinstance chain); unknown classes fall through to the
+        original isinstance tests so hypothetical subclasses keep
+        working.
+        """
         self.stats["syscalls"] += 1
-        if thread.overhead_us and not isinstance(syscall, Compute):
+        cls = syscall.__class__
+        if cls is Compute:
+            amount = syscall.us + thread.overhead_us
+            thread.overhead_us = 0
+            self._enqueue(thread, compute_us=amount, resume_value=None)
+            return _BLOCKED
+
+        if thread.overhead_us:
             overhead = thread.overhead_us
             thread.overhead_us = 0
             thread._pending_syscall = syscall
@@ -399,7 +482,8 @@ class Kernel:
                 self._tp_sleep.fire(self.clock.now_us, tid=thread.tid,
                                     us=syscall.us)
             thread.wakeup_event = self.post(
-                self.now_us + syscall.us, lambda: self._wake_sleeper(thread)
+                self.clock.now_us + syscall.us,
+                lambda: self._wake_sleeper(thread),
             )
             return _BLOCKED
 
@@ -409,7 +493,7 @@ class Kernel:
             self.futexes.add(syscall.key, thread)
             if syscall.timeout_us is not None:
                 thread.wakeup_event = self.post(
-                    self.now_us + syscall.timeout_us,
+                    self.clock.now_us + syscall.timeout_us,
                     lambda: self._futex_timeout(thread, syscall.key),
                 )
             return _BLOCKED

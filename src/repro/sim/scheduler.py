@@ -24,6 +24,12 @@ class Core:
         self.slice_end_event = None
         self.busy_us = 0           # lifetime utilization accounting
         self.reserved_for = None   # tag used by the DARC baseline
+        # Reusable slice-end timer (allocated once by the kernel); a core
+        # has at most one slice in flight, so the same heap entry object
+        # can be re-armed every context switch instead of allocating a
+        # fresh timer + closure per slice.
+        self._slice_timer = None
+        self._slice_started_us = 0
 
     @property
     def idle(self):
@@ -63,15 +69,27 @@ class RunQueue:
         keep FIFO order among themselves.  Returns ``None`` when
         nothing fits.
         """
+        queue = self._queue
+        if not queue:
+            return None
+        # Fast path: the head thread has no affinity mask, the core has
+        # no DARC reservation, and the thread was never demoted -- the
+        # overwhelmingly common case in every Table 3 scenario.
+        head = queue[0]
+        if (core.reserved_for is None and head.affinity is None
+                and not head.demoted_until_us):
+            queue.popleft()
+            return head
+        now = self._now()
         demoted_index = None
-        for i, thread in enumerate(self._queue):
+        for i, thread in enumerate(queue):
             if thread.affinity is not None and core.index not in thread.affinity:
                 continue
             if core.reserved_for is not None:
                 tag = getattr(thread, "darc_tag", None)
                 if tag != core.reserved_for:
                     continue
-            if getattr(thread, "demoted_until_us", 0) > self._now():
+            if thread.demoted_until_us > now:
                 if demoted_index is None:
                     demoted_index = i
                 continue

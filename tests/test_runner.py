@@ -1,0 +1,254 @@
+"""Unit tests for the parallel experiment runner (repro.runner).
+
+Covers the three contracts the runner documents:
+
+- **content addressing** — job keys are stable across processes and
+  orderings, distinct for distinct specs, and incorporate the code
+  fingerprint (so any source change invalidates every cached entry);
+- **cache behaviour** — miss, fill, hit, corrupt-entry recovery, and
+  no-cache mode;
+- **equivalence** — a sweep through the runner (serial or parallel)
+  produces numbers bit-identical to the plain ``evaluate_case`` path.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cases import Solution, evaluate_case, get_case
+from repro.runner import (
+    JobSpec,
+    ResultCache,
+    baseline_spec,
+    clear_fingerprint_memo,
+    code_fingerprint,
+    execute_spec,
+    interference_spec,
+    run_jobs,
+    run_sweep,
+    solution_spec,
+    sweep_case_ids,
+)
+
+#: Short simulated duration: long enough to clear the cases' 1 s warmup.
+DURATION_S = 1.5
+
+
+# ---------------------------------------------------------------------------
+# Job specs and content addressing
+
+
+def test_spec_roundtrip_and_equality():
+    spec = JobSpec("c3", "pbox", seed=7, duration_s=2.0,
+                   isolation_level=75, penalty="fixed:10000")
+    clone = JobSpec.from_dict(spec.to_dict())
+    assert clone == spec
+    assert hash(clone) == hash(spec)
+    assert clone.to_dict() == spec.to_dict()
+
+
+def test_key_is_stable_and_discriminating():
+    fingerprint = "f" * 64
+    spec = JobSpec("c1", "pbox", seed=1, duration_s=2.0)
+    # Stable: the same spec always produces the same address.
+    assert spec.key(fingerprint) == JobSpec.from_dict(
+        spec.to_dict()).key(fingerprint)
+    # Discriminating: every field participates in the address.
+    variants = [
+        JobSpec("c2", "pbox", seed=1, duration_s=2.0),
+        JobSpec("c1", "cgroup", seed=1, duration_s=2.0),
+        JobSpec("c1", "pbox", seed=2, duration_s=2.0),
+        JobSpec("c1", "pbox", seed=1, duration_s=3.0),
+        JobSpec("c1", "pbox", seed=1, duration_s=2.0, isolation_level=25),
+        JobSpec("c1", "pbox", seed=1, duration_s=2.0, penalty="fixed:1000"),
+        JobSpec("c1", "pbox", seed=1, duration_s=2.0, baseline_us=123.0),
+    ]
+    keys = {spec.key(fingerprint)}
+    for variant in variants:
+        keys.add(variant.key(fingerprint))
+    assert len(keys) == 1 + len(variants)
+    # And the code fingerprint participates too.
+    assert spec.key("0" * 64) != spec.key(fingerprint)
+
+
+def test_baseline_only_embedded_for_consuming_solutions():
+    # make_policy ignores baseline_us for pbox/cgroup/darc, so their
+    # content addresses must not depend on the measured To.
+    assert solution_spec("c1", "pbox", 1, 2.0, to_us=500.0).baseline_us is None
+    assert solution_spec("c1", "cgroup", 1, 2.0,
+                         to_us=500.0).baseline_us is None
+    assert solution_spec("c1", "parties", 1, 2.0,
+                         to_us=500.0).baseline_us == 500.0
+    assert solution_spec("c1", "retro", 1, 2.0,
+                         to_us=500.0).baseline_us == 500.0
+
+
+def test_code_fingerprint_tracks_source_changes(tmp_path):
+    tree = tmp_path / "pkg"
+    tree.mkdir()
+    (tree / "a.py").write_text("x = 1\n")
+    clear_fingerprint_memo()
+    first = code_fingerprint(str(tree))
+    # Memoized: same root, same run, no re-walk surprises.
+    assert code_fingerprint(str(tree)) == first
+    # Any content change -- even a comment -- changes the fingerprint.
+    (tree / "a.py").write_text("x = 1  # tweaked\n")
+    clear_fingerprint_memo()
+    second = code_fingerprint(str(tree))
+    assert second != first
+    # New files count; non-Python files do not.
+    (tree / "b.py").write_text("y = 2\n")
+    clear_fingerprint_memo()
+    third = code_fingerprint(str(tree))
+    assert third not in (first, second)
+    (tree / "notes.txt").write_text("ignored\n")
+    clear_fingerprint_memo()
+    assert code_fingerprint(str(tree)) == third
+    clear_fingerprint_memo()
+
+
+# ---------------------------------------------------------------------------
+# Cache behaviour
+
+
+def test_cache_miss_fill_hit(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    key = "ab" + "0" * 62
+    assert cache.get(key) is None
+    assert cache.misses == 1
+    cache.put(key, {"case_id": "c1"}, "f" * 64, {"victim_mean_us": 42.0})
+    assert len(cache) == 1
+    assert cache.get(key) == {"victim_mean_us": 42.0}
+    assert cache.hits == 1
+    # Sharded layout: objects/<key[:2]>/<key>.json
+    assert os.path.exists(
+        os.path.join(str(tmp_path / "cache"), "objects", "ab",
+                     key + ".json"))
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    key = "cd" + "1" * 62
+    cache.put(key, {}, "f" * 64, {"ok": True})
+    with open(cache.path_for(key), "w") as handle:
+        handle.write("{not json")
+    assert cache.get(key) is None
+    # The corrupt file was removed so the next put can land cleanly.
+    assert not os.path.exists(cache.path_for(key))
+
+
+def test_run_jobs_cache_hit_and_code_invalidation(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    spec = baseline_spec("c1", 1, DURATION_S)
+    first = run_jobs([spec], cache=cache, fingerprint="f" * 64)
+    assert cache.writes == 1 and cache.hits == 0
+    again = run_jobs([spec], cache=cache, fingerprint="f" * 64)
+    assert cache.hits == 1 and cache.writes == 1
+    assert again == first
+    # A different code fingerprint addresses a different object: the
+    # old entry is never consulted (conservative invalidation).
+    run_jobs([spec], cache=cache, fingerprint="0" * 64)
+    assert cache.writes == 2
+    assert len(cache) == 2
+
+
+def test_run_jobs_no_cache_mode(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    spec = baseline_spec("c1", 1, DURATION_S)
+    run_jobs([spec], cache=cache, use_cache=False, fingerprint="f" * 64)
+    assert len(cache) == 0 and cache.writes == 0
+
+
+def test_run_jobs_dedupes_and_reports_progress(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    spec = baseline_spec("c1", 1, DURATION_S)
+    events = []
+    results = run_jobs([spec, baseline_spec("c1", 1, DURATION_S)],
+                       cache=cache, fingerprint="f" * 64,
+                       progress=lambda *a: events.append(a))
+    assert len(results) == 1
+    assert [(done, total, cached) for done, total, _, cached, _ in events] \
+        == [(1, 1, False)]
+
+
+# ---------------------------------------------------------------------------
+# Execution determinism and serial equivalence
+
+
+def test_execute_spec_is_repeatable():
+    spec = solution_spec("c1", "pbox", 1, DURATION_S).to_dict()
+    first = execute_spec(spec)
+    second = execute_spec(spec)
+    assert first == second
+    assert first["victim_samples"] > 0
+
+
+def test_sweep_matches_evaluate_case(tmp_path):
+    """The runner's numbers are bit-identical to the serial path."""
+    solutions = [Solution.PBOX, Solution.PARTIES]
+    result = run_sweep(case_ids=["c1"], solutions=solutions,
+                       seeds=(1,), duration_s=DURATION_S,
+                       cache=ResultCache(str(tmp_path / "cache")))
+    sweep_ev = result.by_case()["c1"]
+    direct_ev = evaluate_case(get_case("c1"), solutions=solutions,
+                              duration_s=DURATION_S)
+    assert sweep_ev.to_us == direct_ev.to_us
+    assert sweep_ev.ti_us == direct_ev.ti_us
+    for solution in solutions:
+        assert sweep_ev.ts_us(solution) == direct_ev.ts_us(solution)
+        assert sweep_ev.reduction_ratio(solution) == pytest.approx(
+            direct_ev.reduction_ratio(solution))
+        assert sweep_ev.normalized_tail(solution) == pytest.approx(
+            direct_ev.normalized_tail(solution))
+
+
+def test_sweep_cached_replay_and_json(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    kwargs = dict(case_ids=["c1"], solutions=[Solution.PBOX], seeds=(1,),
+                  duration_s=DURATION_S, cache=cache)
+    first = run_sweep(**kwargs)
+    assert first.stats["executed"] == 3 and first.stats["cache_hits"] == 0
+    replay = run_sweep(**kwargs)
+    assert replay.stats["executed"] == 0 and replay.stats["cache_hits"] == 3
+    assert (replay.by_case()["c1"].ts_us(Solution.PBOX)
+            == first.by_case()["c1"].ts_us(Solution.PBOX))
+    out = str(tmp_path / "SWEEP.json")
+    replay.write_json(out)
+    with open(out) as handle:
+        payload = json.load(handle)
+    assert payload["schema"] == 1
+    entry = payload["cases"]["c1"]["seeds"]["1"]
+    assert entry["to_us"] == first.by_case()["c1"].to_us
+    assert "pbox" in entry["solutions"]
+
+
+def test_sweep_case_ids_filtering():
+    everything = sweep_case_ids()
+    assert everything[0] == "c1"
+    assert everything == sorted(everything, key=lambda c: int(c[1:]))
+    assert sweep_case_ids("c1,c3") == ["c1", "c3"]
+    # Substring match against app/resource/description.
+    mysql = sweep_case_ids("mysql")
+    assert mysql and all(
+        "mysql" in get_case(c).app_name.lower() for c in mysql)
+
+
+def test_cli_sweep_end_to_end(tmp_path, capsys):
+    from repro.cli import main
+
+    out = str(tmp_path / "SWEEP.json")
+    code = main(["sweep", "--filter", "c1", "--solutions", "pbox",
+                 "--duration", str(DURATION_S), "--jobs", "1",
+                 "--cache-dir", str(tmp_path / "cache"), "--out", out])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "wrote" in captured and "SWEEP.json" in captured
+    with open(out) as handle:
+        payload = json.load(handle)
+    assert list(payload["cases"]) == ["c1"]
+    # Cached second invocation: zero executions.
+    main(["sweep", "--filter", "c1", "--solutions", "pbox",
+          "--duration", str(DURATION_S), "--jobs", "1",
+          "--cache-dir", str(tmp_path / "cache"), "--out", out])
+    assert "3 executed" not in capsys.readouterr().out

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Documentation checker: links resolve, quoted commands run.
+
+Two failure modes keep creeping into long-lived docs, and both are
+mechanically checkable:
+
+1. **Broken relative links** — a renamed or deleted file leaves
+   ``[text](old/path.md)`` dangling.  Every relative link target in
+   every tracked markdown file must exist on disk.
+2. **Command drift** — a CLI flag is renamed and the fenced examples
+   silently stop working.  Every ``python -m repro ...`` line inside a
+   fenced code block is executed (in a temporary working directory,
+   under ``REPRO_SMOKE=1`` so durations are clamped and sweeps are
+   restricted to two cases) and must exit 0.
+
+Usage::
+
+    python tools/check_docs.py            # from the repo root
+
+Exits non-zero listing every broken link / failing command.  Stdlib
+only; used by ``make docs-check`` and the CI ``docs`` job.
+
+Skipped lines: anything that is not a ``python -m repro`` invocation
+(pip/pytest/make examples), and synopsis lines containing ``[`` or
+``<`` placeholders.  A trailing ``# comment`` is stripped.
+"""
+
+import os
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markdown files to check: repo root + docs/ (generated results/ and
+#: the driver's ISSUE.md are not documentation).
+SKIP_NAMES = {"ISSUE.md"}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```")
+
+
+def markdown_files():
+    files = []
+    for directory in (REPO, os.path.join(REPO, "docs")):
+        for name in sorted(os.listdir(directory)):
+            if name.endswith(".md") and name not in SKIP_NAMES:
+                files.append(os.path.join(directory, name))
+    return files
+
+
+def check_links(path):
+    """Yield error strings for unresolvable relative link targets."""
+    base = os.path.dirname(path)
+    with open(path) as handle:
+        text = handle.read()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        if not os.path.exists(os.path.normpath(os.path.join(base, target))):
+            yield "%s: broken link -> %s" % (os.path.relpath(path, REPO),
+                                             match.group(1))
+
+
+def fenced_repro_commands(path):
+    """Yield (lineno, command) for runnable ``python -m repro`` lines."""
+    in_fence = False
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if not in_fence:
+                continue
+            command = line.strip()
+            if " #" in command:
+                command = command.split(" #", 1)[0].rstrip()
+            if not command.startswith("python -m repro"):
+                continue
+            if "[" in command or "<" in command or "…" in command:
+                continue  # synopsis / placeholder, not a runnable example
+            yield lineno, command
+
+
+def run_commands(path, workdir, env):
+    """Yield error strings for fenced commands that exit non-zero."""
+    for lineno, command in fenced_repro_commands(path):
+        proc = subprocess.run(
+            shlex.split(command), cwd=workdir, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        status = "OK" if proc.returncode == 0 else "FAIL"
+        print("  [%s] %s:%d: %s"
+              % (status, os.path.relpath(path, REPO), lineno, command))
+        if proc.returncode != 0:
+            tail = "\n".join(proc.stdout.splitlines()[-5:])
+            yield "%s:%d: command failed (%d): %s\n%s" % (
+                os.path.relpath(path, REPO), lineno, proc.returncode,
+                command, tail)
+
+
+def main():
+    errors = []
+    files = markdown_files()
+
+    print("checking links in %d markdown files" % len(files))
+    for path in files:
+        errors.extend(check_links(path))
+
+    env = dict(os.environ)
+    env["REPRO_SMOKE"] = "1"
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as workdir:
+        # Commands write results/ and cache files relative to cwd; give
+        # them a scratch directory so doc checks never touch the repo.
+        os.makedirs(os.path.join(workdir, "results"), exist_ok=True)
+        env["REPRO_CACHE_DIR"] = os.path.join(workdir, ".repro-cache")
+        print("running fenced `python -m repro` commands (smoke mode)")
+        for path in files:
+            errors.extend(run_commands(path, workdir, env))
+
+    if errors:
+        print("\n%d problem(s):" % len(errors), file=sys.stderr)
+        for error in errors:
+            print(" - " + error, file=sys.stderr)
+        return 1
+    print("docs OK: links resolve, all quoted commands run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
