@@ -1,0 +1,140 @@
+"""Fault-machinery overhead: chaos disabled must be within noise.
+
+The fault-injection harness touches exactly one kernel hot path when no
+faults are armed: ``futex_wake`` checks the ``wake_filter`` hook (one
+attribute load and ``is not None`` test) before popping waiters.  This
+benchmark measures that cost two ways:
+
+- **A/B on the hot path**: run the same contended simulation with the
+  shipped ``futex_wake`` versus a pre-fault variant (identical code
+  minus the hook check) bound to the kernel instance, and compare the
+  best-of-N wall clocks in-process (same interpreter, same cache state,
+  no cross-machine flakiness);
+- **microbench**: the per-call cost of the disabled guard itself.
+
+The acceptance bar is the robustness PR's promise: the faults-disabled
+kernel stays within 2% of the pre-fault hot path.
+"""
+
+import time
+
+from _common import once, write_result
+
+from repro.sim import Compute, FutexWait, Kernel, Sleep
+
+DURATION_US = 250_000
+REPEATS = 3
+OVERHEAD_BUDGET = 0.02
+#: Wake-heavy workload: ping-pong pairs so futex_wake dominates.
+PAIRS = 6
+
+
+def _prefault_futex_wake(self, key, n=1):
+    """``Kernel.futex_wake`` exactly as it was before the fault hook."""
+    woken = self.futexes.pop_waiters(key, n, waker=self.current_thread)
+    for thread in woken:
+        if thread.wakeup_event is not None:
+            thread.wakeup_event.cancel()
+            thread.wakeup_event = None
+        thread.wait_key = None
+        self._enqueue(thread, compute_us=0, resume_value=True)
+    if woken:
+        self._dispatch()
+    return len(woken)
+
+
+def _build_pingpong(kernel):
+    """PAIRS ping-pong thread pairs hammering futex wait/wake."""
+    for pair in range(PAIRS):
+        ping_key = ("ping", pair)
+        pong_key = ("pong", pair)
+
+        def ping(ping_key=ping_key, pong_key=pong_key):
+            while True:
+                yield Compute(us=5)
+                kernel.futex_wake(pong_key, 1)
+                yield FutexWait(ping_key, timeout_us=1_000)
+
+        def pong(ping_key=ping_key, pong_key=pong_key):
+            while True:
+                yield FutexWait(pong_key, timeout_us=1_000)
+                yield Compute(us=5)
+                kernel.futex_wake(ping_key, 1)
+
+        kernel.spawn(ping, name="ping-%d" % pair)
+        kernel.spawn(pong, name="pong-%d" % pair)
+
+    def idler():
+        while True:
+            yield Sleep(us=100_000)
+
+    kernel.spawn(idler, name="idler")
+
+
+def _timed_run(bind_prefault):
+    kernel = Kernel(cores=4, seed=1)
+    if bind_prefault:
+        kernel.futex_wake = _prefault_futex_wake.__get__(kernel)
+    _build_pingpong(kernel)
+    start = time.perf_counter()
+    kernel.run(until_us=DURATION_US)
+    return time.perf_counter() - start, kernel.stats["syscalls"]
+
+
+def _best(bind_prefault):
+    best = None
+    syscalls = 0
+    for _ in range(REPEATS):
+        elapsed, syscalls = _timed_run(bind_prefault)
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, syscalls
+
+
+def _guard_cost_ns(loops=2_000_000):
+    """Per-call cost of the disabled ``wake_filter`` guard pattern."""
+    wake_filter = None
+    sink = 0
+    rng = range(loops)
+    start = time.perf_counter()
+    for _ in rng:
+        if wake_filter is not None:
+            sink += 1
+    guarded = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in rng:
+        pass
+    empty = time.perf_counter() - start
+    assert sink == 0
+    return max(0.0, (guarded - empty) / loops * 1e9)
+
+
+def test_faults_disabled_overhead_within_budget(benchmark):
+    def run():
+        current_s, syscalls = _best(bind_prefault=False)
+        prefault_s, _ = _best(bind_prefault=True)
+        return current_s, prefault_s, syscalls, _guard_cost_ns()
+
+    current_s, prefault_s, syscalls, guard_ns = once(benchmark, run)
+    overhead = current_s / prefault_s - 1.0 if prefault_s else 0.0
+
+    lines = [
+        "# Fault-machinery overhead with no faults armed (best of %d)."
+        % REPEATS,
+        "# 'current' is the shipped kernel; 'pre-fault' rebinds",
+        "# futex_wake without the wake_filter check on the same kernel",
+        "# class, so the delta isolates the hook cost (budget: <%d%%)."
+        % int(OVERHEAD_BUDGET * 100),
+        "config\twall_s\tvs_prefault\tsyscalls\tguard_ns",
+        "pre-fault\t%.4f\t1.000x\t%d\t" % (prefault_s, syscalls),
+        "current\t%.4f\t%.3fx\t%d\t%.2f"
+        % (current_s, current_s / prefault_s if prefault_s else 1.0,
+           syscalls, guard_ns),
+    ]
+    write_result("chaos_overhead.txt", lines)
+
+    assert overhead < OVERHEAD_BUDGET, (
+        "faults-disabled kernel is %.2f%% slower than the pre-fault "
+        "hot path (budget %d%%)"
+        % (overhead * 100, OVERHEAD_BUDGET * 100)
+    )

@@ -26,6 +26,11 @@ Commands:
                                       with content-addressed result
                                       caching; writes
                                       results/SWEEP.json
+- ``chaos [--faults k1,k2]``          sweep cases x fault kinds x seeds
+                                      through the deterministic fault-
+                                      injection harness; exits non-zero
+                                      on any invariant violation and
+                                      writes results/CHAOS.json
 - ``report [--results-dir results]``  stitch benchmark outputs into
                                       results/REPORT.md
 
@@ -230,6 +235,24 @@ def _smoke_mode():
     return bool(os.environ.get("REPRO_SMOKE"))
 
 
+def _normalize_case_filter(case_filter):
+    """Forgive zero-padded case ids: ``c01`` means ``c1``.
+
+    Registry ids are unpadded (``c1``..``c17``), but padded ids show up
+    in scripts and CI configs; strip the padding instead of silently
+    matching nothing.
+    """
+    if not case_filter:
+        return case_filter
+    terms = []
+    for term in case_filter.split(","):
+        term = term.strip()
+        if len(term) > 1 and term[0] in "cC" and term[1:].isdigit():
+            term = "c%d" % int(term[1:])
+        terms.append(term)
+    return ",".join(terms)
+
+
 def cmd_sweep(args):
     """Evaluate the registry through the parallel experiment runner.
 
@@ -239,9 +262,14 @@ def cmd_sweep(args):
     processes; results are bit-identical to ``--jobs 1`` because every
     job re-seeds its own kernel (see docs/RUNNING_EXPERIMENTS.md).
     """
-    from repro.runner import ResultCache, run_sweep, sweep_case_ids
+    from repro.runner import (
+        ResultCache,
+        SweepInterrupted,
+        run_sweep,
+        sweep_case_ids,
+    )
 
-    case_ids = sweep_case_ids(args.filter)
+    case_ids = sweep_case_ids(_normalize_case_filter(args.filter))
     if not case_ids:
         print("no cases match filter %r" % args.filter)
         return 1
@@ -267,16 +295,26 @@ def cmd_sweep(args):
         status = "hit " if cached else "%5.2fs" % wall_s
         print("[%3d/%3d] %-28s %s" % (done, total, spec.label(), status))
 
-    result = run_sweep(
-        case_ids=case_ids,
-        solutions=solutions,
-        seeds=seeds,
-        duration_s=args.duration,
-        jobs=args.jobs,
-        cache=cache,
-        use_cache=not args.no_cache,
-        progress=progress,
-    )
+    try:
+        result = run_sweep(
+            case_ids=case_ids,
+            solutions=solutions,
+            seeds=seeds,
+            duration_s=args.duration,
+            jobs=args.jobs,
+            cache=cache,
+            use_cache=not args.no_cache,
+            progress=progress,
+        )
+    except SweepInterrupted as stop:
+        # Ctrl-C: persist the completed evaluations atomically instead
+        # of losing the sweep (or truncating a previous SWEEP.json).
+        partial = stop.partial
+        path = partial.write_json(args.out)
+        print()
+        print("interrupted: wrote %d complete evaluation(s) to %s"
+              % (len(partial.evaluations), path))
+        return 130
 
     solution_names = [s.value for s in solutions]
     print()
@@ -298,6 +336,98 @@ def cmd_sweep(args):
              stats["workers"], stats["wall_s"]))
     path = result.write_json(args.out)
     print("wrote %s" % path)
+    return 0
+
+
+def cmd_chaos(args):
+    """Sweep cases x fault kinds x seeds through the chaos harness.
+
+    Every (case, fault, seed) combination runs the pBox solution with
+    the fault cocktail injected at deterministic virtual times, the
+    idle watchdog armed, and the invariant suite auditing the run.
+    Writes ``results/CHAOS.json`` (atomically; byte-identical across
+    re-runs) and exits non-zero if any invariant was violated, printing
+    each violation's minimized repro spec.
+    """
+    from repro.faults import ChaosInterrupted, run_chaos
+    from repro.runner import ResultCache, sweep_case_ids
+
+    case_ids = sweep_case_ids(_normalize_case_filter(args.filter))
+    if not case_ids:
+        print("no cases match filter %r" % args.filter)
+        return 1
+    if _smoke_mode() and not args.filter:
+        case_ids = case_ids[:2]
+    kinds = [k.strip() for k in args.faults.split(",") if k.strip()]
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    cache = ResultCache(args.cache_dir) if not args.no_cache else None
+
+    def progress(done, total, spec, cached, wall_s):
+        if args.quiet:
+            return
+        status = "hit " if cached else "%5.2fs" % wall_s
+        print("[%3d/%3d] %-40s %s" % (done, total, spec.label(), status))
+
+    run_stats = {}
+    try:
+        result = run_chaos(
+            case_ids=case_ids,
+            kinds=kinds,
+            seeds=seeds,
+            duration_s=args.duration,
+            jobs=args.jobs,
+            cache=cache,
+            use_cache=not args.no_cache,
+            progress=progress,
+            timeout_s=args.timeout,
+            run_stats=run_stats,
+        )
+    except ChaosInterrupted as stop:
+        partial = stop.partial
+        path = partial.write_json(args.out)
+        print()
+        print("interrupted: wrote %d/%d completed runs to %s"
+              % (partial.stats["completed"], partial.stats["total"], path))
+        return 130
+    except ValueError as exc:
+        print("chaos: %s" % exc)
+        return 2
+
+    summary = result.to_json_dict()["summary"]
+    stats = result.stats
+    print()
+    print("%d runs: %d faults fired, %d crashes contained, "
+          "%d watchdog recoveries, %d stale repairs"
+          % (summary["runs"], summary["faults_fired"],
+             summary["crashes_contained"], summary["watchdog_recoveries"],
+             summary["stale_repairs"]))
+    print("%d jobs: %d cache hits; %d worker(s), %.2fs wall"
+          % (stats["total"], stats["cache_hits"], stats["workers"],
+             stats["wall_s"]))
+    if run_stats.get("retries") or run_stats.get("degraded"):
+        print("runner healing: %d retries, %d worker errors, degraded=%s"
+              % (run_stats.get("retries", 0),
+                 run_stats.get("worker_errors", 0),
+                 run_stats.get("degraded", False)))
+    path = result.write_json(args.out)
+    print("wrote %s" % path)
+
+    violations = result.violations()
+    if violations:
+        print()
+        print("%d invariant violation(s):" % len(violations))
+        for violation in violations[:20]:
+            repro = violation.get("repro") or {}
+            print("  [%s] %s (t=%dus)" % (
+                violation.get("invariant", "?"),
+                violation.get("detail", ""),
+                violation.get("time_us", 0)))
+            print("    repro: python -m repro chaos --filter %s "
+                  "--faults %s --seeds %s --duration %s"
+                  % (repro.get("case"), repro.get("faults"),
+                     repro.get("seed"), args.duration))
+        return 1
+    print("all invariants held")
     return 0
 
 
@@ -408,6 +538,41 @@ def build_parser():
     sweep_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-job progress lines")
 
+    chaos_parser = sub.add_parser(
+        "chaos", help="fault-injection sweep: cases x fault kinds x "
+                      "seeds with invariant checking (exits non-zero "
+                      "on violations)")
+    chaos_parser.add_argument("--jobs", type=int,
+                              default=os.cpu_count() or 1,
+                              help="worker processes (default: CPU count); "
+                                   "1 = serial in-process")
+    chaos_parser.add_argument("--faults", default="stall,lost_wakeup,crash",
+                              help="comma-separated fault kinds (from: "
+                                   "stall, holder_stall, lost_wakeup, "
+                                   "crash, penalty_misfire, "
+                                   "tracepoint_drop)")
+    chaos_parser.add_argument("--filter", default=None,
+                              help="comma-separated case ids or app/resource "
+                                   "substrings ('c1,c3', 'mysql'; zero-"
+                                   "padded ids like c01 are accepted)")
+    chaos_parser.add_argument("--seeds", default="1,2,3",
+                              help="comma-separated chaos seeds "
+                                   "(default: 1,2,3)")
+    chaos_parser.add_argument("--duration", type=float, default=3,
+                              help="simulated seconds per run (default: 3)")
+    chaos_parser.add_argument("--timeout", type=float, default=None,
+                              help="wall-clock budget per job in seconds "
+                                   "(over-budget jobs fail and retry)")
+    chaos_parser.add_argument("--no-cache", action="store_true",
+                              help="skip cache reads and writes")
+    chaos_parser.add_argument("--cache-dir", default=None,
+                              help="cache root (default: $REPRO_CACHE_DIR "
+                                   "or .repro-cache)")
+    chaos_parser.add_argument("--out", default="results/CHAOS.json",
+                              help="machine-readable chaos summary path")
+    chaos_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-job progress lines")
+
     report_parser = sub.add_parser("report",
                                    help="aggregate results/ into a report")
     report_parser.add_argument("--results-dir", default="results")
@@ -423,6 +588,7 @@ COMMANDS = {
     "metrics": cmd_metrics,
     "profile": cmd_profile,
     "sweep": cmd_sweep,
+    "chaos": cmd_chaos,
     "report": cmd_report,
 }
 

@@ -29,6 +29,24 @@ from repro.core.rules import Metric
 # be attributed to a specific resource.
 PBOX_LEVEL_KEY = "__pbox_level__"
 
+#: Hard ceiling on any single delivered delay penalty, matching the
+#: adaptive engine's own clamp.  A pending penalty above this can only
+#: come from a misfire (or an injected fault); the resume hook clamps
+#: it and counts the event.
+PENALTY_CAP_US = 5_000_000
+
+
+class _HealState:
+    """Per-(noisy, victim) trend the self-healing watchdog tracks."""
+
+    __slots__ = ("last_level", "fails", "backoff", "actions")
+
+    def __init__(self):
+        self.last_level = None
+        self.fails = 0
+        self.backoff = 0
+        self.actions = 0
+
 
 class PBoxManager:
     """Kernel-resident manager coordinating all pBoxes of an application.
@@ -54,7 +72,11 @@ class PBoxManager:
     def __init__(self, kernel, penalty_engine=None, near_goal_fraction=0.9,
                  min_defer_us=1_000, enabled=True, tracer=None,
                  safe_penalty_timing=True, early_detection=True,
-                 penalty_mode="delay"):
+                 penalty_mode="delay", self_heal=True,
+                 penalty_cap_us=PENALTY_CAP_US, heal_retry_limit=4,
+                 heal_max_backoff=5, heal_min_actions=6,
+                 heal_cooldown_us=1_000_000,
+                 heal_pending_timeout_us=1_000_000):
         self.kernel = kernel
         self.penalty_engine = penalty_engine or AdaptivePenalty()
         self.near_goal_fraction = near_goal_fraction
@@ -80,6 +102,24 @@ class PBoxManager:
         # "victimized" by trivial waits and the clients penalized.
         self.min_defer_us = min_defer_us
         self.enabled = enabled
+        # Self-healing (robustness layer): a penalized pBox whose victim
+        # keeps failing to recover gets its penalties backed off
+        # (halved per backoff level after ``heal_retry_limit``
+        # consecutive non-improving actions); past ``heal_max_backoff``
+        # levels the noisy pBox enters a safe-mode release -- penalties
+        # suspended for ``heal_cooldown_us``.  A pending penalty that
+        # cannot find a safe point within ``heal_pending_timeout_us``
+        # decays instead of blocking forever, and any pending amount
+        # above ``penalty_cap_us`` (a misfire) is clamped.
+        self.self_heal = self_heal
+        self.penalty_cap_us = penalty_cap_us
+        self.heal_retry_limit = heal_retry_limit
+        self.heal_max_backoff = heal_max_backoff
+        self.heal_min_actions = heal_min_actions
+        self.heal_cooldown_us = heal_cooldown_us
+        self.heal_pending_timeout_us = heal_pending_timeout_us
+        self._heal_trend = {}        # (noisy psid, victim psid) -> _HealState
+        self._safe_until = {}        # noisy psid -> safe-mode end time
         self._pboxes = {}
         self._next_psid = 1
         self.competitor_map = {}     # resource key -> [CompetitorEntry]
@@ -96,6 +136,7 @@ class PBoxManager:
         self._tp_detect = trace.point("pbox.detect")
         self._tp_action = trace.point("pbox.action")
         self._tp_penalty = trace.point("pbox.penalty")
+        self._tp_heal = trace.point("pbox.heal")
         # Flow ids link each detection to the penalty it causes (used by
         # the trace exporter to draw detection -> penalty arrows).
         self._flow_ids = itertools.count(1)
@@ -108,6 +149,10 @@ class PBoxManager:
             "penalties_applied": 0,
             "penalty_applied_us": 0,
             "events": 0,
+            "penalty_backoffs": 0,
+            "safe_mode_releases": 0,
+            "penalty_clamped": 0,
+            "penalty_reverts": 0,
         }
         kernel.add_resume_hook(self._resume_hook)
 
@@ -372,41 +417,116 @@ class PBoxManager:
         if not self.enabled or noisy is victim:
             return
         now = self.kernel.now_us
+        if self.self_heal and now < self._safe_until.get(noisy.psid, 0):
+            return  # safe-mode release: penalties suspended for cooldown
         if noisy.pending_penalty_us > 0:
             return  # a penalty is already queued and not yet served
         if noisy.shared_thread and now < noisy.penalty_until_us:
             return
+        backoff = 0
+        if self.self_heal:
+            backoff = self._heal_observe(noisy, victim, now)
+            if backoff is None:
+                return  # safe mode engaged on this observation
         decision = self.penalty_engine.decide(
             now, noisy, victim, key, victim_defer_us=victim_defer_us
         )
+        length_us = min(decision.length_us, self.penalty_cap_us)
+        if backoff:
+            length_us >>= backoff
         self.stats["actions"] += 1
         noisy.penalties_received += 1
-        noisy.penalty_total_us += decision.length_us
+        noisy.penalty_total_us += length_us
         if self._tp_action.active:
             self._tp_action.fire(now, noisy=noisy, victim=victim, key=key,
-                                 length_us=decision.length_us,
+                                 length_us=length_us,
                                  victim_defer_us=victim_defer_us,
                                  flow=flow_id)
         if noisy.shared_thread:
-            noisy.penalty_until_us = now + decision.length_us
+            noisy.penalty_until_us = now + length_us
             if self._tp_penalty.active:
                 self._tp_penalty.fire(now, pbox=noisy,
-                                      delay_us=decision.length_us,
+                                      delay_us=length_us,
                                       mode="defer-window", flow=flow_id)
         elif self.penalty_mode == "priority" and noisy.thread is not None:
             noisy.thread.demoted_until_us = max(
-                noisy.thread.demoted_until_us, now + decision.length_us
+                noisy.thread.demoted_until_us, now + length_us
             )
             self.stats["penalties_applied"] += 1
-            self.stats["penalty_applied_us"] += decision.length_us
+            self.stats["penalty_applied_us"] += length_us
             if self._tp_penalty.active:
                 self._tp_penalty.fire(now, pbox=noisy,
-                                      delay_us=decision.length_us,
+                                      delay_us=length_us,
                                       mode="demote", flow=flow_id)
         else:
-            noisy.pending_penalty_us += decision.length_us
+            noisy.pending_penalty_us += length_us
             noisy.pending_penalty_flow = flow_id
+            noisy.pending_since_us = now
         victim.blame.clear()
+
+    def _heal_observe(self, noisy, victim, now):
+        """Track whether penalizing ``noisy`` is actually helping ``victim``.
+
+        Returns the backoff shift (0 = full-length penalties) to apply to
+        the next penalty, or ``None`` when this observation tipped the
+        pair into a safe-mode release.  An action "fails" when the
+        victim's interference level neither improved since the previous
+        action nor sits anywhere near its goal; ``heal_retry_limit``
+        consecutive failures raise the backoff level (penalties halve per
+        level), and past ``heal_max_backoff`` levels the penalties are
+        evidently not the lever that helps this victim -- suspend them
+        entirely for a cooldown instead of pounding a pBox to no effect.
+        The first ``heal_min_actions`` actions are a grace period: the
+        adaptive engine needs a few decisions to converge.
+        """
+        pair = (noisy.psid, victim.psid)
+        state = self._heal_trend.get(pair)
+        if state is None:
+            state = self._heal_trend[pair] = _HealState()
+        level = victim.interference_level(now)
+        if level == float("inf"):
+            level = 1e9
+        state.actions += 1
+        previous = state.last_level
+        state.last_level = level
+        if previous is None or state.actions <= self.heal_min_actions:
+            return state.backoff
+        improved = level < previous * 0.98
+        recovered = level <= victim.rule.goal * 2
+        if improved or recovered:
+            state.fails = 0
+            if state.backoff and improved:
+                state.backoff -= 1
+            return state.backoff
+        state.fails += 1
+        if state.fails < self.heal_retry_limit:
+            return state.backoff
+        state.fails = 0
+        state.backoff += 1
+        if state.backoff > self.heal_max_backoff:
+            state.backoff = 0
+            self._safe_until[noisy.psid] = now + self.heal_cooldown_us
+            self.stats["safe_mode_releases"] += 1
+            if self._tp_heal.active:
+                self._tp_heal.fire(now, psid=noisy.psid, action="safe-mode",
+                                   detail=self.heal_cooldown_us)
+            return None
+        self.stats["penalty_backoffs"] += 1
+        if self._tp_heal.active:
+            self._tp_heal.fire(now, psid=noisy.psid, action="backoff",
+                               detail=state.backoff)
+        return state.backoff
+
+    def inject_penalty(self, pbox, delay_us):
+        """Queue a raw delay penalty, bypassing the engine (fault hook).
+
+        This is the "penalty misfire" surface the chaos harness uses: it
+        deliberately skips the decide/cap/backoff pipeline so the resume
+        hook's clamp and the invariant checkers are exercised against an
+        out-of-policy pending amount.
+        """
+        pbox.pending_penalty_us += int(delay_us)
+        pbox.pending_since_us = self.kernel.now_us
 
     def is_task_deferred(self, pbox):
         """True while an event-driven pBox's tasks should stay queued."""
@@ -434,7 +554,35 @@ class PBoxManager:
         pbox = thread.pbox
         if pbox is None or pbox.pending_penalty_us <= 0:
             return 0
+        if pbox.pending_penalty_us > self.penalty_cap_us:
+            # Out-of-policy pending amount: the engine clamps its own
+            # decisions, so this is a misfire (or an injected fault).
+            # Bound it rather than parking the thread for an unbounded
+            # stretch -- "penalties always bounded" is an invariant.
+            pbox.pending_penalty_us = self.penalty_cap_us
+            self.stats["penalty_clamped"] += 1
+            if self._tp_heal.active:
+                self._tp_heal.fire(self.kernel.now_us, psid=pbox.psid,
+                                   action="clamp",
+                                   detail=self.penalty_cap_us)
         if self.safe_penalty_timing and pbox.holding_anything:
+            if self.self_heal:
+                now = self.kernel.now_us
+                if now - pbox.pending_since_us > self.heal_pending_timeout_us:
+                    # No safe point materialized for a whole timeout (the
+                    # pBox re-acquires before every resume): decay the
+                    # stuck penalty toward a full revert instead of
+                    # letting it shadow the pBox forever.
+                    pbox.pending_penalty_us >>= 1
+                    pbox.pending_since_us = now
+                    self.stats["penalty_reverts"] += 1
+                    if pbox.pending_penalty_us < 1_000:
+                        pbox.pending_penalty_us = 0
+                        pbox.pending_penalty_flow = None
+                    if self._tp_heal.active:
+                        self._tp_heal.fire(now, psid=pbox.psid,
+                                           action="revert",
+                                           detail=pbox.pending_penalty_us)
             return 0  # Section 4.4.1: never delay a resource holder
         delay = pbox.pending_penalty_us
         pbox.pending_penalty_us = 0

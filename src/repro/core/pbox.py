@@ -68,6 +68,7 @@ class PBox:
         # --- penalty state ----------------------------------------------
         self.pending_penalty_us = 0     # delay to apply at next safe point
         self.pending_penalty_flow = None  # flow id linking detect -> penalty
+        self.pending_since_us = 0       # when the pending amount was queued
         self.penalty_until_us = 0       # event-driven: defer queued tasks
         self.penalties_received = 0
         self.penalty_total_us = 0

@@ -1,0 +1,56 @@
+"""Deterministic fault injection, invariant checking, chaos sweeps.
+
+The robustness layer of the reproduction (docs/ROBUSTNESS.md):
+
+- :mod:`repro.faults.plan` — declarative, SHA-256-seeded fault plans
+  (:class:`FaultSpec` / :class:`FaultPlan`);
+- :mod:`repro.faults.injector` — :class:`FaultInjector`: arms a plan as
+  virtual-time kernel timers and records what actually fired;
+- :mod:`repro.faults.invariants` — :class:`InvariantSuite`: always-on
+  assertions over the tracepoint bus and the final kernel state;
+- :mod:`repro.faults.harness` — :class:`ChaosHarness`: one-object
+  wiring of all of the above into a ``run_case`` observer;
+- :mod:`repro.faults.chaos` — :func:`run_chaos`: the cases x faults x
+  seeds sweep behind ``python -m repro chaos`` and
+  ``results/CHAOS.json``.
+
+Every fault fires at a planned integer virtual time with SHA-256-
+derived parameters, so chaos runs inherit the simulator's bit-for-bit
+determinism: the same spec always injects the same faults, hits the
+same targets, and produces the same result dict.
+"""
+
+from repro.faults.chaos import (
+    CHAOS_SCHEMA,
+    DEFAULT_CHAOS_FAULTS,
+    ChaosInterrupted,
+    ChaosResult,
+    chaos_spec,
+    run_chaos,
+)
+from repro.faults.harness import ChaosHarness
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantSuite, InvariantViolation
+from repro.faults.plan import (
+    DEFAULT_PARAM_US,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "CHAOS_SCHEMA",
+    "DEFAULT_CHAOS_FAULTS",
+    "DEFAULT_PARAM_US",
+    "FAULT_KINDS",
+    "ChaosHarness",
+    "ChaosInterrupted",
+    "ChaosResult",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InvariantSuite",
+    "InvariantViolation",
+    "chaos_spec",
+    "run_chaos",
+]

@@ -1,0 +1,191 @@
+"""Chaos sweeps: cases x fault kinds x seeds through the job runner.
+
+``run_chaos`` fans every (case, fault kind, seed) combination out as an
+ordinary runner job -- the fault cocktail rides inside the
+:class:`~repro.runner.jobs.JobSpec`, so chaos results are content-
+addressed and cached exactly like measurement runs -- and aggregates
+the per-run chaos summaries into ``results/CHAOS.json``.
+
+The JSON payload deliberately contains **no wall-clock data** (wall
+time, cache hit counts, worker counts live in ``ChaosResult.stats``,
+which the CLI prints but never persists): re-running the same chaos
+sweep must produce a byte-identical file, which is also how the stress
+test asserts deterministic replay.
+"""
+
+import json
+import os
+
+from repro.runner.cache import ResultCache, code_fingerprint
+from repro.runner.jobs import JobSpec
+from repro.runner.runner import RunInterrupted, run_jobs
+
+#: Schema version of ``results/CHAOS.json``.
+CHAOS_SCHEMA = 1
+
+#: The default fault cocktail (the acceptance sweep's three kinds).
+DEFAULT_CHAOS_FAULTS = ("stall", "lost_wakeup", "crash")
+
+
+class ChaosInterrupted(Exception):
+    """Ctrl-C mid-sweep; ``partial`` is a valid, writable ChaosResult."""
+
+    def __init__(self, partial):
+        super().__init__("chaos sweep interrupted")
+        self.partial = partial
+
+
+class ChaosResult:
+    """Aggregated chaos sweep output."""
+
+    def __init__(self, entries, kinds, seeds, duration_s, fingerprint,
+                 stats):
+        #: {(case_id, kind, seed): entry dict}
+        self.entries = entries
+        self.kinds = list(kinds)
+        self.seeds = list(seeds)
+        self.duration_s = duration_s
+        self.fingerprint = fingerprint
+        #: wall-clock accounting; printed, never persisted.
+        self.stats = stats
+
+    def total_violations(self):
+        return sum(len(entry["chaos"]["violations"])
+                   for entry in self.entries.values())
+
+    def violations(self):
+        """Flat list of every violation dict across all entries."""
+        found = []
+        for (case_id, kind, seed), entry in sorted(self.entries.items()):
+            for violation in entry["chaos"]["violations"]:
+                found.append(violation)
+        return found
+
+    def to_json_dict(self):
+        """The ``results/CHAOS.json`` payload (wall-clock free)."""
+        cases = {}
+        crashes = recoveries = stale = deadlocks = fired = 0
+        for (case_id, kind, seed), entry in sorted(self.entries.items()):
+            per_case = cases.setdefault(case_id, {})
+            per_case.setdefault(kind, {})[str(seed)] = entry
+            chaos = entry["chaos"]
+            crashes += chaos["crashes"]
+            fired += len(chaos["fired"])
+            watchdog = chaos.get("watchdog") or {}
+            recoveries += watchdog.get("recoveries", 0)
+            stale += watchdog.get("stale_repairs", 0)
+            deadlocks += watchdog.get("deadlocks", 0)
+        return {
+            "schema": CHAOS_SCHEMA,
+            "code_fingerprint": self.fingerprint,
+            "duration_s": self.duration_s,
+            "seeds": list(self.seeds),
+            "faults": list(self.kinds),
+            "summary": {
+                "runs": len(self.entries),
+                "violations": self.total_violations(),
+                "faults_fired": fired,
+                "crashes_contained": crashes,
+                "watchdog_recoveries": recoveries,
+                "stale_repairs": stale,
+                "deadlocks": deadlocks,
+            },
+            "cases": cases,
+        }
+
+    def write_json(self, path):
+        """Atomically write :meth:`to_json_dict` to ``path``.
+
+        Write-to-temp + ``os.replace`` so an interrupt mid-write can
+        never leave a truncated JSON file behind.
+        """
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(self.to_json_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return path
+
+
+def chaos_spec(case_id, kind, seed, duration_s):
+    """The job spec for one chaos run (pBox solution + fault cocktail)."""
+    return JobSpec(case_id, "pbox", seed=seed, duration_s=duration_s,
+                   faults=kind)
+
+
+def _entry(result):
+    """Deterministic slice of a job result for the chaos payload."""
+    return {
+        "victim_mean_us": result["victim_mean_us"],
+        "victim_p95_us": result["victim_p95_us"],
+        "victim_samples": result["victim_samples"],
+        "error": result.get("error"),
+        "chaos": result["chaos"],
+    }
+
+
+def run_chaos(case_ids=None, kinds=DEFAULT_CHAOS_FAULTS, seeds=(1, 2, 3),
+              duration_s=3.0, jobs=1, cache=None, use_cache=True,
+              progress=None, fingerprint=None, timeout_s=None,
+              run_stats=None):
+    """Run the chaos matrix; returns a :class:`ChaosResult`.
+
+    Raises :class:`ChaosInterrupted` on Ctrl-C with the completed
+    subset attached, so callers can persist partial results atomically.
+    """
+    import time
+
+    from repro.runner.sweep import sweep_case_ids
+
+    if case_ids is None:
+        case_ids = sweep_case_ids()
+    kinds = list(kinds)
+    seeds = list(seeds)
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    if use_cache and cache is None:
+        cache = ResultCache()
+    started = time.perf_counter()
+    hits_before = cache.hits if cache is not None else 0
+
+    keyed = {}
+    specs = []
+    for case_id in case_ids:
+        for kind in kinds:
+            for seed in seeds:
+                spec = chaos_spec(case_id, kind, seed, duration_s)
+                keyed[(case_id, kind, seed)] = spec.key(fingerprint)
+                specs.append(spec)
+
+    interrupted = False
+    try:
+        results = run_jobs(specs, jobs=jobs, cache=cache,
+                           use_cache=use_cache, progress=progress,
+                           fingerprint=fingerprint, timeout_s=timeout_s,
+                           stats=run_stats)
+    except RunInterrupted as stop:
+        results = stop.results
+        interrupted = True
+
+    entries = {}
+    for combo, key in keyed.items():
+        result = results.get(key)
+        if result is not None:
+            entries[combo] = _entry(result)
+
+    hits = (cache.hits - hits_before) if cache is not None else 0
+    stats = {
+        "total": len(specs),
+        "completed": len(entries),
+        "cache_hits": hits,
+        "workers": max(1, int(jobs or 1)),
+        "wall_s": round(time.perf_counter() - started, 3),
+    }
+    chaos_result = ChaosResult(entries, kinds, seeds, duration_s,
+                               fingerprint, stats)
+    if interrupted:
+        raise ChaosInterrupted(chaos_result)
+    return chaos_result

@@ -1,0 +1,152 @@
+"""The fault injector: arms a plan as virtual-time kernel timers.
+
+Each :class:`~repro.faults.plan.FaultSpec` becomes one ``kernel.post``
+callback at its planned virtual time.  Target selection happens at fire
+time (the planned selector indexes into whatever candidates exist right
+then) and only consults deterministic orderings -- the kernel's spawn-
+ordered thread list, the wait-queue table's insertion-ordered owner
+registry, the manager's psid-ordered pBox table -- so a chaos run is as
+replayable as a vanilla one.
+
+Fired and skipped faults are recorded as JSON-safe dicts; a fault is
+*skipped* (not an error) when no suitable target exists at its instant,
+e.g. a ``holder_stall`` planned for a moment when no lock is held.
+"""
+
+from repro.obs.tracepoints import key_label
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a running kernel."""
+
+    def __init__(self, kernel, manager=None):
+        self.kernel = kernel
+        self.manager = manager
+        self.fired = []      # JSON-safe records of faults that hit
+        self.skipped = []    # planned faults with no target at fire time
+        self._tp_inject = kernel.trace.point("fault.inject")
+
+    def arm(self, plan):
+        """Schedule every spec in ``plan`` as a kernel timer."""
+        for spec in plan:
+            self.kernel.post(spec.at_us,
+                             lambda spec=spec: self._fire(spec))
+
+    # ------------------------------------------------------------------
+
+    def _fire(self, spec):
+        handler = getattr(self, "_fire_" + spec.kind)
+        target = handler(spec)
+        record = {
+            "kind": spec.kind,
+            "at_us": spec.at_us,
+            "param_us": spec.param_us,
+            "target": target,
+        }
+        if target is None:
+            self.skipped.append(record)
+            return
+        self.fired.append(record)
+        if self._tp_inject.active:
+            self._tp_inject.fire(self.kernel.clock.now_us, kind=spec.kind,
+                                 at_us=spec.at_us, target=target,
+                                 param_us=spec.param_us)
+
+    def _alive_threads(self):
+        return [t for t in self.kernel.threads if t.alive]
+
+    def _alive_owners(self):
+        return [t for t in self.kernel.futexes.all_owner_threads()
+                if t.alive]
+
+    # -- fault kinds ----------------------------------------------------
+
+    def _fire_stall(self, spec):
+        """Charge a stall to an arbitrary thread (models preemption)."""
+        threads = self._alive_threads()
+        if not threads:
+            return None
+        target = threads[spec.selector % len(threads)]
+        target.overhead_us += spec.param_us
+        return "tid:%d" % target.tid
+
+    def _fire_holder_stall(self, spec):
+        """Stall a thread that currently holds a resource.
+
+        The overhead lands before the holder's next syscall -- i.e.
+        inside its critical section -- so the hold time stretches by
+        ``param_us`` and every waiter behind it becomes a victim.
+        """
+        owners = self._alive_owners()
+        if not owners:
+            return None
+        target = owners[spec.selector % len(owners)]
+        target.overhead_us += spec.param_us
+        return "tid:%d" % target.tid
+
+    def _fire_lost_wakeup(self, spec):
+        """Arm a one-shot filter that swallows the next contended wake."""
+        if self.kernel.wake_filter is not None:
+            return None  # a previous lost_wakeup is still armed
+
+        def drop_one(key, n):
+            if not self.kernel.futexes.waiters(key):
+                return True  # uncontended wake: dropping it is a no-op
+            self.kernel.wake_filter = None
+            self.fired.append({
+                "kind": "lost_wakeup_drop",
+                "at_us": self.kernel.clock.now_us,
+                "param_us": 0,
+                "target": key_label(key),
+            })
+            return False
+
+        self.kernel.wake_filter = drop_one
+        return "armed"
+
+    def _fire_crash(self, spec):
+        """Kill a thread; prefer one inside a critical section."""
+        pool = self._alive_owners() or self._alive_threads()
+        if not pool:
+            return None
+        target = pool[spec.selector % len(pool)]
+        self.kernel.kill_thread(target)
+        return "tid:%d" % target.tid
+
+    def _fire_penalty_misfire(self, spec):
+        """Queue an absurd pending penalty on some pBox.
+
+        Bypasses the penalty engine entirely (that is the point: the
+        fault models a buggy decision), so the manager's clamp and
+        revert healing is the only thing standing between the victim
+        thread and a 20-second stall.
+        """
+        if self.manager is None:
+            return None
+        boxes = self.manager.pboxes()
+        if not boxes:
+            return None
+        target = boxes[spec.selector % len(boxes)]
+        self.manager.inject_penalty(target, spec.param_us)
+        return "psid:%d" % target.psid
+
+    def _fire_tracepoint_drop(self, spec):
+        """Disable one live tracepoint for ``param_us``.
+
+        Exercises every subscriber's tolerance for gaps in the event
+        stream (the invariant suite must not report false violations
+        just because it went blind for a window).
+        """
+        trace = self.kernel.trace
+        live = [name for name in trace.names() if trace.enabled(name)]
+        if not live:
+            return None
+        name = live[spec.selector % len(live)]
+        tp = trace.point(name)
+        tp.active = False
+
+        def restore():
+            tp.active = bool(tp._subs)
+
+        self.kernel.post(spec.at_us + spec.param_us, restore)
+        return name

@@ -1,0 +1,133 @@
+"""Always-on invariant checkers for chaos runs.
+
+The suite subscribes to the tracepoint bus and audits the final kernel
+and manager state, asserting properties that must hold *no matter what
+faults were injected*:
+
+- **no-deadlock**: the idle watchdog never reaches a deadlock verdict
+  (lost wake-ups must be repaired, crashes must not strand waiters);
+- **penalty-bounded**: no delivered penalty ever exceeds the manager's
+  cap, even when a misfire fault queues twenty seconds of delay;
+- **time-monotonic**: tracepoint timestamps never move backwards;
+- **time-conservation**: the run ends exactly at its deadline (virtual
+  time neither stalls short nor overshoots);
+- **no-dangling-owner**: no dead thread remains registered as a
+  resource holder (the robust-futex purge worked);
+- **no-starved-waiter**: at the end of the run, no thread has been
+  blocked longer than the starvation budget on a lock-like key with no
+  live holder.
+
+Violations carry enough context to reproduce: the chaos harness
+decorates each one into a minimized repro spec (case, seed, fault
+kinds, nearest fired fault).
+"""
+
+from repro.core.manager import PENALTY_CAP_US
+
+
+class InvariantViolation:
+    """One broken invariant, with where and why."""
+
+    __slots__ = ("name", "time_us", "detail")
+
+    def __init__(self, name, time_us, detail):
+        self.name = name
+        self.time_us = int(time_us)
+        self.detail = detail
+
+    def to_dict(self):
+        return {
+            "invariant": self.name,
+            "time_us": self.time_us,
+            "detail": self.detail,
+        }
+
+    def __repr__(self):
+        return "InvariantViolation(%s@%dus: %s)" % (
+            self.name, self.time_us, self.detail)
+
+
+class InvariantSuite:
+    """Audits one simulation run; collects violations instead of raising.
+
+    Chaos workers must stay alive through arbitrary fault cocktails, so
+    a broken invariant is recorded (capped, to bound memory under a
+    pathological run) and reported in the job result rather than thrown.
+    """
+
+    MAX_VIOLATIONS = 100
+
+    def __init__(self, penalty_cap_us=PENALTY_CAP_US,
+                 starvation_us=1_000_000):
+        self.penalty_cap_us = penalty_cap_us
+        self.starvation_us = starvation_us
+        self.violations = []
+        self.kernel = None
+        self.manager = None
+        self._last_event_us = 0
+
+    # ------------------------------------------------------------------
+
+    def attach(self, kernel, manager=None):
+        """Subscribe to ``kernel``'s tracepoint bus."""
+        self.kernel = kernel
+        self.manager = manager
+        kernel.trace.subscribe_all(self._on_event)
+
+    def record(self, name, time_us, detail):
+        """Add one violation (bounded; see MAX_VIOLATIONS)."""
+        if len(self.violations) < self.MAX_VIOLATIONS:
+            self.violations.append(InvariantViolation(name, time_us, detail))
+
+    def on_deadlock(self, suspects):
+        """Watchdog callback: repair failed, the run is wedged."""
+        now = 0 if self.kernel is None else self.kernel.clock.now_us
+        self.record("no-deadlock", now,
+                    "blocked threads: %s"
+                    % ", ".join(thread.name for thread in suspects[:8]))
+
+    # ------------------------------------------------------------------
+
+    def _on_event(self, name, time_us, fields):
+        if time_us < self._last_event_us:
+            self.record("time-monotonic", time_us,
+                        "%s fired at %d after an event at %d"
+                        % (name, time_us, self._last_event_us))
+        else:
+            self._last_event_us = time_us
+        if name in ("pbox.penalty", "penalty.inject"):
+            delay = fields.get("delay_us") or 0
+            if delay > self.penalty_cap_us:
+                self.record("penalty-bounded", time_us,
+                            "%s delivered %dus > cap %dus"
+                            % (name, delay, self.penalty_cap_us))
+
+    # ------------------------------------------------------------------
+
+    def finish(self, until_us):
+        """Run the end-of-simulation audits; returns the violation list."""
+        kernel = self.kernel
+        if kernel is None:
+            return self.violations
+        now = kernel.clock.now_us
+        if now != until_us:
+            self.record("time-conservation", now,
+                        "run ended at %dus, expected %dus" % (now, until_us))
+        for thread in kernel.futexes.all_owner_threads():
+            if not thread.alive:
+                self.record("no-dangling-owner", now,
+                            "dead thread %s (tid %d) still registered "
+                            "as a holder" % (thread.name, thread.tid))
+        for key in kernel.futexes.keys():
+            if not hasattr(key, "_on_owner_death"):
+                continue  # queues/conditions idle legitimately
+            owners = kernel.futexes.owners(key)
+            if any(owner.alive for owner in owners):
+                continue
+            for waiter in kernel.futexes.waiters(key):
+                waited = now - waiter.blocked_since_us
+                if waiter.alive and waited > self.starvation_us:
+                    self.record("no-starved-waiter", now,
+                                "%s blocked %dus on un-held %r"
+                                % (waiter.name, waited, key))
+        return self.violations

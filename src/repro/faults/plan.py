@@ -1,0 +1,140 @@
+"""Declarative fault plans for deterministic chaos runs.
+
+A :class:`FaultPlan` is a sorted list of :class:`FaultSpec` entries --
+(kind, virtual time, parameter, target selector) tuples -- generated
+*before* a simulation starts and armed as kernel timers by the
+:class:`~repro.faults.injector.FaultInjector`.  Because every field is
+derived from the chaos seed with SHA-256 (never Python's randomized
+``hash()``) and fault times are integer virtual microseconds, a plan is
+a pure function of ``(kinds, seed, window)``: the same chaos job always
+injects the same faults at the same instants, which is what makes chaos
+results cacheable and replayable bit for bit.
+"""
+
+import hashlib
+
+#: Every fault kind the injector understands, in canonical order.
+FAULT_KINDS = (
+    "stall",            # preempt an arbitrary thread for param_us
+    "holder_stall",     # preempt a thread currently holding a resource
+    "lost_wakeup",      # swallow the next contended futex wake
+    "crash",            # kill a thread (holders preferred) mid-flight
+    "penalty_misfire",  # inject an absurd penalty, past the manager cap
+    "tracepoint_drop",  # disable one live tracepoint for a window
+)
+
+#: Default ``param_us`` per kind: stall lengths, drop windows, or the
+#: misfire magnitude (deliberately far past the manager's 5s cap so the
+#: clamp/revert healing path is exercised).
+DEFAULT_PARAM_US = {
+    "stall": 200_000,
+    "holder_stall": 150_000,
+    "lost_wakeup": 0,
+    "crash": 0,
+    "penalty_misfire": 20_000_000,
+    "tracepoint_drop": 100_000,
+}
+
+
+def derive(material, lo, hi):
+    """Deterministic integer in ``[lo, hi]`` from a string label.
+
+    SHA-256 based so the value is stable across processes and Python
+    versions (``hash()`` is randomized per process by PYTHONHASHSEED
+    and must never feed a fault plan).
+    """
+    if hi < lo:
+        raise ValueError("empty range [%d, %d]" % (lo, hi))
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    value = int.from_bytes(digest[:8], "big")
+    return lo + value % (hi - lo + 1)
+
+
+class FaultSpec:
+    """One planned fault occurrence."""
+
+    __slots__ = ("kind", "at_us", "param_us", "selector")
+
+    def __init__(self, kind, at_us, param_us=0, selector=0):
+        if kind not in FAULT_KINDS:
+            raise ValueError("unknown fault kind %r" % kind)
+        self.kind = kind
+        self.at_us = int(at_us)
+        self.param_us = int(param_us)
+        self.selector = int(selector)
+
+    def to_dict(self):
+        """Canonical JSON-safe encoding."""
+        return {
+            "kind": self.kind,
+            "at_us": self.at_us,
+            "param_us": self.param_us,
+            "selector": self.selector,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(payload["kind"], payload["at_us"],
+                   payload.get("param_us", 0), payload.get("selector", 0))
+
+    def __eq__(self, other):
+        return (isinstance(other, FaultSpec)
+                and self.to_dict() == other.to_dict())
+
+    def __repr__(self):
+        return "FaultSpec(%s@%dus, param=%d, sel=%d)" % (
+            self.kind, self.at_us, self.param_us, self.selector)
+
+
+class FaultPlan:
+    """An ordered collection of fault specs for one run."""
+
+    def __init__(self, specs):
+        self.specs = sorted(specs, key=lambda s: (s.at_us, s.kind, s.selector))
+
+    def __len__(self):
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def to_dict(self):
+        return {"specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls([FaultSpec.from_dict(entry)
+                    for entry in payload["specs"]])
+
+    @classmethod
+    def generate(cls, kinds, seed, start_us, end_us, count_per_kind=2):
+        """Derive a plan for ``kinds`` inside ``[start_us, end_us]``.
+
+        Each kind gets ``count_per_kind`` occurrences at SHA-256-derived
+        times; the selector (used by the injector to pick a target among
+        however many candidates exist at fire time) comes from the same
+        stream.  ``ValueError`` on unknown kinds so typos surface before
+        a long sweep, not inside a worker.
+        """
+        start_us = int(start_us)
+        end_us = int(end_us)
+        if end_us <= start_us:
+            end_us = start_us + 1
+        specs = []
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    "unknown fault kind %r (choose from %s)"
+                    % (kind, ", ".join(FAULT_KINDS)))
+            for index in range(count_per_kind):
+                label = "%d:%s:%d" % (seed, kind, index)
+                specs.append(FaultSpec(
+                    kind,
+                    at_us=derive(label + ":at", start_us, end_us),
+                    param_us=DEFAULT_PARAM_US[kind],
+                    selector=derive(label + ":sel", 0, 1 << 16),
+                ))
+        return cls(specs)
+
+    def __repr__(self):
+        return "FaultPlan(%d specs)" % len(self.specs)

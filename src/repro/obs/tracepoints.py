@@ -30,6 +30,13 @@ CATALOG = [
     ("futex.wait", "thread blocks on a futex key (tid, key, waiters, "
                    "holders, holder_psids)"),
     ("futex.wake", "wake-up pops waiters (key, requested, woken, waker)"),
+    ("futex.owner_exit", "a thread exited while registered as a key's "
+                         "holder; ownership purged (tid, key, holds)"),
+    ("fault.inject", "fault injector fires a planned fault (kind, at_us, "
+                     "target, param_us)"),
+    ("fault.recover", "idle-watchdog repair or deadlock verdict (kind, "
+                      "woken)"),
+    ("pbox.heal", "manager self-healing event (psid, action, detail)"),
     ("cgroup.throttle", "thread hits its group's CPU quota (group, tid)"),
     ("cgroup.unthrottle", "period refresh releases threads (group, tids)"),
     ("penalty.inject", "resume hook injects a delay (tid, psid, delay_us)"),
@@ -69,6 +76,11 @@ def key_label(key):
         return name
     if isinstance(key, tuple):
         return "(" + ", ".join(key_label(part) for part in key) + ")"
+    cls = type(key)
+    if cls.__str__ is object.__str__ and cls.__repr__ is object.__repr__:
+        # Default repr embeds the memory address, which varies between
+        # processes -- labels must be stable for replayed runs to match.
+        return "<%s>" % cls.__name__
     return str(key)
 
 

@@ -40,6 +40,9 @@ ATTRIBUTION_SNAPSHOT = "BENCH_attribution.json"
 #: Machine-readable sweep output (``python -m repro sweep``).
 SWEEP_SNAPSHOT = "SWEEP.json"
 
+#: Machine-readable chaos output (``python -m repro chaos``).
+CHAOS_SNAPSHOT = "CHAOS.json"
+
 
 def load_section(results_dir, filename):
     """Return the file's lines, or None if it has not been generated."""
@@ -123,10 +126,19 @@ def generate_report(results_dir="results"):
     else:
         parts.extend(sweep_lines)
     parts.append("")
+    parts.append("## Chaos — fault injection & invariants")
+    parts.append("")
+    chaos_lines = _load_chaos_section(results_dir)
+    if chaos_lines is None:
+        parts.append("*(not yet generated — run `python -m repro chaos`)*")
+        missing.append(CHAOS_SNAPSHOT)
+    else:
+        parts.extend(chaos_lines)
+    parts.append("")
     if missing:
         parts.append("---")
         parts.append("%d of %d sections missing." % (len(missing),
-                                                     len(SECTIONS) + 3))
+                                                     len(SECTIONS) + 4))
     return "\n".join(parts)
 
 
@@ -226,6 +238,56 @@ def _load_sweep_section(results_dir):
                 row.append("%+.2f" % sol["reduction_ratio"]
                            if sol else "n/a")
             lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def _load_chaos_section(results_dir):
+    """Render the ``repro chaos`` snapshot, or None if absent."""
+    path = os.path.join(results_dir, CHAOS_SNAPSHOT)
+    if not os.path.exists(path):
+        return None
+    import json
+
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    summary = snapshot.get("summary", {})
+    lines = [
+        "%d chaos runs (faults: %s; seeds %s; duration %ss): %d faults "
+        "fired, %d crashes contained, %d watchdog recoveries, %d stale "
+        "repairs, %d deadlocks — **%d invariant violations**." % (
+            summary.get("runs", 0),
+            ",".join(snapshot.get("faults", [])),
+            ",".join(str(s) for s in snapshot.get("seeds", [])),
+            snapshot.get("duration_s", "?"),
+            summary.get("faults_fired", 0),
+            summary.get("crashes_contained", 0),
+            summary.get("watchdog_recoveries", 0),
+            summary.get("stale_repairs", 0),
+            summary.get("deadlocks", 0),
+            summary.get("violations", 0),
+        ),
+        "",
+        "| case | runs | violations | faults fired | crashes | "
+        "recoveries | errors |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for case_id in sorted(snapshot.get("cases", {}),
+                          key=lambda cid: int(cid[1:])):
+        runs = violations = fired = crashes = recoveries = errors = 0
+        for kinds in snapshot["cases"][case_id].values():
+            for entry in kinds.values():
+                runs += 1
+                chaos = entry.get("chaos") or {}
+                violations += len(chaos.get("violations", []))
+                fired += len(chaos.get("fired", []))
+                crashes += chaos.get("crashes", 0)
+                watchdog = chaos.get("watchdog", {})
+                recoveries += (watchdog.get("recoveries", 0)
+                               + watchdog.get("stale_repairs", 0))
+                if entry.get("error"):
+                    errors += 1
+        lines.append("| %s | %d | %d | %d | %d | %d | %d |" % (
+            case_id, runs, violations, fired, crashes, recoveries, errors))
     return lines
 
 

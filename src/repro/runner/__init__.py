@@ -38,10 +38,17 @@ from repro.runner.jobs import (
     interference_spec,
     solution_spec,
 )
-from repro.runner.runner import execute_spec, run_jobs
+from repro.runner.runner import (
+    JobFailedError,
+    JobTimeout,
+    RunInterrupted,
+    execute_spec,
+    run_jobs,
+)
 from repro.runner.sweep import (
     JobResult,
     SweepEvaluation,
+    SweepInterrupted,
     SweepResult,
     run_sweep,
     sweep_case_ids,
@@ -49,10 +56,14 @@ from repro.runner.sweep import (
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "JobFailedError",
     "JobResult",
     "JobSpec",
+    "JobTimeout",
     "ResultCache",
+    "RunInterrupted",
     "SweepEvaluation",
+    "SweepInterrupted",
     "SweepResult",
     "baseline_spec",
     "clear_fingerprint_memo",

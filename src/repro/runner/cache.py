@@ -20,8 +20,14 @@ temporary file, so a crashed or interrupted sweep can never leave a
 truncated JSON behind a valid key.
 """
 
+import contextlib
 import json
 import os
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: atomic rename is the only guard
+    fcntl = None
 
 #: Default cache directory (relative to the working directory) when
 #: neither the ``REPRO_CACHE_DIR`` environment variable nor an explicit
@@ -93,6 +99,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
 
     def path_for(self, key):
         """On-disk path of ``key`` (two-character shard, git-style)."""
@@ -101,23 +108,56 @@ class ResultCache:
     def get(self, key):
         """Return the cached result payload for ``key``, or ``None``.
 
-        A corrupt entry (interrupted write from a pre-atomic-rename
-        version, manual tampering) counts as a miss and is removed.
+        A missing file is a plain miss.  A *corrupt* entry (interrupted
+        write from a pre-atomic-rename version, disk trouble, manual
+        tampering) is quarantined: renamed to ``<entry>.bad`` so it is
+        never re-read (and re-failed) on every subsequent lookup, while
+        the evidence stays on disk for inspection.
         """
         path = self.path_for(key)
         try:
-            with open(path) as handle:
+            handle = open(path)
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            with handle:
                 entry = json.load(handle)
             result = entry["result"]
         except (OSError, ValueError, KeyError):
             self.misses += 1
+            self.quarantined += 1
             try:
-                os.remove(path)
+                os.replace(path, path + ".bad")
             except OSError:
                 pass
             return None
         self.hits += 1
         return result
+
+    @contextlib.contextmanager
+    def write_lock(self):
+        """Exclusive advisory lock over this cache's writes.
+
+        Two concurrent sweeps writing the same key would each rename a
+        complete temporary file, so entries can't be torn -- but their
+        ``.tmp.<pid>`` files can collide if one process recycles the
+        other's pid after a crash.  The flock serializes writers per
+        cache root, which also keeps ``writes`` accounting sane.  On
+        platforms without ``fcntl`` the lock degrades to a no-op and
+        the atomic rename remains the only (sufficient) guard.
+        """
+        if fcntl is None:
+            yield
+            return
+        os.makedirs(self.root, exist_ok=True)
+        lock_path = os.path.join(self.root, "write.lock")
+        with open(lock_path, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
 
     def put(self, key, spec_dict, fingerprint, result):
         """Store ``result`` under ``key`` atomically.
@@ -127,12 +167,13 @@ class ResultCache:
         "what produced this?"); reads only use ``result``.
         """
         path = self.path_for(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = path + ".tmp.%d" % os.getpid()
-        with open(tmp, "w") as handle:
-            json.dump({"spec": spec_dict, "code": fingerprint,
-                       "result": result}, handle)
-        os.replace(tmp, path)
+        with self.write_lock():
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = path + ".tmp.%d" % os.getpid()
+            with open(tmp, "w") as handle:
+                json.dump({"spec": spec_dict, "code": fingerprint,
+                           "result": result}, handle)
+            os.replace(tmp, path)
         self.writes += 1
 
     def __len__(self):

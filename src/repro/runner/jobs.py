@@ -19,7 +19,8 @@ import json
 
 #: Bump when the semantics of the spec encoding change, so stale cache
 #: entries written by an older scheme can never be misread as current.
-SPEC_VERSION = 1
+#: v2: added ``faults`` (chaos fault cocktail riding in the spec).
+SPEC_VERSION = 2
 
 #: ``solution`` values whose policy consumes the measured To baseline
 #: (the PARTIES SLO and the Retro slowdown reference).  Every other
@@ -56,13 +57,19 @@ class JobSpec:
         baseline-consuming solutions (see :data:`BASELINE_SOLUTIONS`);
         embedded in the spec so the content address covers every input
         that can influence the result.
+    faults:
+        Optional comma-separated fault-kind cocktail (``"stall"``,
+        ``"lost_wakeup,crash"``...) armed by the chaos harness; the
+        chaos seed is the job seed.  ``None`` (the default) runs with
+        no fault machinery attached at all.
     """
 
     __slots__ = ("case_id", "solution", "seed", "duration_s",
-                 "isolation_level", "penalty", "baseline_us")
+                 "isolation_level", "penalty", "baseline_us", "faults")
 
     def __init__(self, case_id, solution, seed=1, duration_s=6,
-                 isolation_level=None, penalty=None, baseline_us=None):
+                 isolation_level=None, penalty=None, baseline_us=None,
+                 faults=None):
         self.case_id = str(case_id)
         self.solution = str(solution)
         self.seed = int(seed)
@@ -72,6 +79,7 @@ class JobSpec:
         self.penalty = None if penalty is None else str(penalty)
         self.baseline_us = (
             None if baseline_us is None else float(baseline_us))
+        self.faults = None if not faults else str(faults)
 
     def to_dict(self):
         """Canonical, JSON-safe encoding (the cache-key input)."""
@@ -84,6 +92,7 @@ class JobSpec:
             "isolation_level": self.isolation_level,
             "penalty": self.penalty,
             "baseline_us": self.baseline_us,
+            "faults": self.faults,
         }
 
     @classmethod
@@ -93,6 +102,7 @@ class JobSpec:
             payload["case_id"], payload["solution"], payload["seed"],
             payload["duration_s"], payload.get("isolation_level"),
             payload.get("penalty"), payload.get("baseline_us"),
+            payload.get("faults"),
         )
 
     def key(self, fingerprint):
@@ -116,6 +126,8 @@ class JobSpec:
             parts.append("rule%d" % self.isolation_level)
         if self.penalty is not None:
             parts.append(self.penalty)
+        if self.faults is not None:
+            parts.append("faults[%s]" % self.faults)
         return ":".join(parts)
 
     def __repr__(self):

@@ -10,16 +10,55 @@ The execution contract is the heart of the runner's determinism story:
   cache writer.  Parallel results are therefore bit-identical to a
   serial sweep (``tests/test_runner.py`` and
   ``benchmarks/test_runner_speedup.py`` both assert this).
+
+Self-healing (docs/ROBUSTNESS.md): workers catch their own exceptions
+and hand ``(key, result, error, wall)`` tuples back, so one bad job can
+never wedge the pool; failed or timed-out jobs are retried with
+exponential backoff; repeated pool failures degrade the run to the
+serial path; and Ctrl-C surfaces as :class:`RunInterrupted` carrying
+every completed result so callers can persist partial output atomically
+instead of losing the sweep.
 """
 
 import multiprocessing
+import os
+import signal
 import time
+from collections import deque
 
 from repro.runner.cache import ResultCache, code_fingerprint
 
 #: Result-dict schema version, stored in every payload so readers can
 #: reject entries written by a future incompatible runner.
-RESULT_VERSION = 1
+#: v2: optional ``chaos`` / ``error`` keys (fault-injection runs).
+RESULT_VERSION = 2
+
+#: Consecutive-ish pool failures tolerated before the runner gives up
+#: on the pool and finishes the sweep serially in the parent.
+DEGRADE_AFTER = 3
+
+
+class RunInterrupted(Exception):
+    """Ctrl-C mid-run; ``results`` holds every job completed so far."""
+
+    def __init__(self, results):
+        super().__init__(
+            "run interrupted with %d completed jobs" % len(results))
+        self.results = results
+
+
+class JobFailedError(Exception):
+    """A job kept failing after every retry (and a serial last chance)."""
+
+    def __init__(self, spec, error):
+        super().__init__("job %s failed after retries: %s"
+                         % (spec.label(), error))
+        self.spec = spec
+        self.error = error
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job exceeds its wall budget."""
 
 
 def _preferred_start_method():
@@ -35,9 +74,17 @@ def execute_spec(spec_dict):
     sample counts, kernel and manager statistics).  Deterministic: the
     same ``spec_dict`` always produces the same dict, byte for byte,
     in any process (seed contract — see the module docstring).
+
+    When the spec carries a ``faults`` cocktail, a
+    :class:`repro.faults.ChaosHarness` is attached as the run observer
+    and its summary lands under ``result["chaos"]``.  A fault cocktail
+    that makes the simulation itself fail is *contained*: the exception
+    becomes ``result["error"]`` plus a ``run-completes`` invariant
+    violation instead of killing the worker.
     """
     from repro.cases import Solution, get_case, run_case
     from repro.core import FixedPenalty
+    from repro.sim.errors import SimulationError
     from repro.sim.thread import reset_thread_ids
 
     reset_thread_ids()
@@ -50,15 +97,48 @@ def execute_spec(spec_dict):
         if kind != "fixed":
             raise ValueError("unknown penalty spec %r" % penalty)
         engine = FixedPenalty(int(value))
-    run = run_case(
-        case,
-        solution,
-        seed=spec_dict.get("seed", 1),
-        duration_s=spec_dict.get("duration_s"),
-        baseline_us=spec_dict.get("baseline_us"),
-        isolation_level=spec_dict.get("isolation_level"),
-        penalty_engine=engine,
-    )
+
+    harness = None
+    observer = None
+    faults = spec_dict.get("faults")
+    if faults:
+        from repro.faults import ChaosHarness
+
+        harness = ChaosHarness(
+            [kind.strip() for kind in faults.split(",") if kind.strip()],
+            seed=spec_dict.get("seed", 1),
+            case_id=spec_dict["case_id"],
+        )
+        observer = harness.observer
+
+    try:
+        run = run_case(
+            case,
+            solution,
+            seed=spec_dict.get("seed", 1),
+            duration_s=spec_dict.get("duration_s"),
+            baseline_us=spec_dict.get("baseline_us"),
+            isolation_level=spec_dict.get("isolation_level"),
+            penalty_engine=engine,
+            observer=observer,
+        )
+    except (SimulationError, RuntimeError) as exc:
+        if harness is None or not harness.attached:
+            raise
+        harness.record_failure(exc)
+        return {
+            "version": RESULT_VERSION,
+            "victim_mean_us": None,
+            "victim_p95_us": None,
+            "noisy_mean_us": None,
+            "victim_samples": 0,
+            "noisy_samples": 0,
+            "sim_stats": {},
+            "manager_stats": {},
+            "error": "%s: %s" % (type(exc).__name__, exc),
+            "chaos": harness.finish(),
+        }
+
     victim_count = sum(len(recorder.samples_us)
                        for recorder in run.env.victim_recorders)
     noisy_count = sum(len(recorder.samples_us)
@@ -76,19 +156,123 @@ def execute_spec(spec_dict):
     engine = getattr(run.manager, "penalty_engine", None)
     if engine is not None and hasattr(engine, "action_count"):
         result["penalty_actions"] = engine.action_count()
+    if harness is not None:
+        result["chaos"] = harness.finish()
     return result
 
 
+# ----------------------------------------------------------------------
+# Worker-side hardening
+# ----------------------------------------------------------------------
+
+
+def _maybe_inject_test_fault(key):
+    """Deterministic worker faults for the hardening tests.
+
+    ``REPRO_RUNNER_FAULT`` selects the failure (``crash:<n>``,
+    ``timeout:<n>``, ``crash-pool``).  For ``crash``/``timeout``,
+    ``REPRO_RUNNER_FAULT_DIR`` must point at a shared directory: the
+    first ``n`` attempts of each job claim an ``O_EXCL`` marker file
+    and fail, so retries (which find the markers taken) succeed —
+    exactly the transient-fault shape the retry loop must survive.
+    ``crash-pool`` fails in pool workers only, forever, which forces
+    the degrade-to-serial path.
+    """
+    fault = os.environ.get("REPRO_RUNNER_FAULT")
+    if not fault:
+        return
+    kind, _, count = fault.partition(":")
+    if kind == "crash-pool":
+        if multiprocessing.current_process().name != "MainProcess":
+            raise RuntimeError("injected pool-worker crash (test fault)")
+        return
+    marker_dir = os.environ.get("REPRO_RUNNER_FAULT_DIR")
+    if not marker_dir:
+        return
+    for attempt in range(int(count or 1)):
+        marker = os.path.join(marker_dir, "%s.%d" % (key[:16], attempt))
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        if kind == "timeout":
+            time.sleep(3600)  # parked until the job alarm fires
+        raise RuntimeError(
+            "injected worker crash (test fault, attempt %d)" % attempt)
+
+
+class _job_alarm:
+    """SIGALRM-based wall-clock budget around one job.
+
+    Works in the parent and in forked pool workers (each runs jobs on
+    its main thread).  Platforms without ``SIGALRM`` simply run without
+    a budget — the retry/degrade machinery still applies.
+    """
+
+    def __init__(self, timeout_s):
+        self.timeout_s = timeout_s
+        self._previous = None
+
+    def __enter__(self):
+        if not self.timeout_s or not hasattr(signal, "SIGALRM"):
+            return self
+
+        def _expire(signum, frame):
+            raise JobTimeout("job exceeded %.1fs wall budget"
+                             % self.timeout_s)
+
+        self._previous = signal.signal(signal.SIGALRM, _expire)
+        signal.setitimer(signal.ITIMER_REAL, self.timeout_s)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._previous is not None:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+
+def _run_one(key, spec_dict, timeout_s):
+    """Execute one job under the test-fault hook and the wall budget.
+
+    The fault hook runs *inside* the alarm window: an injected
+    ``timeout`` fault parks forever and must be cut down by the budget,
+    exactly like a genuinely wedged job.
+    """
+    with _job_alarm(timeout_s):
+        _maybe_inject_test_fault(key)
+        return execute_spec(spec_dict)
+
+
 def _execute_keyed(item):
-    """Pool worker: ``(key, spec_dict)`` -> ``(key, result, wall_s)``."""
-    key, spec_dict = item
+    """Pool worker: never raises (except Ctrl-C).
+
+    Returns ``(key, result, error, wall_s)``; any exception — including
+    an injected crash or a :class:`JobTimeout` — is folded into the
+    ``error`` string so ``imap_unordered`` keeps draining and one bad
+    job cannot take the pool down.
+    """
+    key, spec_dict, timeout_s = item
     started = time.perf_counter()
-    result = execute_spec(spec_dict)
-    return key, result, time.perf_counter() - started
+    try:
+        result = _run_one(key, spec_dict, timeout_s)
+    except KeyboardInterrupt:
+        raise
+    except BaseException as exc:
+        return (key, None, "%s: %s" % (type(exc).__name__, exc),
+                time.perf_counter() - started)
+    return key, result, None, time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Parent-side orchestration
+# ----------------------------------------------------------------------
 
 
 def run_jobs(specs, jobs=1, cache=None, use_cache=True, progress=None,
-             fingerprint=None):
+             fingerprint=None, timeout_s=None, retries=2,
+             retry_backoff_s=0.05, stats=None):
     """Execute ``specs``; return ``{cache_key: result_dict}``.
 
     Parameters
@@ -113,6 +297,20 @@ def run_jobs(specs, jobs=1, cache=None, use_cache=True, progress=None,
         Code fingerprint override; defaults to
         :func:`code_fingerprint` of the installed ``repro`` package.
         Tests use this to simulate code changes.
+    timeout_s:
+        Optional per-job wall-clock budget; a job over budget fails
+        with :class:`JobTimeout` and is retried like a crash.
+    retries:
+        Failed-job retry budget (exponential backoff between attempts,
+        starting at ``retry_backoff_s``).  A job that exhausts it gets
+        one final serial attempt in the parent; if that also fails,
+        :class:`JobFailedError` propagates.
+    stats:
+        Optional dict filled with hardening counters (``retries``,
+        ``worker_errors``, ``timeouts``, ``degraded``).
+
+    Raises :class:`RunInterrupted` on Ctrl-C, carrying every completed
+    result so the caller can persist partial output.
     """
     if fingerprint is None:
         fingerprint = code_fingerprint()
@@ -127,6 +325,12 @@ def run_jobs(specs, jobs=1, cache=None, use_cache=True, progress=None,
             continue
         seen.add(key)
         keyed.append((key, spec))
+
+    hard_stats = stats if stats is not None else {}
+    hard_stats.setdefault("retries", 0)
+    hard_stats.setdefault("worker_errors", 0)
+    hard_stats.setdefault("timeouts", 0)
+    hard_stats.setdefault("degraded", False)
 
     results = {}
     total = len(keyed)
@@ -145,33 +349,98 @@ def run_jobs(specs, jobs=1, cache=None, use_cache=True, progress=None,
     if not pending:
         return results
 
-    workers = max(1, int(jobs or 1))
-    spec_by_key = dict(pending)
-
-    def _record(key, result, wall_s):
+    def _record(key, spec, result, wall_s):
         nonlocal done
         results[key] = result
         if use_cache:
-            cache.put(key, spec_by_key[key].to_dict(), fingerprint, result)
+            cache.put(key, spec.to_dict(), fingerprint, result)
         done += 1
         if progress is not None:
-            progress(done, total, spec_by_key[key], False, wall_s)
+            progress(done, total, spec, False, wall_s)
 
-    if workers == 1 or len(pending) == 1:
-        for key, spec in pending:
-            started = time.perf_counter()
-            result = execute_spec(spec.to_dict())
-            _record(key, result, time.perf_counter() - started)
-        return results
+    def _note_failure(error, attempts):
+        hard_stats["worker_errors"] += 1
+        if "JobTimeout" in error:
+            hard_stats["timeouts"] += 1
+        if attempts <= retries:
+            hard_stats["retries"] += 1
+            time.sleep(retry_backoff_s * (2 ** min(attempts - 1, 4)))
 
-    items = [(key, spec.to_dict()) for key, spec in pending]
-    method = _preferred_start_method()
-    ctx = (multiprocessing.get_context(method) if method
-           else multiprocessing.get_context())
-    with ctx.Pool(processes=min(workers, len(items))) as pool:
-        # chunksize=1: jobs run for seconds each, so load balance beats
-        # batching; completion order is irrelevant (results are keyed).
-        for key, result, wall_s in pool.imap_unordered(
-                _execute_keyed, items, chunksize=1):
-            _record(key, result, wall_s)
+    workers = max(1, int(jobs or 1))
+    queue = deque((key, spec, 0) for key, spec in pending)
+    use_pool = workers > 1 and len(queue) > 1
+    pool_strikes = 0
+
+    try:
+        while queue:
+            if use_pool and pool_strikes >= DEGRADE_AFTER:
+                use_pool = False
+                hard_stats["degraded"] = True
+
+            if not use_pool:
+                key, spec, attempts = queue.popleft()
+                started = time.perf_counter()
+                try:
+                    result = _run_one(key, spec.to_dict(), timeout_s)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    attempts += 1
+                    error = "%s: %s" % (type(exc).__name__, exc)
+                    # retries pool-side attempts count too; the serial
+                    # path grants one extra, final attempt on top.
+                    if attempts > retries + 1:
+                        raise JobFailedError(spec, error)
+                    _note_failure(error, attempts)
+                    queue.append((key, spec, attempts))
+                    continue
+                _record(key, spec, result,
+                        time.perf_counter() - started)
+                continue
+
+            # Pool round: drain the current queue through the workers;
+            # failures re-queue (with their attempt count) for the next
+            # round, so a transient crash costs one round, not the run.
+            batch = list(queue)
+            queue.clear()
+            attempts_by_key = {key: att for key, _, att in batch}
+            spec_by_key = {key: spec for key, spec, _ in batch}
+            finished = set()
+            items = [(key, spec.to_dict(), timeout_s)
+                     for key, spec, _ in batch]
+            method = _preferred_start_method()
+            ctx = (multiprocessing.get_context(method) if method
+                   else multiprocessing.get_context())
+            try:
+                with ctx.Pool(processes=min(workers, len(items))) as pool:
+                    # chunksize=1: jobs run for seconds each, so load
+                    # balance beats batching; completion order is
+                    # irrelevant (results are keyed).
+                    for key, result, error, wall_s in pool.imap_unordered(
+                            _execute_keyed, items, chunksize=1):
+                        finished.add(key)
+                        if error is None:
+                            _record(key, spec_by_key[key], result, wall_s)
+                            continue
+                        pool_strikes += 1
+                        attempts = attempts_by_key[key] + 1
+                        _note_failure(error, attempts)
+                        queue.append((key, spec_by_key[key], attempts))
+                        if attempts > retries:
+                            # Out of pool retries: the serial path gets
+                            # the last chance (and raises if it fails).
+                            use_pool = False
+            except KeyboardInterrupt:
+                raise
+            except Exception:
+                # The pool machinery itself broke (lost worker, IPC
+                # failure): requeue whatever did not finish and fall
+                # back to the serial path for the rest of the run.
+                pool_strikes = DEGRADE_AFTER
+                for key, spec, attempts in batch:
+                    if key not in finished and key not in results:
+                        queue.append((key, spec, attempts))
+    except KeyboardInterrupt:
+        raise RunInterrupted(results)
+
     return results

@@ -26,10 +26,24 @@ from repro.runner.jobs import (
     interference_spec,
     solution_spec,
 )
-from repro.runner.runner import run_jobs
+from repro.runner.runner import RunInterrupted, run_jobs
 
 #: Schema version of ``results/SWEEP.json``.
 SWEEP_SCHEMA = 1
+
+
+class SweepInterrupted(Exception):
+    """Ctrl-C mid-sweep; ``partial`` is a valid, writable SweepResult.
+
+    Carries every (case, seed) whose To/Ti/Ts jobs all completed before
+    the interrupt, so the CLI can persist a well-formed (if shorter)
+    ``results/SWEEP.json`` instead of nothing or a truncated file.
+    """
+
+    def __init__(self, partial):
+        super().__init__("sweep interrupted with %d complete evaluations"
+                         % len(partial.evaluations))
+        self.partial = partial
 
 
 class JobResult:
@@ -168,13 +182,20 @@ class SweepResult:
         }
 
     def write_json(self, path):
-        """Write :meth:`to_json_dict` to ``path``; returns the path."""
+        """Atomically write :meth:`to_json_dict` to ``path``.
+
+        Write-to-temp + ``os.replace``: an interrupt (or crash) during
+        serialization can never leave a truncated ``SWEEP.json`` where
+        a previous good one used to be.
+        """
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        with open(path, "w") as handle:
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
             json.dump(self.to_json_dict(), handle, indent=1, sort_keys=True)
             handle.write("\n")
+        os.replace(tmp, path)
         return path
 
 
@@ -249,45 +270,68 @@ def run_sweep(case_ids=None, solutions=None, seeds=(1,), duration_s=6,
 
         return _report
 
-    stage1_results = run_jobs(stage1, jobs=jobs, cache=cache,
-                              use_cache=use_cache,
-                              progress=_staged_progress(0),
-                              fingerprint=fingerprint)
+    interrupted = False
+    try:
+        stage1_results = run_jobs(stage1, jobs=jobs, cache=cache,
+                                  use_cache=use_cache,
+                                  progress=_staged_progress(0),
+                                  fingerprint=fingerprint)
+    except RunInterrupted as stop:
+        stage1_results = stop.results
+        interrupted = True
 
-    def result_of(spec):
-        return JobResult(stage1_results[spec.key(fingerprint)])
+    def stage1_result(spec):
+        raw = stage1_results.get(spec.key(fingerprint))
+        return None if raw is None else JobResult(raw)
 
     stage2 = []
     baselines = {}
     for case_id in case_ids:
         for seed in seeds:
-            to_result = result_of(baseline_spec(case_id, seed, duration_s))
+            to_result = stage1_result(
+                baseline_spec(case_id, seed, duration_s))
+            if to_result is None:
+                continue  # interrupted before this To completed
             baselines[(case_id, seed)] = to_result
             for solution in solutions:
                 stage2.append(solution_spec(
                     case_id, solution.value, seed, duration_s,
                     to_us=to_result.victim_mean_us,
                 ))
-    stage2_results = run_jobs(stage2, jobs=jobs, cache=cache,
-                              use_cache=use_cache,
-                              progress=_staged_progress(len(stage1_results)),
-                              fingerprint=fingerprint)
+    stage2_results = {}
+    if not interrupted:
+        try:
+            stage2_results = run_jobs(
+                stage2, jobs=jobs, cache=cache, use_cache=use_cache,
+                progress=_staged_progress(len(stage1_results)),
+                fingerprint=fingerprint)
+        except RunInterrupted as stop:
+            stage2_results = stop.results
+            interrupted = True
 
+    # Aggregate every (case, seed) whose To, Ti and all Ts jobs exist.
+    # On a clean run that is all of them; after an interrupt it is the
+    # completed prefix, which still yields a valid SWEEP.json.
     evaluations = {}
     for case_id in case_ids:
         case = get_case(case_id)
         for seed in seeds:
-            to_result = baselines[(case_id, seed)]
-            ti_result = JobResult(stage1_results[
-                interference_spec(case_id, seed, duration_s)
-                .key(fingerprint)])
+            to_result = baselines.get((case_id, seed))
+            ti_result = stage1_result(
+                interference_spec(case_id, seed, duration_s))
+            if to_result is None or ti_result is None:
+                continue
             runs = {}
             for solution in solutions:
                 spec = solution_spec(case_id, solution.value, seed,
                                      duration_s,
                                      to_us=to_result.victim_mean_us)
-                runs[solution] = JobResult(
-                    stage2_results[spec.key(fingerprint)])
+                raw = stage2_results.get(spec.key(fingerprint))
+                if raw is None:
+                    break
+                runs[solution] = JobResult(raw)
+            if len(runs) != len(solutions):
+                continue
             evaluations[(case_id, seed)] = SweepEvaluation(
                 case, seed, to_result, ti_result, runs)
 
@@ -300,5 +344,8 @@ def run_sweep(case_ids=None, solutions=None, seeds=(1,), duration_s=6,
         "workers": max(1, int(jobs or 1)),
         "wall_s": round(time.perf_counter() - started, 3),
     }
-    return SweepResult(evaluations, solutions, seeds, duration_s,
-                       fingerprint, stats)
+    result = SweepResult(evaluations, solutions, seeds, duration_s,
+                         fingerprint, stats)
+    if interrupted:
+        raise SweepInterrupted(result)
+    return result

@@ -65,6 +65,38 @@ class WaitQueueTable:
         """Threads currently registered as holding ``key``."""
         return tuple(self._owners.get(key, ()))
 
+    def purge_owner(self, thread):
+        """Drop every hold registered to ``thread``; returns the leaks.
+
+        Called by the kernel when a thread exits.  A well-behaved thread
+        released everything first, so the returned list is empty and the
+        scan costs one membership test per currently-held key.  A thread
+        that dies holding resources (crash fault, buggy model) would
+        otherwise leave a dangling owner id that the attribution layer
+        blames forever and that no wake-up ever clears.
+
+        Returns ``[(key, hold_count), ...]`` in registration order so
+        the kernel can run per-primitive recovery (robust-futex style).
+        """
+        leaked = []
+        for key in list(self._owners):
+            holders = self._owners[key]
+            holds = holders.pop(thread, 0)
+            if holds:
+                if not holders:
+                    del self._owners[key]
+                leaked.append((key, holds))
+        return leaked
+
+    def all_owner_threads(self):
+        """Every thread currently registered as holding some key."""
+        threads = []
+        for holders in self._owners.values():
+            for thread in holders:
+                if thread not in threads:
+                    threads.append(thread)
+        return threads
+
     # -- wait queues -----------------------------------------------------
 
     def add(self, key, thread):

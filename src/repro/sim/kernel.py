@@ -116,6 +116,7 @@ class Kernel:
         self._tp_switchout = self.trace.point("sched.switchout")
         self._tp_sleep = self.trace.point("sched.sleep")
         self._tp_penalty = self.trace.point("penalty.inject")
+        self._tp_owner_exit = self.trace.point("futex.owner_exit")
         self.futexes = WaitQueueTable(clock=self.clock, trace=self.trace)
         self.rngs = RngRegistry(seed)
         self.root_cgroup = Cgroup("root", quota_us=None)
@@ -130,7 +131,13 @@ class Kernel:
             "penalties": 0,
             "penalty_us": 0,
             "throttles": 0,
+            "crashes": 0,
         }
+        # Fault-injection hook: when set, ``wake_filter(key, n)`` is
+        # consulted before a futex wake; returning False swallows it
+        # (the "lost wakeup" fault).  None in normal runs, so the hot
+        # path pays one attribute test.
+        self.wake_filter = None
         self._heap = []
         self._seq = itertools.count()
         # Hot path: each core gets one reusable slice-end timer whose
@@ -247,6 +254,8 @@ class Kernel:
         Callable directly from thread bodies (synchronously, in zero
         virtual time) because waking only moves threads to the run queue.
         """
+        if self.wake_filter is not None and not self.wake_filter(key, n):
+            return 0
         woken = self.futexes.pop_waiters(key, n, waker=self.current_thread)
         for thread in woken:
             if thread.wakeup_event is not None:
@@ -490,6 +499,7 @@ class Kernel:
         if isinstance(syscall, FutexWait):
             thread.state = ThreadState.BLOCKED
             thread.wait_key = syscall.key
+            thread.blocked_since_us = self.clock.now_us
             self.futexes.add(syscall.key, thread)
             if syscall.timeout_us is not None:
                 thread.wakeup_event = self.post(
@@ -543,7 +553,231 @@ class Kernel:
         thread.state = ThreadState.EXITED
         thread.return_value = value
         thread.exited_at_us = self.now_us
+        # Robust-futex semantics: a thread must not exit while registered
+        # as the owner of a wait-queue key.  Normal exits released
+        # everything, so the purge scans an empty-or-tiny dict; a thread
+        # that died holding resources (crash fault, buggy model) gets its
+        # ownership cleared and the primitive's recovery handler invoked
+        # so waiters are not stranded behind a dead holder.
+        leaked = self.futexes.purge_owner(thread)
+        if leaked:
+            for key, holds in leaked:
+                if self._tp_owner_exit.active:
+                    self._tp_owner_exit.fire(
+                        self.clock.now_us, tid=thread.tid, key=key,
+                        holds=holds,
+                    )
+                handler = getattr(key, "_on_owner_death", None)
+                if handler is not None:
+                    handler(thread, holds)
+                else:
+                    self.futex_wake(key, 1)
         joiners = thread.joiners
         thread.joiners = []
         for waiter in joiners:
-            self._enqueue(waiter, compute_us=0, resume_value=value)
+            # A joiner can itself have been killed while it waited; never
+            # resurrect a corpse into the run queue.
+            if waiter.alive:
+                self._enqueue(waiter, compute_us=0, resume_value=value)
+
+    def kill_thread(self, thread):
+        """Terminate ``thread`` abruptly, as a crash would (fault hook).
+
+        Closing the generator raises ``GeneratorExit`` at its current
+        yield point, so ``finally`` blocks run (with ``current_thread``
+        set to the dying thread, releases behave as if it ran them);
+        anything still held afterwards is cleaned up by the robust-futex
+        purge in :meth:`_exit`.  Returns True if the thread was alive.
+        """
+        if not thread.alive:
+            return False
+        self.stats["crashes"] += 1
+        thread._pending_syscall = None
+        thread.overhead_us = 0
+        previous = self.current_thread
+        self.current_thread = thread
+        try:
+            thread.body.close()
+        except Exception:
+            # A cleanup handler raised; the crash is still contained --
+            # the robust-futex purge below recovers whatever it leaked.
+            pass
+        finally:
+            self.current_thread = previous
+        if thread.wakeup_event is not None:
+            thread.wakeup_event.cancel()
+            thread.wakeup_event = None
+        state = thread.state
+        if state is ThreadState.BLOCKED:
+            if thread.wait_key is not None:
+                self.futexes.remove(thread.wait_key, thread)
+                thread.wait_key = None
+            self._exit(thread, None)
+        elif state is ThreadState.SLEEPING:
+            self._exit(thread, None)
+        # READY / RUNNING / THROTTLED threads stay owned by the scheduler:
+        # when their slice or release comes, resuming the closed body
+        # raises StopIteration into the normal exit path (_advance ->
+        # _exit), which runs the same purge.
+        return True
+
+
+class IdleWatchdog:
+    """Deadlock/livelock sentinel for fault-injection runs.
+
+    Ticks every ``period_us`` of virtual time.  A simulation is *stuck*
+    when no syscall ran since the previous tick, no live timer remains
+    in the heap, and at least one live thread is blocked on a futex for
+    a reason other than idling on an empty task queue.  When stuck, the
+    watchdog attempts lost-wakeup repair: every waiter-bearing key with
+    no live registered owner gets one wake (waiters re-check their
+    predicates, so a spurious wake is harmless churn).  If the repair
+    wakes nobody, the situation is a genuine deadlock; ``on_deadlock``
+    is invoked once with the blocked threads and ticking stops so the
+    drained heap ends the run.
+
+    Only the chaos harness arms this (normal runs must keep the
+    ``kernel.run(until_us=None)`` heap-drain termination semantics), and
+    arming requires a deadline so a bounded run stays bounded.
+    """
+
+    def __init__(self, kernel, period_us=50_000, stale_us=250_000,
+                 on_deadlock=None):
+        self.kernel = kernel
+        self.period_us = period_us
+        self.stale_us = stale_us
+        self.on_deadlock = on_deadlock
+        self.ticks = 0
+        self.recoveries = 0
+        self.recovered_wakes = 0
+        self.stale_repairs = 0
+        self.deadlocks = 0
+        self._deadline_us = None
+        self._last_syscalls = -1
+        self._tp_recover = kernel.trace.point("fault.recover")
+
+    def arm(self, deadline_us):
+        """Start ticking until virtual time reaches ``deadline_us``."""
+        self._deadline_us = deadline_us
+        self._last_syscalls = self.kernel.stats["syscalls"]
+        self._post_next()
+
+    def stats(self):
+        """JSON-safe summary for chaos result entries."""
+        return {
+            "ticks": self.ticks,
+            "recoveries": self.recoveries,
+            "recovered_wakes": self.recovered_wakes,
+            "stale_repairs": self.stale_repairs,
+            "deadlocks": self.deadlocks,
+        }
+
+    def _post_next(self):
+        when = self.kernel.clock.now_us + self.period_us
+        if self._deadline_us is None or when > self._deadline_us:
+            return
+        self.kernel.post(when, self._tick)
+
+    @staticmethod
+    def _idle_wait(key):
+        """True for waits that are legitimate idling, not starvation.
+
+        Consumers parked on an *empty* task queue at the end of a run
+        are the normal quiescent state; anything else blocked while the
+        heap is drained is a suspect.
+        """
+        if key is None or not hasattr(key, "__len__"):
+            return False
+        try:
+            return len(key) == 0
+        except TypeError:
+            return False
+
+    def _tick(self):
+        self.ticks += 1
+        kernel = self.kernel
+        # Even while the simulation is otherwise making progress, a lost
+        # wake-up can strand a waiter on a key nobody touches again; the
+        # idle check would never see it.  Repair stranded queues on every
+        # tick, not just when stuck.
+        stale_woken = self._repair_stale()
+        if stale_woken:
+            self.stale_repairs += 1
+            self.recovered_wakes += stale_woken
+            if self._tp_recover.active:
+                self._tp_recover.fire(kernel.clock.now_us,
+                                      kind="stale-waiter",
+                                      woken=stale_woken)
+        syscalls = kernel.stats["syscalls"]
+        suspects = None
+        if syscalls == self._last_syscalls:
+            live_timer = any(not entry[2].cancelled
+                             for entry in kernel._heap)
+            if not live_timer:
+                suspects = [
+                    thread for thread in kernel.threads
+                    if thread.alive
+                    and thread.state is ThreadState.BLOCKED
+                    and not self._idle_wait(thread.wait_key)
+                ]
+        self._last_syscalls = syscalls
+        if not suspects:
+            self._post_next()
+            return
+        woken = self._recover()
+        if woken:
+            self.recoveries += 1
+            self.recovered_wakes += woken
+            if self._tp_recover.active:
+                self._tp_recover.fire(kernel.clock.now_us,
+                                      kind="lost-wakeup", woken=woken)
+            self._post_next()
+            return
+        self.deadlocks += 1
+        if self._tp_recover.active:
+            self._tp_recover.fire(kernel.clock.now_us, kind="deadlock",
+                                  woken=0)
+        if self.on_deadlock is not None:
+            self.on_deadlock(suspects)
+        # Unrecoverable: stop ticking so the drained heap ends the run
+        # instead of spinning to the deadline.
+
+    def _recover(self):
+        kernel = self.kernel
+        futexes = kernel.futexes
+        woken = 0
+        for key in futexes.keys():
+            owners = futexes.owners(key)
+            if any(owner.alive for owner in owners):
+                # A live holder will release eventually -- waking the
+                # waiters cannot help and may mask a real lock cycle.
+                continue
+            if self._idle_wait(key):
+                continue
+            woken += kernel.futex_wake(key, 1)
+        return woken
+
+    def _repair_stale(self):
+        """Wake the head of queues stranded behind no live owner.
+
+        The release chain of every lock-like primitive wakes the FIFO
+        head within one hold time, so a head blocked longer than
+        ``stale_us`` on a key with no live registered holder means a
+        wake-up went missing.  One wake repairs it; acquire loops
+        re-check their predicate, so a false positive is harmless churn.
+        """
+        kernel = self.kernel
+        futexes = kernel.futexes
+        now = kernel.clock.now_us
+        woken = 0
+        for key in futexes.keys():
+            if self._idle_wait(key):
+                continue
+            if any(owner.alive for owner in futexes.owners(key)):
+                continue
+            queue = futexes.waiters(key)
+            if not queue:
+                continue
+            if now - queue[0].blocked_since_us > self.stale_us:
+                woken += kernel.futex_wake(key, 1)
+        return woken

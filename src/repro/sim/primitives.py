@@ -68,6 +68,18 @@ class Mutex:
         self._owner = None
         self._kernel.futex_wake(self, 1)
 
+    def _on_owner_death(self, thread, holds):
+        """Robust-futex recovery: a holder died without releasing.
+
+        The kernel calls this after purging the dead thread from the
+        wait-queue owner registry (``WaitQueueTable.purge_owner``); the
+        hold counts were already dropped there, so this only has to fix
+        the primitive's own state and unblock waiters.
+        """
+        if self._owner is thread:
+            self._owner = None
+            self._kernel.futex_wake(self, 1)
+
     def __repr__(self):
         return "Mutex(name=%r, locked=%s)" % (self.name, self.locked)
 
@@ -145,6 +157,16 @@ class RWLock:
         self._writer = None
         self._kernel.futex_wake(self, n=1 << 30)
 
+    def _on_owner_death(self, thread, holds):
+        """Robust-futex recovery: drop the dead thread's holds."""
+        if self._writer is thread:
+            self._writer = None
+            self._kernel.futex_wake(self, n=1 << 30)
+        elif self._readers > 0:
+            self._readers = max(0, self._readers - holds)
+            if self._readers == 0:
+                self._kernel.futex_wake(self, n=1 << 30)
+
     def __repr__(self):
         return "RWLock(name=%r, readers=%d, writer=%r)" % (
             self.name,
@@ -190,6 +212,17 @@ class Semaphore:
         """Return ``n`` units and wake waiters."""
         self._units += n
         self._kernel.futexes.remove_owner(self, self._kernel.current_thread)
+        self._kernel.futex_wake(self, n=1 << 30)
+
+    def _on_owner_death(self, thread, holds):
+        """Robust-futex recovery: return the dead thread's units.
+
+        The owner registry counts one hold per ``acquire`` call, not per
+        unit, so a multi-unit acquire is repaid as one unit per hold --
+        an under-approximation that errs on the side of keeping the
+        semaphore conservative rather than inflating its capacity.
+        """
+        self._units += holds
         self._kernel.futex_wake(self, n=1 << 30)
 
     def __repr__(self):

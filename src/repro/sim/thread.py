@@ -68,6 +68,7 @@ class SimThread:
         self.cpu_time_us = 0          # total CPU consumed
         self.wakeup_event = None      # cancellable timer for sleeps/timeouts
         self.wait_key = None          # futex key while BLOCKED
+        self.blocked_since_us = 0     # when the current futex wait began
         self.joiners = []             # threads blocked in Join on us
         self.started_at_us = None
         self.exited_at_us = None

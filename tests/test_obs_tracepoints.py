@@ -96,6 +96,13 @@ def test_key_label_handles_all_key_shapes():
     assert key_label(EmptyName()) == "fallback"
     assert key_label(42) == "42"
 
+    class Bare:
+        __slots__ = ()
+
+    # No name, no custom str: the default repr would leak a memory
+    # address, so the label degrades to the type name instead.
+    assert key_label(Bare()) == "<Bare>"
+
 
 def test_kernel_bus_inactive_run_records_nothing():
     kernel = Kernel(cores=1)

@@ -1,0 +1,222 @@
+"""Tests for the self-healing runner: retries, timeouts, degradation.
+
+Faults are injected with the runner's own deterministic test hooks
+(``REPRO_RUNNER_FAULT`` / ``REPRO_RUNNER_FAULT_DIR``): the first ``n``
+attempts of each job claim an O_EXCL marker file and fail, so retries
+succeed — the transient-fault shape the retry loop must survive.  Also
+covers the cache hardening (corrupt-entry quarantine, write locking)
+and interrupt handling (partial results survive Ctrl-C).
+"""
+
+import json
+import os
+import signal
+
+import pytest
+
+import repro.runner.runner as runner_module
+from repro.runner import (
+    JobFailedError,
+    JobSpec,
+    ResultCache,
+    RunInterrupted,
+    SweepInterrupted,
+    baseline_spec,
+    run_jobs,
+    run_sweep,
+)
+
+#: Short simulated duration: long enough to clear the cases' 1 s warmup.
+DURATION_S = 1.5
+
+
+def _specs(n, seed0=1):
+    return [baseline_spec("c1", seed0 + i, DURATION_S) for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Worker crash containment and retry
+
+
+def test_serial_retry_survives_injected_crash(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNNER_FAULT", "crash:1")
+    monkeypatch.setenv("REPRO_RUNNER_FAULT_DIR", str(tmp_path))
+    stats = {}
+    results = run_jobs(_specs(1), jobs=1, use_cache=False,
+                       fingerprint="f" * 64, retry_backoff_s=0.001,
+                       stats=stats)
+    assert len(results) == 1
+    (result,) = results.values()
+    assert result["victim_samples"] > 0
+    assert stats["retries"] == 1
+    assert stats["worker_errors"] == 1
+    assert stats["degraded"] is False
+
+
+def test_serial_gives_up_after_retry_budget(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNNER_FAULT", "crash:10")
+    monkeypatch.setenv("REPRO_RUNNER_FAULT_DIR", str(tmp_path))
+    with pytest.raises(JobFailedError) as excinfo:
+        run_jobs(_specs(1), jobs=1, use_cache=False,
+                 fingerprint="f" * 64, retries=0, retry_backoff_s=0.001)
+    assert "injected worker crash" in str(excinfo.value)
+
+
+def test_pool_retry_survives_injected_crash(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNNER_FAULT", "crash:1")
+    monkeypatch.setenv("REPRO_RUNNER_FAULT_DIR", str(tmp_path))
+    stats = {}
+    results = run_jobs(_specs(2), jobs=2, use_cache=False,
+                       fingerprint="f" * 64, retry_backoff_s=0.001,
+                       stats=stats)
+    assert len(results) == 2
+    assert all(r["victim_samples"] > 0 for r in results.values())
+    assert stats["worker_errors"] >= 1
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGALRM"),
+                    reason="needs SIGALRM for wall budgets")
+def test_timed_out_job_is_retried(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNNER_FAULT", "timeout:1")
+    monkeypatch.setenv("REPRO_RUNNER_FAULT_DIR", str(tmp_path))
+    stats = {}
+    results = run_jobs(_specs(1), jobs=1, use_cache=False,
+                       fingerprint="f" * 64, timeout_s=0.3,
+                       retry_backoff_s=0.001, stats=stats)
+    assert len(results) == 1
+    assert stats["timeouts"] == 1
+    assert stats["retries"] == 1
+
+
+def test_pool_degrades_to_serial_on_persistent_worker_failure(monkeypatch):
+    """crash-pool fails in pool workers only: the serial path must win."""
+    monkeypatch.setenv("REPRO_RUNNER_FAULT", "crash-pool")
+    stats = {}
+    results = run_jobs(_specs(4), jobs=2, use_cache=False,
+                       fingerprint="f" * 64, retry_backoff_s=0.001,
+                       stats=stats)
+    assert len(results) == 4
+    assert stats["degraded"] is True
+    assert stats["worker_errors"] >= runner_module.DEGRADE_AFTER
+
+
+def test_interrupt_carries_partial_results(monkeypatch):
+    calls = {"n": 0}
+    real_run_one = runner_module._run_one
+
+    def interrupt_second(key, spec_dict, timeout_s):
+        calls["n"] += 1
+        if calls["n"] >= 2:
+            raise KeyboardInterrupt()
+        return real_run_one(key, spec_dict, timeout_s)
+
+    monkeypatch.setattr(runner_module, "_run_one", interrupt_second)
+    with pytest.raises(RunInterrupted) as excinfo:
+        run_jobs(_specs(3), jobs=1, use_cache=False, fingerprint="f" * 64)
+    assert len(excinfo.value.results) == 1
+
+
+# ---------------------------------------------------------------------------
+# Cache hardening
+
+
+def test_corrupt_cache_entry_is_quarantined(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    key = "ab" + "0" * 62
+    cache.put(key, {}, "f" * 64, {"ok": True})
+    with open(cache.path_for(key), "w") as handle:
+        handle.write("{truncated")
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    # The bad bytes were preserved for forensics, out of the lookup path.
+    bad = cache.path_for(key) + ".bad"
+    assert os.path.exists(bad)
+    assert not os.path.exists(cache.path_for(key))
+    # And the slot is usable again.
+    cache.put(key, {}, "f" * 64, {"ok": True})
+    assert cache.get(key) == {"ok": True}
+
+
+def test_quarantined_entries_do_not_count(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    key = "cd" + "0" * 62
+    cache.put(key, {}, "f" * 64, {"ok": True})
+    assert len(cache) == 1
+    with open(cache.path_for(key), "w") as handle:
+        handle.write("]")
+    cache.get(key)
+    assert len(cache) == 0
+
+
+def test_write_lock_serializes_puts(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    with cache.write_lock():
+        cache_dir_entries = os.listdir(str(tmp_path / "cache"))
+    assert "write.lock" in cache_dir_entries
+    # Locking is reentrant across sequential puts (no deadlock, no leak).
+    cache.put("ef" + "0" * 62, {}, "f" * 64, {"ok": 1})
+    cache.put("ef" + "1" * 62, {}, "f" * 64, {"ok": 2})
+    assert len(cache) == 2
+
+
+# ---------------------------------------------------------------------------
+# Spec plumbing for chaos jobs
+
+
+def test_jobspec_faults_roundtrip_and_addressing():
+    plain = JobSpec("c1", "pbox", seed=1, duration_s=2.0)
+    chaotic = JobSpec("c1", "pbox", seed=1, duration_s=2.0,
+                      faults="stall,crash")
+    clone = JobSpec.from_dict(chaotic.to_dict())
+    assert clone == chaotic
+    assert clone.faults == "stall,crash"
+    assert "faults[stall,crash]" in chaotic.label()
+    # Chaos jobs must never collide with vanilla jobs in the cache.
+    assert plain.key("f" * 64) != chaotic.key("f" * 64)
+
+
+def test_sweep_completes_despite_injected_crash(tmp_path, monkeypatch):
+    """Acceptance: a transient worker crash still yields a full sweep."""
+    monkeypatch.setenv("REPRO_RUNNER_FAULT", "crash:1")
+    monkeypatch.setenv("REPRO_RUNNER_FAULT_DIR", str(tmp_path / "marks"))
+    os.makedirs(str(tmp_path / "marks"))
+    cache = ResultCache(str(tmp_path / "cache"))
+    result = run_sweep(case_ids=["c1"], seeds=[1], duration_s=DURATION_S,
+                       cache=cache, fingerprint="f" * 64)
+    assert set(result.evaluations) == {("c1", 1)}
+    out = result.write_json(str(tmp_path / "SWEEP.json"))
+    with open(out) as handle:
+        snapshot = json.load(handle)
+    assert "c1" in snapshot["cases"]
+    assert snapshot["cases"]["c1"]["seeds"]["1"]["to_us"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Sweep interruption
+
+
+def test_sweep_interrupt_yields_writable_partial(tmp_path, monkeypatch):
+    import repro.runner.sweep as sweep_module
+
+    calls = {"n": 0}
+    real_run_jobs = sweep_module.run_jobs
+
+    def interrupt_stage2(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] >= 2:
+            raise RunInterrupted({})
+        return real_run_jobs(*args, **kwargs)
+
+    monkeypatch.setattr(sweep_module, "run_jobs", interrupt_stage2)
+    cache = ResultCache(str(tmp_path / "cache"))
+    with pytest.raises(SweepInterrupted) as excinfo:
+        run_sweep(case_ids=["c1"], seeds=[1], duration_s=DURATION_S,
+                  cache=cache, fingerprint="f" * 64)
+    partial = excinfo.value.partial
+    out = partial.write_json(str(tmp_path / "SWEEP.json"))
+    with open(out) as handle:
+        snapshot = json.load(handle)
+    assert snapshot["schema"] >= 1
+    # Stage 2 never ran, so no evaluation completed — but the file is
+    # well-formed rather than truncated or absent.
+    assert snapshot["cases"] == {}
