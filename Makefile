@@ -1,6 +1,6 @@
 # Convenience targets for the pBox reproduction.
 
-.PHONY: install test verify docs-check bench report examples clean
+.PHONY: install test verify docs-check bench report examples clean regen-golden
 
 install:
 	pip install -e .
@@ -33,6 +33,11 @@ verify:
 # fenced `python -m repro ...` example runs (smoke mode, scratch cwd).
 docs-check:
 	python tools/check_docs.py
+
+# Regenerate the golden-trace corpus after an INTENTIONAL behavior
+# change; review the tests/golden/ diff before committing it.
+regen-golden:
+	PYTHONPATH=src python tools/regen_golden.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

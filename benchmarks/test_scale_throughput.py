@@ -1,0 +1,144 @@
+"""Scale-throughput guards: the 10k-thread tentpole numbers.
+
+Two load-bearing properties of the scalability work are asserted here
+rather than described:
+
+1. **kernel event throughput** -- at 10,000 threads the current kernel
+   (timer wheel + batched futex wake + idle-core bitmask dispatch)
+   must process its event stream at >= 5x the rate of the pre-PR
+   kernel (global event heap, full core scan per dispatch, one
+   enqueue+dispatch per woken waiter).  The comparison is in-process
+   A/B: ``bind_legacy`` rebinds one kernel instance's hot paths to
+   verbatim ports of the old code, and both kernels execute the
+   bit-identical scenario (same spec, same seed, same event count).
+2. **manager detection cost** -- the manager's per-event cost must not
+   grow linearly with the pBox population: going 1,000 -> 10,000
+   threads (100 -> 1,000 pBoxes) may at most triple the per-event
+   cost (the O(pboxes) blame scan it replaced would grow ~10x).
+
+The full sweep (100 -> 10,000 threads) is recorded to
+``results/SCALE.json`` for ``repro report``; under ``REPRO_SMOKE`` a
+two-point smoke sweep runs and the throughput floor is recorded but
+not asserted (the smoke points are too small to saturate the host).
+"""
+
+import os
+import time
+
+import pytest
+
+from _common import once
+from _legacy_kernel import bind_legacy
+
+from repro.scale.scenario import ScaleSpec, build_scale_scenario
+from repro.scale.sweep import (
+    DEFAULT_THREAD_COUNTS,
+    SMOKE_THREAD_COUNTS,
+    run_scale_sweep,
+    write_scale_json,
+)
+
+pytestmark = pytest.mark.slow
+
+#: The acceptance point: 10,000 threads, 500 tenants, 1,000 pBoxes.
+GUARD_THREADS = 10_000
+#: Event budget for the A/B runs; big enough that per-run timing noise
+#: on a loaded CI host stays well under the measured ~5.5x headroom.
+GUARD_EVENT_BUDGET = 120_000
+SPEEDUP_FLOOR = 5.0
+#: Manager growth guard: 10x the pBoxes may cost at most 3x per event.
+MANAGER_GROWTH_CEILING = 3.0
+#: Below this per-event cost (us) the manager delta is timer noise on
+#: the enabled-vs-disabled wall-clock subtraction, not a real trend.
+MANAGER_NOISE_FLOOR_US = 1.0
+
+
+def _timed_run(threads, legacy):
+    """Build + run one A/B variant; returns (wall_s, events)."""
+    spec = ScaleSpec(threads, seed=1, manager_enabled=True,
+                     event_budget=GUARD_EVENT_BUDGET)
+    binder = (lambda k, m: bind_legacy(k, m)) if legacy else None
+    scenario = build_scale_scenario(spec, kernel_binder=binder)
+    kernel = scenario.kernel
+    armed_before = next(kernel._seq)
+    start = time.perf_counter()
+    scenario.run()
+    wall_s = time.perf_counter() - start
+    events = next(kernel._seq) - 1 - armed_before
+    return wall_s, events
+
+
+def _ab_throughput(threads, rounds=2):
+    """Interleaved new/legacy runs; min wall per variant (noise floor)."""
+    new_walls, legacy_walls = [], []
+    new_events = legacy_events = None
+    for _ in range(rounds):
+        wall, new_events = _timed_run(threads, legacy=False)
+        new_walls.append(wall)
+        wall, legacy_events = _timed_run(threads, legacy=True)
+        legacy_walls.append(wall)
+    assert new_events == legacy_events, (
+        "A/B kernels diverged: %d vs %d events -- the legacy binding is "
+        "no longer behaviourally equivalent" % (new_events, legacy_events))
+    new_s, legacy_s = min(new_walls), min(legacy_walls)
+    return {
+        "threads": threads,
+        "events": new_events,
+        "new_wall_s": round(new_s, 3),
+        "legacy_wall_s": round(legacy_s, 3),
+        "new_events_per_sec": round(new_events / new_s),
+        "legacy_events_per_sec": round(legacy_events / legacy_s),
+        "speedup": round(legacy_s / new_s, 2),
+        "floor": SPEEDUP_FLOOR,
+    }
+
+
+def test_scale_sweep_and_throughput_guard(benchmark):
+    smoke = bool(os.environ.get("REPRO_SMOKE"))
+    thread_counts = SMOKE_THREAD_COUNTS if smoke else DEFAULT_THREAD_COUNTS
+    guard_threads = thread_counts[-1]
+
+    def measure():
+        # A/B guard first: the comparison is the PR's acceptance number,
+        # so it runs before the sweep churns the process heap.
+        guard = _ab_throughput(guard_threads, rounds=2 if smoke else 3)
+        document = run_scale_sweep(
+            thread_counts=thread_counts, seed=1,
+            event_budget=GUARD_EVENT_BUDGET,
+            rounds=1 if smoke else 2,
+            progress=lambda p: print(
+                "  %6d threads: %7d ev/s, manager %+.1f%%"
+                % (p["threads"], p["events_per_sec"],
+                   100.0 * p["manager"]["overhead_frac"])),
+        )
+        document["throughput_guard"] = guard
+        return document
+
+    document = once(benchmark, measure)
+    guard = document["throughput_guard"]
+    path = write_scale_json(document)
+    print("\nSCALE.json -> %s" % path)
+    print("A/B at %d threads: new %d ev/s vs legacy %d ev/s (%.2fx)"
+          % (guard["threads"], guard["new_events_per_sec"],
+             guard["legacy_events_per_sec"], guard["speedup"]))
+
+    points = {p["threads"]: p for p in document["points"]}
+    top = points[guard_threads]
+    assert top["events"] > 0 and top["requests"] > 0
+    if smoke:
+        return  # smoke points are too small to saturate the host
+
+    # Guard 1: >= 5x kernel event throughput at 10k threads.
+    assert guard["threads"] == GUARD_THREADS
+    assert guard["speedup"] >= SPEEDUP_FLOOR, (
+        "kernel throughput regressed: %.2fx vs the pre-PR kernel at %d "
+        "threads (floor %.1fx)" % (guard["speedup"], guard["threads"],
+                                   SPEEDUP_FLOOR))
+
+    # Guard 2: manager per-event cost grows sub-linearly in pBoxes.
+    low = points[1000]["manager"]["cost_per_event_us"]
+    high = points[GUARD_THREADS]["manager"]["cost_per_event_us"]
+    ceiling = max(MANAGER_GROWTH_CEILING * low, MANAGER_NOISE_FLOOR_US)
+    assert high <= ceiling, (
+        "manager detection cost grew super-linearly: %.3f us/event at "
+        "10k threads vs %.3f at 1k (ceiling %.3f)" % (high, low, ceiling))

@@ -26,6 +26,12 @@ Commands:
                                       with content-addressed result
                                       caching; writes
                                       results/SWEEP.json
+- ``scale [--threads 100,10000]``     sweep the multi-tenant scenario
+                                      (T tenants x W workers over the
+                                      app models) across thread counts,
+                                      recording kernel event throughput
+                                      and manager detection cost per
+                                      point; writes results/SCALE.json
 - ``chaos [--faults k1,k2]``          sweep cases x fault kinds x seeds
                                       through the deterministic fault-
                                       injection harness; exits non-zero
@@ -431,6 +437,53 @@ def cmd_chaos(args):
     return 0
 
 
+def cmd_scale(args):
+    """Sweep the multi-tenant scale scenario across thread counts.
+
+    Each point composes the application models into one kernel with
+    ``threads // 20`` tenants (two connection pBoxes each, so the pBox
+    population scales with the thread count) and runs it twice --
+    manager enabled and disabled -- so the manager's detection cost is
+    the wall-clock delta on an identical event stream.
+    """
+    from repro.scale import (
+        DEFAULT_THREAD_COUNTS,
+        SMOKE_THREAD_COUNTS,
+        run_scale_sweep,
+    )
+    from repro.scale.sweep import write_scale_json
+
+    if args.threads:
+        thread_counts = tuple(
+            int(t) for t in args.threads.split(",") if t.strip())
+    elif _smoke_mode():
+        thread_counts = SMOKE_THREAD_COUNTS
+    else:
+        thread_counts = DEFAULT_THREAD_COUNTS
+    event_budget = args.event_budget
+    if _smoke_mode():
+        event_budget = min(event_budget, 40_000)
+
+    print("%7s %7s %7s %6s %10s %10s %9s" % (
+        "threads", "tenants", "pboxes", "cores",
+        "events/s", "requests", "mgr cost"))
+
+    def progress(point):
+        print("%7d %7d %7d %6d %10d %10d %8.1f%%" % (
+            point["threads"], point["tenants"], point["pboxes"],
+            point["cores"], point["events_per_sec"], point["requests"],
+            100.0 * point["manager"]["overhead_frac"]))
+
+    document = run_scale_sweep(thread_counts=thread_counts,
+                               seed=args.seed, event_budget=event_budget,
+                               progress=progress)
+    path = write_scale_json(document, args.out)
+    print()
+    print("%d point(s) in %.1fs wall; wrote %s"
+          % (len(document["points"]), document["wall_s"], path))
+    return 0
+
+
 def cmd_report(args):
     """Aggregate benchmark outputs into a markdown report."""
     path = write_report(args.results_dir)
@@ -573,6 +626,21 @@ def build_parser():
     chaos_parser.add_argument("--quiet", action="store_true",
                               help="suppress per-job progress lines")
 
+    scale_parser = sub.add_parser(
+        "scale", help="multi-tenant scalability sweep (results/SCALE.json)")
+    scale_parser.add_argument("--threads", default=None,
+                              help="comma-separated thread counts "
+                                   "(default: 100,...,10000)")
+    scale_parser.add_argument("--seed", type=int, default=1,
+                              help="root kernel seed (default: 1)")
+    scale_parser.add_argument("--event-budget", type=int, default=120_000,
+                              help="target kernel events per point; the "
+                                   "virtual horizon shrinks as the core "
+                                   "count grows (default: 120000)")
+    scale_parser.add_argument("--out", default="results/SCALE.json",
+                              help="output path (default: "
+                                   "results/SCALE.json)")
+
     report_parser = sub.add_parser("report",
                                    help="aggregate results/ into a report")
     report_parser.add_argument("--results-dir", default="results")
@@ -589,6 +657,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "sweep": cmd_sweep,
     "chaos": cmd_chaos,
+    "scale": cmd_scale,
     "report": cmd_report,
 }
 

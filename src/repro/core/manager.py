@@ -124,6 +124,12 @@ class PBoxManager:
         self._next_psid = 1
         self.competitor_map = {}     # resource key -> [CompetitorEntry]
         self.last_releaser = {}      # resource key -> (psid, time_us)
+        # Inverted holder index: resource key -> {psid: PBox}.  Kept in
+        # sync with each pBox's ``holders`` dict so blame attribution is
+        # O(holders of key) instead of a scan over every live pBox --
+        # the difference between O(1) and O(P) per contended ENTER when
+        # a shared manager supervises hundreds of pBoxes.
+        self._key_holders = {}
         # Observability: everything the manager used to report to a
         # tracer now goes through the kernel's tracepoint bus; the
         # tracer (if any) is simply the first subscriber.
@@ -189,6 +195,12 @@ class PBoxManager:
             entries[:] = [entry for entry in entries if entry.pbox is not pbox]
             if not entries:
                 del self.competitor_map[key]
+        for key in pbox.holders:
+            holders = self._key_holders.get(key)
+            if holders is not None:
+                holders.pop(pbox.psid, None)
+                if not holders:
+                    del self._key_holders[key]
         if pbox.thread is not None and pbox.thread.pbox is pbox:
             pbox.thread.pbox = None
         self._pboxes.pop(pbox.psid, None)
@@ -304,12 +316,21 @@ class PBoxManager:
 
         if event is StateEvent.HOLD:
             pbox.holders[key] = now
+            holders = self._key_holders.get(key)
+            if holders is None:
+                holders = self._key_holders[key] = {}
+            holders[pbox.psid] = pbox
             return
 
         if event is StateEvent.UNHOLD:
             hold_start = pbox.holders.pop(key, None)
             if hold_start is None:
                 return
+            holders = self._key_holders.get(key)
+            if holders is not None:
+                holders.pop(pbox.psid, None)
+                if not holders:
+                    del self._key_holders[key]
             self.last_releaser[key] = (pbox.psid, now)
             if self.enabled and self.early_detection:
                 self._detect_on_unhold(pbox, key, hold_start, now)
@@ -324,10 +345,15 @@ class PBoxManager:
         pBox that released it while we were waiting.
         """
         blamed_psid = None
-        for other in self._pboxes.values():
-            if other is not waiter and key in other.holders:
-                blamed_psid = other.psid
-                break
+        holders = self._key_holders.get(key)
+        if holders:
+            # Lowest psid wins -- identical to the old full scan, which
+            # walked _pboxes in creation (ascending-psid) order and took
+            # the first holder.
+            for psid in holders:
+                if psid != waiter.psid and (blamed_psid is None
+                                            or psid < blamed_psid):
+                    blamed_psid = psid
         if blamed_psid is None:
             releaser = self.last_releaser.get(key)
             if releaser is not None and releaser[0] != waiter.psid:

@@ -11,8 +11,18 @@ time, cache hit counts, worker counts live in ``ChaosResult.stats``,
 which the CLI prints but never persists): re-running the same chaos
 sweep must produce a byte-identical file, which is also how the stress
 test asserts deterministic replay.
+
+Since schema 2 the persisted per-run entries are *summaries*: fault /
+violation / recovery counts plus a SHA-256 digest of the full
+deterministic entry (fired-fault list, injection plan, violation
+details and all).  The digest preserves the byte-identity contract --
+any behavioral drift in a run flips its digest -- while keeping
+``results/CHAOS.json`` a few KB instead of hundreds.  The full entries
+stay available in memory on :class:`ChaosResult` for the CLI and the
+stress tests.
 """
 
+import hashlib
 import json
 import os
 
@@ -20,8 +30,9 @@ from repro.runner.cache import ResultCache, code_fingerprint
 from repro.runner.jobs import JobSpec
 from repro.runner.runner import RunInterrupted, run_jobs
 
-#: Schema version of ``results/CHAOS.json``.
-CHAOS_SCHEMA = 1
+#: Schema version of ``results/CHAOS.json``.  2: per-run entries are
+#: compacted to counts + a SHA-256 digest of the full entry.
+CHAOS_SCHEMA = 2
 
 #: The default fault cocktail (the acceptance sweep's three kinds).
 DEFAULT_CHAOS_FAULTS = ("stall", "lost_wakeup", "crash")
@@ -67,7 +78,7 @@ class ChaosResult:
         crashes = recoveries = stale = deadlocks = fired = 0
         for (case_id, kind, seed), entry in sorted(self.entries.items()):
             per_case = cases.setdefault(case_id, {})
-            per_case.setdefault(kind, {})[str(seed)] = entry
+            per_case.setdefault(kind, {})[str(seed)] = _compact_entry(entry)
             chaos = entry["chaos"]
             crashes += chaos["crashes"]
             fired += len(chaos["fired"])
@@ -124,6 +135,39 @@ def _entry(result):
         "victim_samples": result["victim_samples"],
         "error": result.get("error"),
         "chaos": result["chaos"],
+    }
+
+
+def entry_digest(entry):
+    """SHA-256 over the canonical JSON of a full per-run entry."""
+    canonical = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _compact_entry(entry):
+    """The persisted (schema 2) summary of one chaos run.
+
+    Counts only, plus a truncated digest of the full entry: a
+    behavioral change anywhere in the run (a shifted injection time, a
+    different woken thread, a new violation detail) flips ``digest``
+    even when every count is unchanged.  64 bits of digest is ample for
+    drift *detection* -- nothing adversarial hashes here.
+    """
+    chaos = entry["chaos"]
+    watchdog = chaos.get("watchdog") or {}
+    return {
+        "digest": entry_digest(entry)[:16],
+        "victim_mean_us": round(entry["victim_mean_us"], 3),
+        "victim_p95_us": entry["victim_p95_us"],
+        "victim_samples": entry["victim_samples"],
+        "error": entry["error"],
+        "faults_fired": len(chaos["fired"]),
+        "faults_skipped": len(chaos["skipped"]),
+        "crashes": chaos["crashes"],
+        "violations": len(chaos["violations"]),
+        "recoveries": watchdog.get("recoveries", 0),
+        "stale_repairs": watchdog.get("stale_repairs", 0),
+        "deadlocks": watchdog.get("deadlocks", 0),
     }
 
 

@@ -43,6 +43,9 @@ SWEEP_SNAPSHOT = "SWEEP.json"
 #: Machine-readable chaos output (``python -m repro chaos``).
 CHAOS_SNAPSHOT = "CHAOS.json"
 
+#: Machine-readable scalability sweep (``python -m repro scale``).
+SCALE_SNAPSHOT = "SCALE.json"
+
 
 def load_section(results_dir, filename):
     """Return the file's lines, or None if it has not been generated."""
@@ -135,10 +138,19 @@ def generate_report(results_dir="results"):
     else:
         parts.extend(chaos_lines)
     parts.append("")
+    parts.append("## Scale — multi-tenant kernel scalability")
+    parts.append("")
+    scale_lines = _load_scale_section(results_dir)
+    if scale_lines is None:
+        parts.append("*(not yet generated — run `python -m repro scale`)*")
+        missing.append(SCALE_SNAPSHOT)
+    else:
+        parts.extend(scale_lines)
+    parts.append("")
     if missing:
         parts.append("---")
         parts.append("%d of %d sections missing." % (len(missing),
-                                                     len(SECTIONS) + 4))
+                                                     len(SECTIONS) + 5))
     return "\n".join(parts)
 
 
@@ -276,18 +288,63 @@ def _load_chaos_section(results_dir):
         runs = violations = fired = crashes = recoveries = errors = 0
         for kinds in snapshot["cases"][case_id].values():
             for entry in kinds.values():
+                # Schema 2 entries are count summaries + digest.
                 runs += 1
-                chaos = entry.get("chaos") or {}
-                violations += len(chaos.get("violations", []))
-                fired += len(chaos.get("fired", []))
-                crashes += chaos.get("crashes", 0)
-                watchdog = chaos.get("watchdog", {})
-                recoveries += (watchdog.get("recoveries", 0)
-                               + watchdog.get("stale_repairs", 0))
+                violations += entry.get("violations", 0)
+                fired += entry.get("faults_fired", 0)
+                crashes += entry.get("crashes", 0)
+                recoveries += (entry.get("recoveries", 0)
+                               + entry.get("stale_repairs", 0))
                 if entry.get("error"):
                     errors += 1
         lines.append("| %s | %d | %d | %d | %d | %d | %d |" % (
             case_id, runs, violations, fired, crashes, recoveries, errors))
+    return lines
+
+
+def _load_scale_section(results_dir):
+    """Render the ``repro scale`` snapshot, or None if absent."""
+    path = os.path.join(results_dir, SCALE_SNAPSHOT)
+    if not os.path.exists(path):
+        return None
+    import json
+
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    lines = []
+    guard = snapshot.get("throughput_guard")
+    if guard:
+        lines.append(
+            "A/B vs the pre-PR kernel at %s threads: **%.2fx** event "
+            "throughput (%s vs %s events/s on the identical %s-event "
+            "stream; floor %.0fx)." % (
+                "{:,}".format(guard.get("threads", 0)),
+                guard.get("speedup", 0.0),
+                "{:,}".format(guard.get("new_events_per_sec", 0)),
+                "{:,}".format(guard.get("legacy_events_per_sec", 0)),
+                "{:,}".format(guard.get("events", 0)),
+                guard.get("floor", 0.0),
+            )
+        )
+        lines.append("")
+    lines.append("| threads | tenants | pBoxes | cores | virtual (ms) | "
+                 "events/s | requests | manager cost/event (us) | "
+                 "manager overhead |")
+    lines.append("|---|---|---|---|---|---|---|---|---|")
+    for point in snapshot.get("points", []):
+        manager = point.get("manager", {})
+        lines.append(
+            "| %s | %d | %d | %d | %.0f | %s | %s | %.3f | %.1f%% |" % (
+                "{:,}".format(point.get("threads", 0)),
+                point.get("tenants", 0),
+                point.get("pboxes", 0),
+                point.get("cores", 0),
+                point.get("duration_virtual_ms", 0.0),
+                "{:,}".format(point.get("events_per_sec", 0)),
+                "{:,}".format(point.get("requests", 0)),
+                manager.get("cost_per_event_us", 0.0),
+                100.0 * manager.get("overhead_frac", 0.0),
+            ))
     return lines
 
 

@@ -1,0 +1,25 @@
+"""Multi-tenant scalability harness (``repro scale``).
+
+Composes the existing application models (mysqlsim / pgsim / apachesim)
+into one kernel with T tenants x W workers and sweeps the thread count
+from ~100 to 10,000 (10 to 500 pBoxes) under a shared pBox manager,
+recording kernel event throughput and manager detection cost at each
+point into ``results/SCALE.json``.
+"""
+
+from repro.scale.scenario import ScaleSpec, build_scale_scenario
+from repro.scale.sweep import (
+    DEFAULT_THREAD_COUNTS,
+    SMOKE_THREAD_COUNTS,
+    measure_scale_point,
+    run_scale_sweep,
+)
+
+__all__ = [
+    "ScaleSpec",
+    "build_scale_scenario",
+    "DEFAULT_THREAD_COUNTS",
+    "SMOKE_THREAD_COUNTS",
+    "measure_scale_point",
+    "run_scale_sweep",
+]

@@ -1,0 +1,263 @@
+"""Multi-tenant scenario generator for the scalability sweep.
+
+A *tenant* is one application instance (MySQL, PostgreSQL, or Apache,
+assigned round-robin) plus its workers:
+
+- two **connection clients** driving requests through the application's
+  :class:`~repro.apps.base.Connection` -- the pBox-bound path that
+  exercises the manager's HOLD/UNHOLD pipeline (two pBoxes per tenant,
+  so pBox count scales with the tenant count);
+- one **notifier** plus a pool of **event-loop workers** parked on the
+  tenant's condition key: every broadcast wakes the whole pool at once
+  and each woken worker burns a short compute slice -- the regime the
+  batched futex wake, the idle-core bitmask dispatch, and the timer
+  wheel exist for.
+
+Everything is seeded through the kernel's named RNG registry, so a
+scale run is as deterministic as any registry case.
+"""
+
+from repro.apps.apachesim import ApacheConfig, ApacheServer
+from repro.apps.mysqlsim import MySQLConfig, MySQLServer
+from repro.apps.pgsim import PGConfig, PostgresServer
+from repro.core import OperationCosts, PBoxManager, PBoxRuntime
+from repro.sim import Kernel
+from repro.sim.syscalls import Compute, FutexWait, FutexWake, Now, Sleep
+from repro.workloads import closed_loop_client
+
+#: Worker threads per tenant (one of which is the connection client).
+WORKERS_PER_TENANT = 20
+
+
+class ScaleSpec:
+    """Parameters of one scale point.
+
+    ``threads`` is the total worker population; tenants are derived as
+    ``threads // workers_per_tenant`` so the pBox count grows with the
+    thread count: two connection pBoxes per tenant means 10 pBoxes at
+    the bottom of the sweep (100 threads) and 1,000 at the top (10,000
+    threads) -- past the 500 the paper's manager was sized for.
+    ``cores`` defaults to an oversubscribed many-core host: enough
+    cores that the scheduler, not an artificially tiny CPU, is what's
+    being measured.
+    """
+
+    def __init__(self, threads, workers_per_tenant=WORKERS_PER_TENANT,
+                 cores=None, duration_us=None, seed=1, manager_enabled=True,
+                 event_budget=250_000):
+        if threads < workers_per_tenant:
+            raise ValueError("need at least one tenant's worth of threads")
+        self.threads = threads
+        self.workers_per_tenant = workers_per_tenant
+        self.tenants = threads // workers_per_tenant
+        self.cores = cores if cores is not None else default_cores(threads)
+        self.seed = seed
+        self.manager_enabled = manager_enabled
+        self.event_budget = event_budget
+        if duration_us is None:
+            duration_us = duration_for_budget(self.cores, event_budget)
+        self.duration_us = duration_us
+
+    def describe(self):
+        return ("%d threads / %d tenants / %d cores / %.0f ms virtual"
+                % (self.threads, self.tenants, self.cores,
+                   self.duration_us / 1_000))
+
+
+def default_cores(threads):
+    """Core count for a plausible host running ``threads`` workers.
+
+    8x oversubscription: server threads here are sleepy (event loops,
+    think time), so 10,000 of them on a ~1,250-core consolidation host
+    is the regime the paper's multi-tenant story targets.
+    """
+    return max(8, min(2048, threads // 8))
+
+
+def duration_for_budget(cores, event_budget):
+    """Virtual duration that yields roughly ``event_budget`` events.
+
+    With the cores fully oversubscribed (the steady state of every
+    scale point), event volume is core-bound: each core turns over a
+    slice every few hundred microseconds and each slice costs a
+    handful of kernel events (arm, fire, enqueue, dispatch).  The
+    constant keeps every sweep point near the same measurement size
+    regardless of thread count.
+    """
+    events_per_virtual_us = cores / 64.0
+    duration_us = int(event_budget / events_per_virtual_us)
+    return max(20_000, min(2_000_000, duration_us))
+
+
+class RequestCounter:
+    """Constant-memory recorder: request count and total latency only.
+
+    At 500 tenants a sample list per connection is pointless weight;
+    the sweep only needs aggregate throughput and mean latency.
+    """
+
+    def __init__(self):
+        self.count = 0
+        self.total_us = 0
+
+    def record(self, latency_us, _finished_us=None):
+        self.count += 1
+        self.total_us += latency_us
+
+    @property
+    def mean_us(self):
+        return self.total_us / self.count if self.count else 0.0
+
+
+class ScaleScenario:
+    """Handles to a built (not yet run) scale scenario."""
+
+    def __init__(self, spec, kernel, manager, runtime):
+        self.spec = spec
+        self.kernel = kernel
+        self.manager = manager
+        self.runtime = runtime
+        self.servers = []
+        self.request_counters = []
+
+    def total_requests(self):
+        return sum(counter.count for counter in self.request_counters)
+
+    def run(self):
+        """Run to the spec's horizon; returns the kernel for chaining."""
+        self.kernel.run(until_us=self.spec.duration_us)
+        return self.kernel
+
+
+def _make_server(kind, kernel, runtime):
+    if kind == "mysql":
+        # Small buffer pool: tenant clients contend on their own pages
+        # without turning every access into an IO stall.
+        return MySQLServer(kernel, runtime,
+                           MySQLConfig(buffer_pool_blocks=32))
+    if kind == "pg":
+        return PostgresServer(kernel, runtime, PGConfig())
+    # One worker: the tenant's two connections contend on the pool, so
+    # the manager sees cross-pBox HOLD/defer traffic on the semaphore.
+    return ApacheServer(kernel, runtime, ApacheConfig(max_workers=1))
+
+
+def _request_factory(kind, tenant_index, rng, noisy=False):
+    """Per-tenant request mix: short, *contended* application requests.
+
+    Each tenant runs two connections against the same server instance;
+    the request kinds are chosen so the pair collides on one of the
+    app's serialization points (dict mutex / lock-manager partition /
+    worker pool).  That keeps the manager's defer-and-blame pipeline --
+    the part whose cost scales with pBox count -- continuously busy.
+    """
+    if kind == "mysql":
+        if noisy:
+            def make():
+                return {"kind": "nopk_insert", "ops": 2, "work_us": 100}
+        else:
+            def make():
+                return {"kind": "pk_insert", "ops": 2, "work_us": 400}
+    elif kind == "pg":
+        if noisy:
+            def make():
+                return {"kind": "lock_table_scan", "scan_us": 2_000}
+        else:
+            def make():
+                return {"kind": "other_table_query", "work_us": 150}
+    else:
+        if noisy:
+            def make():
+                return {"kind": "static", "serve_us": 700}
+        else:
+            def make():
+                return {"kind": "static", "serve_us": 200}
+    return make
+
+
+def _cv_waiter_body(key):
+    """An event-loop worker parked on its tenant's condition key.
+
+    Each broadcast wakes the whole pool at once -- the wake-all path
+    that used to cost one full core scan *per waiter* and is now a
+    single batched dispatch.  No timeout and no stop check: once the
+    notifier stops broadcasting at the horizon the waiter simply stays
+    blocked, exactly like a real event-loop thread with nothing to do
+    (``run`` with a deadline leaves blocked threads parked).
+    """
+
+    def body():
+        while True:
+            yield FutexWait(key)
+            yield Compute(us=150)
+
+    return body
+
+
+def _cv_notifier_body(key, rng, stop_us, period_us=1_000):
+    """The tenant's dispatcher: periodically broadcasts to its pool."""
+
+    def body():
+        yield Sleep(us=rng.randint(0, period_us))
+        while True:
+            now = yield Now()
+            if now >= stop_us:
+                break
+            yield FutexWake(key, n=1_000_000)  # wake-all broadcast
+            yield Sleep(us=period_us)
+
+    return body
+
+
+APP_KINDS = ("mysql", "pg", "apache")
+
+
+def build_scale_scenario(spec, kernel_binder=None):
+    """Build the kernel, manager, tenants and workers for ``spec``.
+
+    ``kernel_binder(kernel, manager)``, when given, runs before any
+    thread is spawned -- the A/B throughput guard uses it to rebind the
+    kernel's hot paths to their pre-PR implementations so both kernels
+    execute the identical scenario.
+    """
+    kernel = Kernel(cores=spec.cores, seed=spec.seed)
+    manager = PBoxManager(kernel, enabled=spec.manager_enabled)
+    runtime = PBoxRuntime(manager, costs=OperationCosts(),
+                          enabled=spec.manager_enabled)
+    if kernel_binder is not None:
+        kernel_binder(kernel, manager)
+    scenario = ScaleScenario(spec, kernel, manager, runtime)
+    stop_us = spec.duration_us
+    for tenant in range(spec.tenants):
+        kind = APP_KINDS[tenant % len(APP_KINDS)]
+        server = _make_server(kind, kernel, runtime)
+        scenario.servers.append(server)
+        # Two connections per tenant -- a batch-style aggressor and a
+        # short-request victim -- contending on the same app resource,
+        # so every tenant contributes cross-pBox defer/blame traffic.
+        for role, noisy in (("oltp", False), ("batch", True)):
+            conn_rng = kernel.rng("scale.t%d.%s" % (tenant, role))
+            counter = RequestCounter()
+            scenario.request_counters.append(counter)
+            body = closed_loop_client(
+                kernel,
+                server.connect("t%d-%s" % (tenant, role)),
+                _request_factory(kind, tenant, conn_rng, noisy=noisy),
+                counter,
+                start_us=conn_rng.randint(0, 2_000),
+                stop_us=stop_us,
+                think_us=200,
+                rng=conn_rng,
+            )
+            kernel.spawn(body, name="t%d-%s" % (tenant, role))
+        # Remaining workers: one notifier broadcasting to the tenant's
+        # pool of event-loop workers -- the thread-pool idiom every
+        # server here uses (Apache workers, memcached event threads).
+        cv_key = "scale.t%d.cv" % tenant
+        notifier_rng = kernel.rng("scale.t%d.notify" % tenant)
+        kernel.spawn(_cv_notifier_body(cv_key, notifier_rng, stop_us),
+                     name="t%d-notify" % tenant)
+        for worker in range(spec.workers_per_tenant - 3):
+            kernel.spawn(_cv_waiter_body(cv_key),
+                         name="t%d-cv%d" % (tenant, worker))
+    return scenario

@@ -55,7 +55,13 @@ class Cgroup:
         """Change the quota at runtime (used by PARTIES-style shifting)."""
         if quota_us is not None and quota_us <= 0:
             raise ValueError("quota must be positive or None")
+        was_unlimited = self.quota_us is None
         self.quota_us = quota_us
+        if was_unlimited and quota_us is not None:
+            # While unlimited, the kernel skips this group's per-slice
+            # refresh (fast path), so the window counters may be stale;
+            # start the first limited period with a clean budget.
+            self.runtime_us = 0
 
     def refresh(self, now_us):
         """Roll the accounting window forward if the period elapsed.

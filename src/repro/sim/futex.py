@@ -31,6 +31,7 @@ class WaitQueueTable:
     def __init__(self, clock=None, trace=None):
         self._queues = {}
         self._owners = {}   # key -> {thread: hold count} (insertion order)
+        self._waiting = 0   # total blocked threads (O(1) waiting_count)
         self._clock = clock
         if trace is not None and clock is not None:
             self._tp_wait = trace.point("futex.wait")
@@ -106,6 +107,7 @@ class WaitQueueTable:
             queue = deque()
             self._queues[key] = queue
         queue.append(thread)
+        self._waiting += 1
         tp = self._tp_wait
         if tp is not None and tp.active:
             holders = self.owners(key)
@@ -127,6 +129,7 @@ class WaitQueueTable:
             queue.remove(thread)
         except ValueError:
             return False
+        self._waiting -= 1
         if not queue:
             del self._queues[key]
         return True
@@ -136,9 +139,16 @@ class WaitQueueTable:
         queue = self._queues.get(key)
         if not queue:
             return []
-        woken = []
-        while queue and len(woken) < n:
-            woken.append(queue.popleft())
+        if n >= len(queue):
+            # Whole-queue wake (wake-all broadcasts): one list copy
+            # instead of a popleft loop.
+            woken = list(queue)
+            queue.clear()
+        else:
+            woken = []
+            while len(woken) < n:
+                woken.append(queue.popleft())
+        self._waiting -= len(woken)
         if not queue:
             del self._queues[key]
         tp = self._tp_wake
@@ -153,8 +163,8 @@ class WaitQueueTable:
         return list(self._queues.get(key, ()))
 
     def waiting_count(self):
-        """Total number of blocked threads across all keys."""
-        return sum(len(q) for q in self._queues.values())
+        """Total number of blocked threads across all keys (O(1))."""
+        return self._waiting
 
     def keys(self):
         """Keys that currently have waiters."""

@@ -46,8 +46,8 @@ parallel workers replaying jobs in any order produce output identical
 to a serial sweep.
 """
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 
 from repro.obs.tracepoints import TracepointBus
 from repro.sim.cgroup import Cgroup
@@ -67,6 +67,7 @@ from repro.sim.syscalls import (
     Yield,
 )
 from repro.sim.thread import SimThread, ThreadState
+from repro.sim.timerwheel import TimerWheel
 
 _BLOCKED = object()  # sentinel: the thread cannot continue synchronously
 
@@ -138,14 +139,22 @@ class Kernel:
         # (the "lost wakeup" fault).  None in normal runs, so the hot
         # path pays one attribute test.
         self.wake_filter = None
-        self._heap = []
+        self._wheel = TimerWheel()
         self._seq = itertools.count()
+        # Scheduler hot path: which cores are idle, as a bitmask (bit i
+        # set while core i has no running thread).  _dispatch iterates
+        # set bits in ascending index order -- the same visit order as
+        # a full core scan, but O(idle cores) instead of O(cores), and
+        # O(1) when the machine is saturated (the common state at 10k
+        # threads).
+        self._idle_mask = (1 << cores) - 1
         # Hot path: each core gets one reusable slice-end timer whose
         # callback is bound once.  A core has at most one slice pending,
         # so re-arming the same _Timer every context switch saves a
         # timer + closure allocation per switch (see _start_slice).
         for core in self.cores:
             core._slice_timer = _Timer(self._make_slice_end(core))
+            core._mask_bit = 1 << core.index
 
     # ------------------------------------------------------------------
     # Public API
@@ -191,9 +200,13 @@ class Kernel:
         """Schedule ``fn()`` to run at virtual time ``when_us``."""
         timer = _Timer(fn)
         now = self.clock.now_us
+        # int() matches the clock's integer-microsecond invariant (the
+        # old heap floored float deadlines when advancing the clock;
+        # the wheel floors them when arming -- same firing time).
+        when_us = int(when_us)
         if when_us < now:
             when_us = now
-        heapq.heappush(self._heap, (when_us, next(self._seq), timer))
+        self._wheel.insert(when_us, next(self._seq), timer)
         return timer
 
     def call_every(self, period_us, fn, start_us=None):
@@ -220,27 +233,46 @@ class Kernel:
         this.
         """
         # Hot loop: locals instead of attribute lookups, and a float
-        # +inf sentinel so the limit test is a single comparison.
-        heap = self._heap
+        # +inf sentinel so the limit test is a single comparison.  The
+        # wheel drains cancelled entries and enforces the limit
+        # internally; entries pop in exact (when, seq) order.
+        #
+        # The due-heap fast path is inlined: whenever the wheel's "due"
+        # heap is non-empty its head is the global minimum (far-level
+        # entries all live in later blocks -- see timerwheel.py), so a
+        # due event costs one C heappop with no method call or result
+        # tuple.  The slow branch (due empty: hunt to the next block,
+        # or nothing left) stays behind pop_next.
         clock = self.clock
-        heappop = heapq.heappop
+        wheel = self._wheel
+        due = wheel._due
+        pop_next = wheel.pop_next
         limit = float("inf") if until_us is None else until_us
-        while heap:
-            when = heap[0][0]
-            if when > limit:
-                break
-            timer = heappop(heap)[2]
-            if timer.cancelled:
-                continue
+        while True:
+            if due:
+                entry = due[0]
+                when = entry[0]
+                if when > limit:
+                    break
+                heappop(due)
+                wheel._count -= 1
+                wheel._cur = when
+                timer = entry[2]
+                if timer.cancelled:
+                    continue
+            else:
+                entry = pop_next(limit)
+                if entry is None:
+                    break
+                when, timer = entry
             if when > clock.now_us:
-                # Inlined advance_to: heap order + the post() clamp make
-                # backwards movement impossible here; int() matches the
-                # clock's integer-microsecond invariant for float delays.
-                clock.now_us = int(when)
+                # Inlined advance_to: wheel order + the post() clamp
+                # make backwards movement impossible here.
+                clock.now_us = when
             timer.fn()
         if until_us is not None and until_us > self.now_us:
             self.clock.advance_to(until_us)
-        if not self._heap:
+        if not self._wheel:
             blocked = [t for t in self.threads if t.alive]
             if blocked and until_us is None:
                 raise DeadlockError(
@@ -257,14 +289,39 @@ class Kernel:
         if self.wake_filter is not None and not self.wake_filter(key, n):
             return 0
         woken = self.futexes.pop_waiters(key, n, waker=self.current_thread)
+        if not woken:
+            return 0
+        if self._idle_mask:
+            # Idle cores exist: enqueue-and-dispatch each waiter so the
+            # trace keeps the classic enqueue/switch interleaving (the
+            # golden corpus pins the event stream, not just the
+            # schedule).
+            for thread in woken:
+                if thread.wakeup_event is not None:
+                    thread.wakeup_event.cancel()
+                    thread.wakeup_event = None
+                thread.wait_key = None
+                self._enqueue(thread, compute_us=0, resume_value=True)
+            self._dispatch()
+            return len(woken)
+        # All cores busy -- the common state under load.  Batch: push
+        # every waiter straight onto the run queue and dispatch once.
+        # Identical outcome (no dispatch can place anything while no
+        # core is idle) at O(1) per waiter instead of a core scan each.
+        run_queue = self.run_queue
+        tp = self._tp_enqueue
+        now = self.clock.now_us
         for thread in woken:
             if thread.wakeup_event is not None:
                 thread.wakeup_event.cancel()
                 thread.wakeup_event = None
             thread.wait_key = None
-            self._enqueue(thread, compute_us=0, resume_value=True)
-        if woken:
-            self._dispatch()
+            thread.pending_compute_us = 0
+            thread._resume_value = True
+            if tp.active:
+                tp.fire(now, tid=thread.tid, name=thread.name)
+            run_queue.push(thread)
+        self._dispatch()
         return len(woken)
 
     def charge_current(self, us):
@@ -313,34 +370,66 @@ class Kernel:
         return _end
 
     def _dispatch(self):
+        # Sharded run-queue scan: only cores idle at entry are visited,
+        # in ascending index order (identical placement to the old full
+        # core scan).  A core filled by a recursive dispatch (throttle
+        # path) is skipped by the running re-check; no core can become
+        # idle mid-dispatch (only _slice_end clears running, and it
+        # runs from the event loop).
+        mask = self._idle_mask
+        if not mask:
+            return
         run_queue = self.run_queue
-        for core in self.cores:
+        queue = run_queue._queue
+        cores = self.cores
+        while mask and queue:
+            idx = (mask & -mask).bit_length() - 1
+            mask &= mask - 1
+            core = cores[idx]
             if core.running is not None:
                 continue
-            if not run_queue._queue:
-                return
-            thread = run_queue.pick_for_core(core)
-            if thread is None:
-                continue
+            # Inlined pick_for_core fast path: head thread unconstrained,
+            # core unreserved -- the common case at every scale point.
+            head = queue[0]
+            if (core.reserved_for is None and head.affinity is None
+                    and not head.demoted_until_us):
+                queue.popleft()
+                thread = head
+            else:
+                thread = run_queue.pick_for_core(core)
+                if thread is None:
+                    continue
             self._start_slice(core, thread)
 
     def _start_slice(self, core, thread):
         now = self.clock.now_us
         group = thread.cgroup or self.root_cgroup
-        # Roll the bandwidth window forward before checking the budget;
-        # otherwise a group that never throttles keeps charging a stale
-        # period and the quota never binds.
-        for released in group.refresh(now):
-            self.run_queue.push(released)
-        remaining = group.remaining_us(now)
-        if remaining == 0:
-            self._throttle(thread, group)
-            self._dispatch()
-            return
-        slice_us = min(self.quantum_us, thread.pending_compute_us)
-        if remaining is not None:
-            slice_us = min(slice_us, remaining)
+        if group.quota_us is None and not group.throttled_threads:
+            # Unlimited group (the root group for every thread outside a
+            # cgroup baseline): the bandwidth window is irrelevant, so
+            # skip the refresh/remaining bookkeeping on this hottest of
+            # paths.  refresh() on an unlimited group only resets
+            # counters nothing reads; set_quota() re-zeroes them on the
+            # unlimited -> limited transition.
+            quantum = self.quantum_us
+            pending = thread.pending_compute_us
+            slice_us = quantum if quantum < pending else pending
+        else:
+            # Roll the bandwidth window forward before checking the
+            # budget; otherwise a group that never throttles keeps
+            # charging a stale period and the quota never binds.
+            for released in group.refresh(now):
+                self.run_queue.push(released)
+            remaining = group.remaining_us(now)
+            if remaining == 0:
+                self._throttle(thread, group)
+                self._dispatch()
+                return
+            slice_us = min(self.quantum_us, thread.pending_compute_us)
+            if remaining is not None:
+                slice_us = min(slice_us, remaining)
         core.running = thread
+        self._idle_mask &= ~core._mask_bit
         thread.state = ThreadState.RUNNING
         self.stats["context_switches"] += 1
         if self._tp_switch.active:
@@ -352,20 +441,32 @@ class Kernel:
         # context switch, the hottest allocation site of the event loop.
         timer = core._slice_timer
         timer.cancelled = False
-        heapq.heappush(self._heap, (now + slice_us, next(self._seq), timer))
+        when = int(now + slice_us)
+        wheel = self._wheel
+        # Inlined wheel.insert() due-block fast path: most slices end
+        # inside the cursor's current 1024us block (when >= cursor holds
+        # because the cursor never runs ahead of the clock).
+        if when ^ wheel._cur < 1024:
+            heappush(wheel._due, (when, next(self._seq), timer))
+            wheel._count += 1
+        else:
+            wheel.insert(when, next(self._seq), timer)
         core.slice_end_event = timer
         core._slice_started_us = now
 
     def _slice_end(self, core):
         thread = core.running
         core.running = None
+        self._idle_mask |= core._mask_bit
         core.slice_end_event = None
         ran = self.clock.now_us - core._slice_started_us
         if ran:
             core.busy_us += ran
             thread.cpu_time_us += ran
             group = thread.cgroup or self.root_cgroup
-            group.charge(ran)
+            # Inlined Cgroup.charge() -- one call per context switch.
+            group.runtime_us += ran
+            group.total_cpu_us += ran
             thread.pending_compute_us -= ran
         if self._tp_switchout.active:
             self._tp_switchout.fire(self.clock.now_us, tid=thread.tid,
@@ -477,6 +578,37 @@ class Kernel:
             thread.overhead_us = 0
             thread._pending_syscall = syscall
             self._enqueue(thread, compute_us=overhead, resume_value=None)
+            return _BLOCKED
+
+        # Exact-class fast paths for the remaining hot syscalls (same
+        # bodies as the isinstance chain below, minus the chain walk).
+        if cls is FutexWait:
+            thread.state = ThreadState.BLOCKED
+            thread.wait_key = syscall.key
+            thread.blocked_since_us = self.clock.now_us
+            self.futexes.add(syscall.key, thread)
+            if syscall.timeout_us is not None:
+                thread.wakeup_event = self.post(
+                    self.clock.now_us + syscall.timeout_us,
+                    lambda: self._futex_timeout(thread, syscall.key),
+                )
+            return _BLOCKED
+
+        if cls is FutexWake:
+            return self.futex_wake(syscall.key, syscall.n)
+
+        if cls is Now:
+            return self.now_us
+
+        if cls is Sleep:
+            thread.state = ThreadState.SLEEPING
+            if self._tp_sleep.active:
+                self._tp_sleep.fire(self.clock.now_us, tid=thread.tid,
+                                    us=syscall.us)
+            thread.wakeup_event = self.post(
+                self.clock.now_us + syscall.us,
+                lambda: self._wake_sleeper(thread),
+            )
             return _BLOCKED
 
         if isinstance(syscall, Compute):
@@ -711,9 +843,7 @@ class IdleWatchdog:
         syscalls = kernel.stats["syscalls"]
         suspects = None
         if syscalls == self._last_syscalls:
-            live_timer = any(not entry[2].cancelled
-                             for entry in kernel._heap)
-            if not live_timer:
+            if not kernel._wheel.has_live_timer():
                 suspects = [
                     thread for thread in kernel.threads
                     if thread.alive

@@ -1,0 +1,44 @@
+"""Shared test fixtures: the session-scoped case-evaluation cache.
+
+``evaluate_case`` is the suite's dominant cost -- every call replays the
+case's kernel three-plus times (To, Ti, one run per solution).  Several
+test modules evaluate the *same* (case, seed, duration) triples, so the
+cache runs each triple once per session and, when a later module asks
+for additional solutions, runs only the missing solution legs against
+the already-measured To baseline (exactly what ``evaluate_case`` itself
+would have done).
+"""
+
+import pytest
+
+from repro.cases import Solution, evaluate_case, get_case, run_case
+
+
+class EvaluationCache:
+    """Memoized ``evaluate_case`` keyed by (case_id, seed, duration_s)."""
+
+    def __init__(self):
+        self._store = {}
+
+    def evaluate(self, case_id, solutions=(Solution.PBOX,), seed=1,
+                 duration_s=4):
+        key = (case_id, seed, duration_s)
+        evaluation = self._store.get(key)
+        if evaluation is None:
+            evaluation = evaluate_case(
+                get_case(case_id), solutions=list(solutions),
+                seed=seed, duration_s=duration_s)
+            self._store[key] = evaluation
+            return evaluation
+        for solution in solutions:
+            if solution not in evaluation.solution_runs:
+                evaluation.solution_runs[solution] = run_case(
+                    get_case(case_id), solution, seed=seed,
+                    baseline_us=evaluation.baseline.victim_mean_us,
+                    duration_s=duration_s)
+        return evaluation
+
+
+@pytest.fixture(scope="session")
+def evaluation_cache():
+    return EvaluationCache()

@@ -1,6 +1,6 @@
 """Per-case regression tests: interference and mitigation floors.
 
-Short (4 s) versions of every Table 3 case with per-case thresholds
+Shortened versions of every Table 3 case with per-case thresholds
 derived from the tuned behaviour; a change that weakens any case's
 interference signal or pBox's mitigation fails here before the full
 benchmarks run.  Thresholds are deliberately below the measured values
@@ -9,7 +9,7 @@ benchmarks run.  Thresholds are deliberately below the measured values
 
 import pytest
 
-from repro.cases import Solution, evaluate_case, get_case
+from repro.cases import Solution
 
 # case id -> (minimum interference level p, minimum reduction ratio r)
 EXPECTATIONS = {
@@ -32,11 +32,18 @@ EXPECTATIONS = {
 }
 
 
+#: Evaluation window per case.  3 s (1 s warmup + 2 s measurement)
+#: clears every floor with >=1.7x margin except c5 and c11, whose
+#: penalty adaptation needs the longer window to converge.
+DURATIONS_S = {"c5": 4, "c11": 4}
+
+
 @pytest.fixture(scope="module")
-def evaluations():
+def evaluations(evaluation_cache):
     return {
-        case_id: evaluate_case(get_case(case_id),
-                               solutions=[Solution.PBOX], duration_s=4)
+        case_id: evaluation_cache.evaluate(
+            case_id, solutions=[Solution.PBOX],
+            duration_s=DURATIONS_S.get(case_id, 3))
         for case_id in EXPECTATIONS
     }
 

@@ -1,0 +1,119 @@
+"""Property tests for the batched futex wake path.
+
+``Kernel.futex_wake`` has two implementations behind one contract: a
+classic per-thread enqueue+dispatch (taken while idle cores exist) and
+a batched push + single dispatch (taken when the machine is saturated).
+For arbitrary waiter populations, wake counts, and core counts the two
+must be observationally identical: ``FutexWake(key, n)`` wakes exactly
+``min(n, waiters)`` threads, in FIFO wait order, never touches a
+thread that is not waiting on the key, and leaves the wait queue
+holding exactly the remainder.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Kernel
+from repro.sim.syscalls import Compute, FutexWait, FutexWake, Sleep
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    waiters=st.integers(1, 25),
+    wakes=st.lists(st.integers(1, 30), min_size=1, max_size=8),
+    cores=st.sampled_from([1, 2, 4]),
+    compute_us=st.sampled_from([0, 40]),
+)
+def test_wake_n_wakes_exactly_the_first_n_waiters(waiters, wakes, cores,
+                                                  compute_us):
+    """Both wake paths: exact count, FIFO order, no spurious wakeups.
+
+    ``cores=1`` keeps the machine saturated while the waker runs (the
+    batched path); multiple cores leave idle cores at wake time (the
+    classic path).  ``compute_us`` varies whether woken waiters are
+    still on-CPU when the next wake arrives.
+    """
+    kernel = Kernel(cores=cores, seed=7)
+    key = "prop.cv"
+    woken_order = []
+    wake_returns = []
+    queue_after = []
+
+    def waiter(index):
+        def body():
+            yield FutexWait(key)
+            woken_order.append(index)
+            if compute_us:
+                yield Compute(us=compute_us)
+        return body
+
+    for index in range(waiters):
+        kernel.spawn(waiter(index), name="w%d" % index)
+
+    def waker():
+        # All waiters block within their first event; start after them.
+        yield Sleep(us=10)
+        for n in wakes:
+            count = yield FutexWake(key, n)
+            wake_returns.append(count)
+            queue_after.append(len(kernel.futexes.waiters(key)))
+            yield Sleep(us=50)
+
+    kernel.spawn(waker, name="waker")
+    kernel.run(until_us=1_000_000)
+
+    # Model: the wait queue is FIFO in spawn order (spawn order is run
+    # order here -- every waiter blocks at its first syscall).
+    remaining = waiters
+    expected_returns = []
+    expected_queue = []
+    for n in wakes:
+        woke = min(n, remaining)
+        remaining -= woke
+        expected_returns.append(woke)
+        expected_queue.append(remaining)
+
+    assert wake_returns == expected_returns
+    assert queue_after == expected_queue
+    # FIFO: woken threads resume in wait order, and nobody was woken
+    # twice or woken without having waited.
+    total_woken = waiters - remaining
+    assert woken_order == list(range(total_woken))
+    # The leftover waiters are exactly the tail of the FIFO, still
+    # parked on the key.
+    assert len(kernel.futexes.waiters(key)) == remaining
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pools=st.integers(1, 4),
+    per_pool=st.integers(1, 8),
+    n=st.integers(1, 40),
+)
+def test_wake_never_crosses_keys(pools, per_pool, n):
+    """A wake on one key never wakes a waiter parked on another key."""
+    kernel = Kernel(cores=1, seed=3)
+    woken = {pool: [] for pool in range(pools)}
+
+    def waiter(pool, index):
+        def body():
+            yield FutexWait("pool.%d" % pool)
+            woken[pool].append(index)
+        return body
+
+    for pool in range(pools):
+        for index in range(per_pool):
+            kernel.spawn(waiter(pool, index))
+
+    def waker():
+        yield Sleep(us=10)
+        count = yield FutexWake("pool.0", n)
+        woken["return"] = count
+
+    kernel.spawn(waker)
+    kernel.run(until_us=100_000)
+
+    assert woken["return"] == min(n, per_pool)
+    assert woken[0] == list(range(min(n, per_pool)))
+    for pool in range(1, pools):
+        assert woken[pool] == [], "wake on pool.0 leaked into pool.%d" % pool
+        assert len(kernel.futexes.waiters("pool.%d" % pool)) == per_pool

@@ -1,0 +1,101 @@
+"""Golden-trace replay: every registry case must be bit-identical.
+
+Each committed document under ``tests/golden/`` pins the SHA-256 of a
+case's canonical tracepoint stream plus its final kernel/manager stats
+at the corpus parameters (solution=pbox, seed, duration).  A kernel or
+app-model change that moves *any* scheduling decision flips a digest
+and fails here; the failure message includes a unified diff of the
+golden documents and -- via the checkpoint chain -- the actual event
+lines of the first divergent window, so the divergence is debuggable
+without bisecting millions of events.
+
+Intentional behavior changes are blessed with ``make regen-golden``
+(review the corpus diff before committing it).
+"""
+
+import difflib
+import json
+import os
+
+import pytest
+
+from repro.cases import ALL_CASES
+from repro.obs.golden import (
+    CHECKPOINT_EVERY,
+    WindowRecorder,
+    first_divergence,
+    run_golden_case,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def _corpus_case_ids():
+    return sorted(
+        (name[:-5] for name in os.listdir(GOLDEN_DIR)
+         if name.endswith(".json")),
+        key=lambda cid: int(cid[1:]),
+    )
+
+
+def _load_golden(case_id):
+    with open(os.path.join(GOLDEN_DIR, "%s.json" % case_id)) as handle:
+        return json.load(handle)
+
+
+def _document_diff(expected, actual):
+    """Unified diff of the two golden documents (JSON, sorted keys)."""
+    want = json.dumps(expected, indent=1, sort_keys=True).splitlines()
+    have = json.dumps(actual, indent=1, sort_keys=True).splitlines()
+    return "\n".join(difflib.unified_diff(
+        want, have, fromfile="tests/golden/%s.json" % expected["case_id"],
+        tofile="replay", lineterm=""))
+
+
+def _divergent_window_lines(case_id, golden, window_index):
+    """Re-run the case recording the first divergent event window."""
+    recorder = WindowRecorder(window_index * CHECKPOINT_EVERY,
+                              count=CHECKPOINT_EVERY)
+    run_golden_case(
+        case_id, golden["duration_s"], golden["seed"],
+        observer=lambda env: recorder.attach(env.kernel.trace))
+    return recorder.lines
+
+
+def test_corpus_covers_registry():
+    """Every registry case has a committed golden, and nothing extra."""
+    assert _corpus_case_ids() == sorted(
+        ALL_CASES, key=lambda cid: int(cid[1:]))
+
+
+@pytest.mark.parametrize("case_id", _corpus_case_ids())
+def test_case_replays_bit_identical(case_id):
+    golden = _load_golden(case_id)
+    actual = run_golden_case(case_id, golden["duration_s"], golden["seed"])
+    actual["case_id"] = case_id
+    actual["seed"] = golden["seed"]
+    actual["duration_s"] = golden["duration_s"]
+
+    window = first_divergence(golden, actual)
+    if window is None:
+        return
+
+    # Divergence: build the debuggable failure message.  The event
+    # lines are from the *replay* (the committed corpus only stores
+    # digests); the checkpoint chain localizes the first divergent
+    # window, so these are the events to compare against the blessed
+    # behavior when deciding whether to `make regen-golden`.
+    start = window * CHECKPOINT_EVERY
+    lines = _divergent_window_lines(case_id, golden, window)
+    preview = "\n".join(lines[:60])
+    pytest.fail(
+        "golden trace diverged for %s (seed=%s, duration=%ss)\n\n"
+        "document diff:\n%s\n\n"
+        "first divergent window: events %d..%d (replay's events shown; "
+        "%d recorded)\n%s\n\n"
+        "If this change is intentional, regenerate with "
+        "`make regen-golden` and review the corpus diff."
+        % (case_id, golden["seed"], golden["duration_s"],
+           _document_diff(golden, actual),
+           start, start + CHECKPOINT_EVERY - 1, len(lines), preview),
+        pytrace=False)

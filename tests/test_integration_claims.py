@@ -7,18 +7,18 @@ test suite so a regression is caught by ``pytest tests/`` alone.
 
 import pytest
 
-from repro.cases import Solution, evaluate_case, get_case
+from repro.cases import Solution
 
-DURATION_S = 4
+DURATION_S = 3
 
 
 @pytest.fixture(scope="module")
-def representative_evaluations():
+def representative_evaluations(evaluation_cache):
     """One case per application, evaluated under pBox + two baselines."""
     solutions = [Solution.PBOX, Solution.CGROUP, Solution.PARTIES]
     return {
-        case_id: evaluate_case(get_case(case_id), solutions=solutions,
-                               duration_s=DURATION_S)
+        case_id: evaluation_cache.evaluate(case_id, solutions=solutions,
+                                           duration_s=DURATION_S)
         for case_id in ("c1", "c8", "c12", "c14")
     }
 
@@ -45,21 +45,21 @@ def test_baselines_never_strongly_mitigate(representative_evaluations):
                 case_id, solution)
 
 
-def test_memcached_case_stays_unmitigated():
+def test_memcached_case_stays_unmitigated(evaluation_cache):
     """c16 is the paper's one failure: overhead exceeds benefit."""
-    evaluation = evaluate_case(get_case("c16"), solutions=[Solution.PBOX],
-                               duration_s=DURATION_S)
+    evaluation = evaluation_cache.evaluate(
+        "c16", solutions=[Solution.PBOX], duration_s=DURATION_S)
     assert evaluation.reduction_ratio(Solution.PBOX) < 0.3
 
 
-def test_goal_attainment_improves_with_pbox():
+def test_goal_attainment_improves_with_pbox(evaluation_cache):
     """Section 6.2: far more activities meet the goal with pBox on.
 
     Measured over the victim's per-activity latencies in c1: the goal
     is met when a request is no more than 50% slower than To.
     """
-    evaluation = evaluate_case(get_case("c1"), solutions=[Solution.PBOX],
-                               duration_s=DURATION_S)
+    evaluation = evaluation_cache.evaluate(
+        "c1", solutions=[Solution.PBOX], duration_s=DURATION_S)
     threshold = evaluation.to_us * 1.5
 
     def goal_met_fraction(run):

@@ -6,9 +6,9 @@ from repro.report import SECTIONS, generate_report, load_section, write_report
 
 
 def test_report_handles_missing_results(tmp_path):
-    # +4: the metrics-registry, attribution, sweep, and chaos snapshot
-    # sections are tracked alongside the tab-separated SECTIONS files.
-    total = len(SECTIONS) + 4
+    # +5: the metrics-registry, attribution, sweep, chaos, and scale
+    # snapshot sections are tracked alongside the SECTIONS files.
+    total = len(SECTIONS) + 5
     report = generate_report(str(tmp_path))
     assert "not yet generated" in report
     assert "%d of %d sections missing" % (total, total) in report

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Fail if any committed results/ artifact exceeds the size budget.
+
+``results/`` holds human-reviewable snapshots (report tables, JSON
+summaries); anything beyond a few tens of KB is raw data that belongs
+in a digest, not in git.  CHAOS.json regressing from summary-schema
+back to full per-run payloads is exactly the kind of drift this guard
+catches.
+
+Usage:
+    python tools/check_results_size.py [--limit BYTES] [DIR]
+"""
+
+import argparse
+import os
+import sys
+
+DEFAULT_LIMIT = 64 * 1024
+DEFAULT_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def oversized(results_dir, limit):
+    """(path, size) for every regular file over ``limit`` bytes."""
+    found = []
+    for root, _dirs, files in os.walk(results_dir):
+        for name in sorted(files):
+            path = os.path.join(root, name)
+            size = os.path.getsize(path)
+            if size > limit:
+                found.append((os.path.relpath(path, results_dir), size))
+    return found
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("directory", nargs="?", default=DEFAULT_DIR)
+    parser.add_argument("--limit", type=int, default=DEFAULT_LIMIT,
+                        help="per-file byte budget (default 64 KiB)")
+    args = parser.parse_args(argv)
+    if not os.path.isdir(args.directory):
+        print("results dir %s absent; nothing to check" % args.directory)
+        return 0
+    offenders = oversized(args.directory, args.limit)
+    if offenders:
+        print("results files over the %d-byte budget:" % args.limit)
+        for path, size in offenders:
+            print("  %8d  %s" % (size, path))
+        print("compact these to summary-+-digest form (see "
+              "repro.faults.chaos schema 2 for the pattern).")
+        return 1
+    print("results size OK: %s within %d bytes" % (
+        args.directory, args.limit))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
