@@ -10,8 +10,9 @@ test:
 
 # Tier-1 tests, then a trace-export smoke run validated against the
 # Chrome trace-event schema, then a contention-attribution profiler
-# smoke run over the buffer-pool motivation case.  PYTHONPATH=src so
-# it also works on a fresh checkout without `make install`.
+# smoke run over the buffer-pool motivation case, then a live-dashboard
+# smoke (`watch --once` with HTML export).  PYTHONPATH=src so it also
+# works on a fresh checkout without `make install`.
 verify:
 	PYTHONPATH=src python -m pytest -x -q tests/
 	PYTHONPATH=src python -m repro trace c5 --duration 2 \
@@ -28,6 +29,12 @@ verify:
 	  doc = json.load(open('/tmp/pbox-profile.speedscope.json')); \
 	  assert doc['profiles'][0]['type'] == 'sampled'; \
 	  print('profile OK:', len(doc['shared']['frames']), 'frames')"
+	PYTHONPATH=src python -m repro watch c5 --once --duration 2 \
+	  --html /tmp/pbox-watch.html | tail -n 3
+	PYTHONPATH=src python -c "import io; \
+	  html = io.open('/tmp/pbox-watch.html').read(); \
+	  assert html.startswith('<!DOCTYPE html>') and '<svg' in html; \
+	  print('watch OK:', len(html), 'bytes of dashboard')"
 
 # Documentation checks: every relative markdown link resolves, every
 # fenced `python -m repro ...` example runs (smoke mode, scratch cwd).

@@ -102,10 +102,13 @@ def test_scale_sweep_and_throughput_guard(benchmark):
         # A/B guard first: the comparison is the PR's acceptance number,
         # so it runs before the sweep churns the process heap.
         guard = _ab_throughput(guard_threads, rounds=2 if smoke else 3)
+        # telemetry=True: each point gains the per-tenant SLO section
+        # (schema 2) from its own untimed run -- the timed rounds that
+        # feed the manager-cost subtraction stay subscriber-free.
         document = run_scale_sweep(
             thread_counts=thread_counts, seed=1,
             event_budget=GUARD_EVENT_BUDGET,
-            rounds=1 if smoke else 2,
+            rounds=1 if smoke else 2, telemetry=True,
             progress=lambda p: print(
                 "  %6d threads: %7d ev/s, manager %+.1f%%"
                 % (p["threads"], p["events_per_sec"],

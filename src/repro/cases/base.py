@@ -72,6 +72,12 @@ class CaseEnv:
         # Optional obs.metrics.MetricsRegistry; when set, recorders
         # mirror their samples into per-role latency histograms.
         self.metrics = None
+        # Optional obs.telemetry.TelemetryPipeline; when set, recorders
+        # feed per-role request latencies into it (role as the tenant).
+        self.telemetry = None
+        # Nominal (uncontended) victim latency for slowdown telemetry;
+        # run_case fills it from the case/measured baseline when known.
+        self.nominal_us = None
         self._groups = set()
 
     @property
@@ -81,13 +87,25 @@ class CaseEnv:
 
     def recorder(self, name, victim=False, noisy=False, warmup=True):
         """Create a latency recorder, tracked for result aggregation."""
+        role = "victim" if victim else ("noisy" if noisy else "other")
         histogram = None
         if self.metrics is not None:
-            role = "victim" if victim else ("noisy" if noisy else "other")
             histogram = self.metrics.histogram("latency.%s_us" % role)
+        sink = None
+        if self.telemetry is not None:
+            telemetry = self.telemetry
+            # Slowdown is only meaningful against the victim's known
+            # uncontended baseline; other roles sketch latency alone.
+            nominal = self.nominal_us if victim else None
+
+            def sink(latency_us, completed_at_us, _role=role,
+                     _nominal=nominal):
+                telemetry.record_request(_role, latency_us,
+                                         completed_at_us,
+                                         nominal_us=_nominal)
         recorder = LatencyRecorder(
             name, record_from_us=self.warmup_us if warmup else 0,
-            histogram=histogram,
+            histogram=histogram, sink=sink,
         )
         if victim:
             self.victim_recorders.append(recorder)
@@ -198,7 +216,7 @@ class CaseRun:
 
 def run_case(case, solution, seed=1, baseline_us=None, duration_s=None,
              penalty_engine=None, call_filter=None, isolation_level=None,
-             observer=None):
+             observer=None, driver=None):
     """Run ``case`` once under ``solution`` and return a :class:`CaseRun`.
 
     ``penalty_engine`` (Table 4), ``call_filter`` (Section 6.8), and
@@ -206,7 +224,12 @@ def run_case(case, solution, seed=1, baseline_us=None, duration_s=None,
     experiments vary.  ``observer(env)``, called after the environment
     is assembled but before the case builds, is the attachment point for
     observability (tracepoint subscribers, metrics registries): it may
-    subscribe to ``env.kernel.trace`` and set ``env.metrics``.
+    subscribe to ``env.kernel.trace`` and set ``env.metrics`` /
+    ``env.telemetry``.  ``driver(env)``, when given, replaces the
+    single ``kernel.run`` call and owns advancing the simulation to
+    ``env.duration_us`` -- the ``repro watch`` live view uses it to
+    step the kernel in window-sized increments and render between
+    steps.
     """
     kernel = Kernel(cores=case.cores, seed=seed)
     pbox_on = solution is Solution.PBOX
@@ -229,13 +252,19 @@ def run_case(case, solution, seed=1, baseline_us=None, duration_s=None,
         seed,
     )
     env.interference = solution is not Solution.NO_INTERFERENCE
+    env.nominal_us = baseline_us or case.nominal_baseline_us
     if isolation_level is not None:
         env.isolation_level = isolation_level
     if observer is not None:
         observer(env)
     case.build(env)
     env.finalize()
-    kernel.run(until_us=duration_us)
+    if driver is None:
+        kernel.run(until_us=duration_us)
+    else:
+        driver(env)
+    if env.telemetry is not None:
+        env.telemetry.finalize(kernel.now_us)
 
     victim_samples = []
     for recorder in env.victim_recorders:

@@ -32,6 +32,17 @@ Commands:
                                       recording kernel event throughput
                                       and manager detection cost per
                                       point; writes results/SCALE.json
+                                      (--telemetry adds the per-tenant
+                                      SLO telemetry section, schema 2)
+- ``watch c5 | watch scale``          run a case (or one scale point)
+                                      with the always-on telemetry
+                                      pipeline attached and render a
+                                      live terminal dashboard (per-
+                                      tenant sketches, windowed time-
+                                      series, burn-rate SLO alerts);
+                                      --once prints a single final
+                                      frame, --html exports a self-
+                                      contained dashboard
 - ``chaos [--faults k1,k2]``          sweep cases x fault kinds x seeds
                                       through the deterministic fault-
                                       injection harness; exits non-zero
@@ -476,11 +487,124 @@ def cmd_scale(args):
 
     document = run_scale_sweep(thread_counts=thread_counts,
                                seed=args.seed, event_budget=event_budget,
-                               progress=progress)
+                               progress=progress, telemetry=args.telemetry)
     path = write_scale_json(document, args.out)
     print()
+    if args.telemetry:
+        for point in document["points"]:
+            totals = point["telemetry"]["totals"]
+            print("telemetry @%d threads: %d requests, %d bad, "
+                  "%d breach(es), %d recover(s)"
+                  % (point["threads"], totals["requests"], totals["bad"],
+                     totals["breaches"], totals["recovers"]))
     print("%d point(s) in %.1fs wall; wrote %s"
           % (len(document["points"]), document["wall_s"], path))
+    return 0
+
+
+def _watch_case(args, pipeline, frame):
+    """Drive one case run under ``watch``; returns final virtual time."""
+    from repro.obs.slo import BurnRatePolicy, SLObjective, SLOEvaluator
+
+    case = get_case(args.target)
+    nominal = case.nominal_baseline_us
+    objectives = {}
+    if nominal:
+        # Monitor the victim against its known uncontended baseline:
+        # bad = slower than 3x nominal, with a 90% target.
+        objectives["victim"] = SLObjective(latency_us=int(nominal * 3),
+                                           slowdown=3.0, target=0.9)
+    pipeline.evaluator = SLOEvaluator(
+        objectives, policy=BurnRatePolicy(short_windows=3, long_windows=10,
+                                          threshold=2.0, clear_below=1.0))
+
+    def observer(env):
+        env.telemetry = pipeline
+        pipeline.attach(env.kernel.trace, manager=env.runtime.manager)
+
+    def driver(env):
+        step_us = pipeline.window_us * 5
+        until = step_us
+        while until < env.duration_us:
+            env.kernel.run(until_us=until)
+            frame(pipeline, env.kernel.now_us)
+            until += step_us
+        env.kernel.run(until_us=env.duration_us)
+
+    run = run_case(case, Solution.PBOX, duration_s=args.duration,
+                   seed=args.seed, observer=observer, driver=driver)
+    return run.env.kernel.now_us
+
+
+def _watch_scale(args, pipeline, frame):
+    """Drive one scale point under ``watch``; returns final time."""
+    from repro.scale.scenario import ScaleSpec, build_scale_scenario
+    from repro.scale.sweep import default_scale_evaluator
+
+    pipeline.evaluator = default_scale_evaluator()
+    event_budget = args.event_budget
+    if _smoke_mode():
+        event_budget = min(event_budget, 40_000)
+    spec = ScaleSpec(args.threads, seed=args.seed,
+                     event_budget=event_budget)
+    scenario = build_scale_scenario(spec, telemetry=pipeline)
+    kernel = scenario.kernel
+    step_us = pipeline.window_us * 5
+    until = step_us
+    while until < spec.duration_us:
+        kernel.run(until_us=until)
+        frame(pipeline, kernel.now_us)
+        until += step_us
+    kernel.run(until_us=spec.duration_us)
+    pipeline.finalize(kernel.now_us)
+    return kernel.now_us
+
+
+def cmd_watch(args):
+    """Run a case or a scale point with a live telemetry dashboard.
+
+    The simulation is stepped in five-window increments; between steps
+    the current snapshot is rendered as a terminal frame (cleared in
+    place on a TTY, appended otherwise).  ``--once`` skips the live
+    frames and prints only the final state -- the mode CI smokes.
+    ``--html PATH`` additionally writes the self-contained HTML
+    dashboard at the end of the run.
+    """
+    from repro.obs import TelemetryPipeline, render_frame, write_html
+
+    pipeline = TelemetryPipeline()
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+
+    def frame(pipe, _now_us):
+        if args.once:
+            return
+        snapshot = pipe.snapshot()
+        if clear:
+            print(clear, end="")
+        print(render_frame(snapshot))
+        if not clear:
+            print("-" * 78)
+
+    if args.target == "scale":
+        now_us = _watch_scale(args, pipeline, frame)
+        title = "repro watch scale (%d threads)" % args.threads
+    else:
+        now_us = _watch_case(args, pipeline, frame)
+        title = "repro watch %s" % args.target
+
+    snapshot = pipeline.snapshot()
+    if clear and not args.once:
+        print(clear, end="")
+    print(render_frame(snapshot))
+    breached = ([entry["tenant"] for entry in snapshot["tenants"]
+                 if entry["breached"]])
+    print()
+    print("final: t=%.2fs, %d slo event(s), in breach: %s"
+          % (now_us / 1e6, len(snapshot["slo_events"]),
+             ", ".join(breached) if breached else "none"))
+    if args.html:
+        write_html(snapshot, args.html, title=title)
+        print("wrote %s" % args.html)
     return 0
 
 
@@ -640,6 +764,32 @@ def build_parser():
     scale_parser.add_argument("--out", default="results/SCALE.json",
                               help="output path (default: "
                                    "results/SCALE.json)")
+    scale_parser.add_argument("--telemetry", action="store_true",
+                              help="collect per-tenant SLO telemetry "
+                                   "(sketches, windowed series, breach "
+                                   "events) in an extra untimed run per "
+                                   "point and embed it in SCALE.json")
+
+    watch_parser = sub.add_parser(
+        "watch", help="live per-tenant SLO telemetry dashboard over a "
+                      "case run or a scale point")
+    watch_parser.add_argument(
+        "target", choices=sorted(ALL_CASES, key=_case_order) + ["scale"],
+        help="a case id (runs under pBox) or 'scale'")
+    watch_parser.add_argument("--duration", type=float, default=6,
+                              help="simulated seconds for case targets "
+                                   "(default: 6)")
+    watch_parser.add_argument("--seed", type=int, default=1)
+    watch_parser.add_argument("--threads", type=int, default=200,
+                              help="thread count for the scale target "
+                                   "(default: 200)")
+    watch_parser.add_argument("--event-budget", type=int, default=120_000,
+                              help="kernel event budget for the scale "
+                                   "target (default: 120000)")
+    watch_parser.add_argument("--once", action="store_true",
+                              help="print only the final frame (CI smoke)")
+    watch_parser.add_argument("--html", metavar="PATH", default=None,
+                              help="write a self-contained HTML dashboard")
 
     report_parser = sub.add_parser("report",
                                    help="aggregate results/ into a report")
@@ -658,6 +808,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "chaos": cmd_chaos,
     "scale": cmd_scale,
+    "watch": cmd_watch,
     "report": cmd_report,
 }
 

@@ -160,7 +160,19 @@ class PBoxManager:
             "penalty_clamped": 0,
             "penalty_reverts": 0,
         }
+        # Observability-only dirty set: psids that saw a state event
+        # since the last drain.  This is the window-sized "active set"
+        # the telemetry pipeline gauges -- and the exact set a dirty-set
+        # scan (ROADMAP item 1) would walk instead of all pBoxes.  Kept
+        # out of ``stats`` deliberately: golden documents pin that dict.
+        self.dirty_psids = set()
         kernel.add_resume_hook(self._resume_hook)
+
+    def drain_dirty(self):
+        """Return and reset the set of psids touched since last drain."""
+        dirty = self.dirty_psids
+        self.dirty_psids = set()
+        return dirty
 
     # ------------------------------------------------------------------
     # Lifecycle (Section 4.3.2)
@@ -282,6 +294,7 @@ class PBoxManager:
     def update(self, pbox, key, event):
         """Process one state event (the kernel side of update_pbox)."""
         self.stats["events"] += 1
+        self.dirty_psids.add(pbox.psid)
         now = self.kernel.now_us
         if self._tp_event.active:
             self._tp_event.fire(now, pbox=pbox, key=key, event=event)

@@ -24,9 +24,25 @@ provides both halves for the reproduction:
 - :mod:`repro.obs.profile` -- virtual-time flame profiles folded from
   recorded spans: flamegraph.pl folded stacks, speedscope JSON, and a
   self-contained HTML summary.
+- :mod:`repro.obs.sketch` -- mergeable DDSketch-style quantile
+  sketches with order-independent canonical serialization.
+- :mod:`repro.obs.slo` -- per-tenant SLO objectives with multi-window
+  burn-rate alerting.
+- :mod:`repro.obs.telemetry` -- the always-on per-tenant telemetry
+  pipeline: sketches + windowed time-series + SLO evaluation, emitting
+  derived ``slo.*`` tracepoints (excluded from golden digests).
+- :mod:`repro.obs.dashboard` -- terminal and self-contained HTML
+  renderers over telemetry snapshots (the ``repro watch`` views).
 """
 
-from repro.obs.tracepoints import CATALOG, Tracepoint, TracepointBus, key_label
+from repro.obs.tracepoints import (
+    CATALOG,
+    DERIVED_PREFIXES,
+    Tracepoint,
+    TracepointBus,
+    is_derived,
+    key_label,
+)
 from repro.obs.spans import SpanRecorder
 from repro.obs.attribution import (
     AttributionProfiler,
@@ -47,24 +63,39 @@ from repro.obs.metrics import (
     MetricsCollector,
     MetricsRegistry,
 )
+from repro.obs.sketch import QuantileSketch, merge_all
+from repro.obs.slo import BurnRatePolicy, SLObjective, SLOEvaluator
+from repro.obs.telemetry import TelemetryPipeline, tenant_of
+from repro.obs.dashboard import render_frame, render_html, write_html
 
 __all__ = [
     "AttributionProfiler",
     "BlameMatrix",
+    "BurnRatePolicy",
     "CATALOG",
     "Counter",
+    "DERIVED_PREFIXES",
     "FoldedProfile",
     "WaitForGraph",
     "Gauge",
     "Histogram",
     "MetricsCollector",
     "MetricsRegistry",
+    "QuantileSketch",
+    "SLOEvaluator",
+    "SLObjective",
     "SpanRecorder",
+    "TelemetryPipeline",
     "Tracepoint",
     "TracepointBus",
     "chrome_trace",
     "chrome_trace_events",
+    "is_derived",
     "key_label",
+    "merge_all",
+    "render_frame",
+    "render_html",
+    "tenant_of",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]

@@ -19,7 +19,7 @@ versions.
 
 import hashlib
 
-from repro.obs.tracepoints import key_label
+from repro.obs.tracepoints import is_derived, key_label
 
 #: Events per rolling checkpoint in a golden document.
 CHECKPOINT_EVERY = 4096
@@ -28,6 +28,11 @@ CHECKPOINT_EVERY = 4096
 #: the document layout changes; regenerating the corpus is then
 #: mandatory).
 GOLDEN_SCHEMA = 1
+
+
+def canonical_names(bus):
+    """The bus's tracepoint names minus the derived namespaces."""
+    return [name for name in bus.names() if not is_derived(name)]
 
 
 def canonical_value(value):
@@ -93,8 +98,13 @@ class TraceDigest:
             self.checkpoints.append(self._sha.hexdigest())
 
     def attach(self, bus):
-        """Subscribe to every tracepoint of ``bus``."""
-        bus.subscribe_all(self)
+        """Subscribe to every *canonical* tracepoint of ``bus``.
+
+        Derived points (``slo.*`` -- fired by observability subscribers,
+        not the simulation) are excluded: the canonical stream must be
+        identical whether or not telemetry is attached.
+        """
+        bus.subscribe_all(self, names=canonical_names(bus))
         return self
 
     def detach(self, bus):
@@ -135,7 +145,7 @@ class WindowRecorder:
                                                              fields)))
 
     def attach(self, bus):
-        bus.subscribe_all(self)
+        bus.subscribe_all(self, names=canonical_names(bus))
         return self
 
 

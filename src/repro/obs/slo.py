@@ -1,0 +1,186 @@
+"""Per-tenant SLO objectives and multi-window burn-rate alerting.
+
+An :class:`SLObjective` declares what "good" means for one tenant: a
+request is *good* when its latency is at or below ``latency_us`` (when
+set) **and** its slowdown ratio -- measured latency over the workload's
+nominal uncontended latency -- is at or below ``slowdown``.  ``target``
+is the fraction of requests that must be good (e.g. 0.95), leaving an
+error budget of ``1 - target``.
+
+Alerting follows the SRE multi-window burn-rate recipe: the *burn rate*
+of a window is its bad-request fraction divided by the error budget (a
+burn of 1.0 exhausts the budget exactly at the target horizon; 2.0
+exhausts it twice as fast).  A breach fires only when **both** a short
+window (fast signal) and a long window (evidence it is not a blip)
+burn above ``threshold``; recovery fires when the short-window burn
+falls below ``clear_below``.  Requiring both windows suppresses
+one-window noise without giving up responsiveness -- the short window
+gates how fast an alert can clear, the long window how easily one bad
+burst can raise it.
+
+The evaluator is driven by the telemetry pipeline once per closed
+virtual-time window, so its behavior is a pure function of the
+simulated run: deterministic, replayable, and cheap (a ring buffer sum
+per tenant per window).
+"""
+
+
+class SLObjective:
+    """What "good" means for one tenant's requests."""
+
+    __slots__ = ("latency_us", "slowdown", "target")
+
+    def __init__(self, latency_us=None, slowdown=None, target=0.95):
+        if latency_us is None and slowdown is None:
+            raise ValueError("objective needs latency_us and/or slowdown")
+        if not 0.0 < target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        self.latency_us = latency_us
+        self.slowdown = slowdown
+        self.target = target
+
+    @property
+    def error_budget(self):
+        """Allowed bad-request fraction (``1 - target``)."""
+        return 1.0 - self.target
+
+    def is_good(self, latency_us, slowdown=None):
+        """True when a request meets every configured bound."""
+        if self.latency_us is not None and latency_us > self.latency_us:
+            return False
+        if self.slowdown is not None and slowdown is not None \
+                and slowdown > self.slowdown:
+            return False
+        return True
+
+    def to_dict(self):
+        return {"latency_us": self.latency_us, "slowdown": self.slowdown,
+                "target": self.target}
+
+    def __repr__(self):
+        return "SLObjective(latency_us=%r, slowdown=%r, target=%r)" % (
+            self.latency_us, self.slowdown, self.target)
+
+
+class BurnRatePolicy:
+    """Window counts and thresholds for breach/recover decisions."""
+
+    __slots__ = ("short_windows", "long_windows", "threshold",
+                 "clear_below")
+
+    def __init__(self, short_windows=5, long_windows=30, threshold=2.0,
+                 clear_below=1.0):
+        if short_windows < 1 or long_windows < short_windows:
+            raise ValueError("need 1 <= short_windows <= long_windows")
+        if clear_below > threshold:
+            raise ValueError("clear_below must not exceed threshold")
+        self.short_windows = short_windows
+        self.long_windows = long_windows
+        self.threshold = threshold
+        self.clear_below = clear_below
+
+    def to_dict(self):
+        return {"short_windows": self.short_windows,
+                "long_windows": self.long_windows,
+                "threshold": self.threshold,
+                "clear_below": self.clear_below}
+
+
+class _TenantState:
+    """Ring buffer of (good, bad) per window plus the breach latch."""
+
+    __slots__ = ("rows", "breached", "breached_since_us")
+
+    def __init__(self):
+        self.rows = []            # newest last: (good, bad) per window
+        self.breached = False
+        self.breached_since_us = None
+
+    def push(self, good, bad, capacity):
+        self.rows.append((good, bad))
+        if len(self.rows) > capacity:
+            del self.rows[:len(self.rows) - capacity]
+
+    def burn_rate(self, windows, error_budget):
+        """Burn rate over the newest ``windows`` rows (0.0 when idle)."""
+        good = bad = 0
+        for row_good, row_bad in self.rows[-windows:]:
+            good += row_good
+            bad += row_bad
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / error_budget
+
+
+class SLOEvaluator:
+    """Window-driven breach/recover state machine over all tenants.
+
+    Feed one ``observe_window`` call per tenant per closed window; each
+    call returns a list of event dicts (possibly empty) describing the
+    transitions to emit.  The caller owns turning those into
+    ``slo.breach`` / ``slo.recover`` tracepoint firings.
+    """
+
+    def __init__(self, objectives, default=None, policy=None):
+        #: tenant -> SLObjective; ``default`` covers unlisted tenants.
+        self.objectives = dict(objectives or {})
+        self.default = default
+        self.policy = policy or BurnRatePolicy()
+        self._states = {}
+
+    def objective_for(self, tenant):
+        """The objective governing ``tenant`` (or None: unmonitored)."""
+        return self.objectives.get(tenant, self.default)
+
+    def observe_window(self, tenant, good, bad, now_us):
+        """Account one closed window; returns transition event dicts."""
+        objective = self.objective_for(tenant)
+        if objective is None:
+            return []
+        state = self._states.get(tenant)
+        if state is None:
+            state = self._states[tenant] = _TenantState()
+        state.push(good, bad, self.policy.long_windows)
+
+        budget = objective.error_budget
+        short = state.burn_rate(self.policy.short_windows, budget)
+        long_ = state.burn_rate(self.policy.long_windows, budget)
+
+        events = []
+        if not state.breached:
+            if short >= self.policy.threshold \
+                    and long_ >= self.policy.threshold:
+                state.breached = True
+                state.breached_since_us = now_us
+                events.append({
+                    "kind": "breach", "tenant": tenant, "time_us": now_us,
+                    "burn_short": round(short, 4),
+                    "burn_long": round(long_, 4),
+                })
+        else:
+            if short < self.policy.clear_below:
+                duration = now_us - state.breached_since_us
+                state.breached = False
+                state.breached_since_us = None
+                events.append({
+                    "kind": "recover", "tenant": tenant, "time_us": now_us,
+                    "burn_short": round(short, 4),
+                    "breach_us": duration,
+                })
+        return events
+
+    def breached_tenants(self):
+        """Sorted tenants currently latched in breach."""
+        return sorted(tenant for tenant, state in self._states.items()
+                      if state.breached)
+
+    def burn_rates(self, tenant):
+        """(short, long) burn rates for ``tenant`` right now."""
+        objective = self.objective_for(tenant)
+        state = self._states.get(tenant)
+        if objective is None or state is None:
+            return (0.0, 0.0)
+        budget = objective.error_budget
+        return (state.burn_rate(self.policy.short_windows, budget),
+                state.burn_rate(self.policy.long_windows, budget))

@@ -56,7 +56,24 @@ CATALOG = [
     ("pool.dispatch", "worker picks a task (pool, psid, queued_us)"),
     ("pool.complete", "task finished (pool, psid, service_us)"),
     ("app.note", "application state note (what, plus point-specific fields)"),
+    ("slo.breach", "tenant SLO burn-rate breach -- derived (tenant, "
+                   "burn_short, burn_long)"),
+    ("slo.recover", "tenant SLO recovered -- derived (tenant, "
+                    "burn_short, breach_us)"),
 ]
+
+#: Namespaces of *derived* tracepoints: points fired by observability
+#: subscribers (the SLO evaluator) rather than by the simulation
+#: itself.  The golden digest excludes them from the canonical stream,
+#: so attaching telemetry can never flip a golden trace -- and derived
+#: emissions stay consumable by everything else on the bus (chaos
+#: invariants, the attribution profiler, ``repro watch``).
+DERIVED_PREFIXES = ("slo.",)
+
+
+def is_derived(name):
+    """True when ``name`` is in a derived (non-canonical) namespace."""
+    return name.startswith(DERIVED_PREFIXES)
 
 
 def key_label(key):

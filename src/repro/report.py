@@ -4,8 +4,9 @@ The benchmarks each write a tab-separated table; this module stitches
 them into a single markdown document (the "evaluation section" of the
 reproduction), used by ``python -m repro`` consumers and CI logs.  It
 is intentionally forgiving: missing result files are reported as "not
-yet generated" rather than failing, so a partial benchmark run still
-produces a useful report.
+yet generated", and a file that exists but cannot be rendered (an
+older schema, a truncated write, hand-edited JSON) degrades to a
+one-line "section skipped" note rather than failing the whole report.
 """
 
 import os
@@ -79,6 +80,53 @@ def _as_markdown_table(lines):
     return output
 
 
+def _section_skipped(filename, exc):
+    """The degraded one-liner for an unrenderable results artifact."""
+    return ["*(section skipped: `results/%s` could not be rendered "
+            "(%s: %s) — regenerate it with the current tools)*"
+            % (filename, type(exc).__name__, exc)]
+
+
+def _load_safely(loader, results_dir, filename):
+    """Run ``loader``; degrade render errors to a skip note.
+
+    ``None`` (file absent) passes through untouched.  Anything the
+    renderers raise on a malformed or older-schema artifact -- missing
+    keys, wrong value shapes, truncated JSON -- becomes the one-line
+    skip note instead of a crashed report.
+    """
+    import json
+
+    try:
+        return loader(results_dir)
+    except (KeyError, IndexError, TypeError, ValueError, AttributeError,
+            json.JSONDecodeError, OSError) as exc:
+        return _section_skipped(filename, exc)
+
+
+#: The JSON-backed sections appended after the tab-separated tables:
+#: (title, renderer, artifact filename, regeneration hint).  Renderers
+#: are wrapped in lambdas because they are defined below.
+JSON_SECTIONS = [
+    ("Observability — unified metrics registry",
+     lambda d: _load_metrics_section(d), METRICS_SNAPSHOT,
+     "run `python -m repro metrics` with `--json results/%s`"),
+    ("Observability — contention attribution",
+     lambda d: _load_attribution_section(d), ATTRIBUTION_SNAPSHOT,
+     "run `PYTHONPATH=src python -m pytest "
+     "benchmarks/test_profile_overhead.py`"),
+    ("Sweep — registry-wide To/Ti/Ts summary",
+     lambda d: _load_sweep_section(d), SWEEP_SNAPSHOT,
+     "run `python -m repro sweep`"),
+    ("Chaos — fault injection & invariants",
+     lambda d: _load_chaos_section(d), CHAOS_SNAPSHOT,
+     "run `python -m repro chaos`"),
+    ("Scale — multi-tenant kernel scalability",
+     lambda d: _load_scale_section(d), SCALE_SNAPSHOT,
+     "run `python -m repro scale --telemetry`"),
+]
+
+
 def generate_report(results_dir="results"):
     """Build the markdown report string from ``results_dir``."""
     parts = [
@@ -100,57 +148,21 @@ def generate_report(results_dir="results"):
         else:
             parts.extend(_as_markdown_table(lines))
         parts.append("")
-    parts.append("## Observability — unified metrics registry")
-    parts.append("")
-    metrics_lines = _load_metrics_section(results_dir)
-    if metrics_lines is None:
-        parts.append("*(not yet generated — run `python -m repro metrics "
-                     "<case> --json results/%s`)*" % METRICS_SNAPSHOT)
-        missing.append(METRICS_SNAPSHOT)
-    else:
-        parts.extend(metrics_lines)
-    parts.append("")
-    parts.append("## Observability — contention attribution")
-    parts.append("")
-    attribution_lines = _load_attribution_section(results_dir)
-    if attribution_lines is None:
-        parts.append("*(not yet generated — run `PYTHONPATH=src python -m "
-                     "pytest benchmarks/test_profile_overhead.py`)*")
-        missing.append(ATTRIBUTION_SNAPSHOT)
-    else:
-        parts.extend(attribution_lines)
-    parts.append("")
-    parts.append("## Sweep — registry-wide To/Ti/Ts summary")
-    parts.append("")
-    sweep_lines = _load_sweep_section(results_dir)
-    if sweep_lines is None:
-        parts.append("*(not yet generated — run `python -m repro sweep`)*")
-        missing.append(SWEEP_SNAPSHOT)
-    else:
-        parts.extend(sweep_lines)
-    parts.append("")
-    parts.append("## Chaos — fault injection & invariants")
-    parts.append("")
-    chaos_lines = _load_chaos_section(results_dir)
-    if chaos_lines is None:
-        parts.append("*(not yet generated — run `python -m repro chaos`)*")
-        missing.append(CHAOS_SNAPSHOT)
-    else:
-        parts.extend(chaos_lines)
-    parts.append("")
-    parts.append("## Scale — multi-tenant kernel scalability")
-    parts.append("")
-    scale_lines = _load_scale_section(results_dir)
-    if scale_lines is None:
-        parts.append("*(not yet generated — run `python -m repro scale`)*")
-        missing.append(SCALE_SNAPSHOT)
-    else:
-        parts.extend(scale_lines)
-    parts.append("")
+    for title, loader, filename, hint in JSON_SECTIONS:
+        parts.append("## %s" % title)
+        parts.append("")
+        lines = _load_safely(loader, results_dir, filename)
+        if lines is None:
+            parts.append("*(not yet generated — %s)*"
+                         % (hint % filename if "%s" in hint else hint))
+            missing.append(filename)
+        else:
+            parts.extend(lines)
+        parts.append("")
     if missing:
         parts.append("---")
-        parts.append("%d of %d sections missing." % (len(missing),
-                                                     len(SECTIONS) + 5))
+        parts.append("%d of %d sections missing."
+                     % (len(missing), len(SECTIONS) + len(JSON_SECTIONS)))
     return "\n".join(parts)
 
 
@@ -345,6 +357,44 @@ def _load_scale_section(results_dir):
                 manager.get("cost_per_event_us", 0.0),
                 100.0 * manager.get("overhead_frac", 0.0),
             ))
+    telemetry_lines = _scale_telemetry_lines(snapshot)
+    if telemetry_lines:
+        lines.append("")
+        lines.extend(telemetry_lines)
+    return lines
+
+
+def _scale_telemetry_lines(snapshot):
+    """Per-tenant SLO telemetry rows for schema-2 scale documents."""
+    rows = []
+    for point in snapshot.get("points", []):
+        telemetry = point.get("telemetry")
+        if not telemetry:
+            continue
+        totals = telemetry.get("totals", {})
+        dropped = telemetry.get("dropped", {})
+        windows = telemetry.get("windows", {}).get("rows", [])
+        peak_active = max((row[9] for row in windows), default=0)
+        rows.append("| %s | %s | %s | %d | %d | %d | %d |" % (
+            "{:,}".format(point.get("threads", 0)),
+            "{:,}".format(totals.get("requests", 0)),
+            "{:,}".format(totals.get("bad", 0)),
+            totals.get("breaches", 0),
+            totals.get("recovers", 0),
+            peak_active,
+            dropped.get("tenants_recorded", 0),
+        ))
+    if not rows:
+        return []
+    lines = [
+        "Per-tenant SLO telemetry (schema 2, `--telemetry`): sketches, "
+        "windowed series and burn-rate breach events per point.",
+        "",
+        "| threads | requests | bad | breaches | recovers | "
+        "peak active set | tenants |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    lines.extend(rows)
     return lines
 
 

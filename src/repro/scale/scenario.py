@@ -28,6 +28,20 @@ from repro.workloads import closed_loop_client
 #: Worker threads per tenant (one of which is the connection client).
 WORKERS_PER_TENANT = 20
 
+#: Approximate uncontended request latency per (app kind, role), used
+#: as the slowdown denominator for SLO telemetry.  Derived from the
+#: request factories below (service work plus fixed per-request model
+#: overhead); the values only scale the slowdown axis -- they never
+#: feed scheduling, so they cannot affect determinism.
+NOMINAL_REQUEST_US = {
+    ("mysql", "oltp"): 900,      # pk_insert: 2 ops x 400us work
+    ("mysql", "batch"): 300,     # nopk_insert: 2 ops x 100us work
+    ("pg", "oltp"): 400,         # other_table_query: 150us work
+    ("pg", "batch"): 2_200,      # lock_table_scan: 2,000us scan
+    ("apache", "oltp"): 300,     # static, 200us service
+    ("apache", "batch"): 800,    # static, 700us service
+}
+
 
 class ScaleSpec:
     """Parameters of one scale point.
@@ -96,13 +110,22 @@ class RequestCounter:
     the sweep only needs aggregate throughput and mean latency.
     """
 
-    def __init__(self):
+    def __init__(self, telemetry=None, tenant=None, nominal_us=None):
         self.count = 0
         self.total_us = 0
+        # Optional telemetry mirror (TelemetryPipeline): request
+        # latencies reach the pipeline off-bus, tagged by tenant.
+        self.telemetry = telemetry
+        self.tenant = tenant
+        self.nominal_us = nominal_us
 
     def record(self, latency_us, _finished_us=None):
         self.count += 1
         self.total_us += latency_us
+        if self.telemetry is not None:
+            self.telemetry.record_request(
+                self.tenant, latency_us, _finished_us or 0,
+                nominal_us=self.nominal_us)
 
     @property
     def mean_us(self):
@@ -119,6 +142,7 @@ class ScaleScenario:
         self.runtime = runtime
         self.servers = []
         self.request_counters = []
+        self.telemetry = None
 
     def total_requests(self):
         return sum(counter.count for counter in self.request_counters)
@@ -126,6 +150,8 @@ class ScaleScenario:
     def run(self):
         """Run to the spec's horizon; returns the kernel for chaining."""
         self.kernel.run(until_us=self.spec.duration_us)
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.kernel.now_us)
         return self.kernel
 
 
@@ -212,13 +238,19 @@ def _cv_notifier_body(key, rng, stop_us, period_us=1_000):
 APP_KINDS = ("mysql", "pg", "apache")
 
 
-def build_scale_scenario(spec, kernel_binder=None):
+def build_scale_scenario(spec, kernel_binder=None, telemetry=None):
     """Build the kernel, manager, tenants and workers for ``spec``.
 
     ``kernel_binder(kernel, manager)``, when given, runs before any
     thread is spawned -- the A/B throughput guard uses it to rebind the
     kernel's hot paths to their pre-PR implementations so both kernels
     execute the identical scenario.
+
+    ``telemetry`` (a :class:`~repro.obs.telemetry.TelemetryPipeline`),
+    when given, is attached to the kernel's bus (bound to the manager's
+    dirty set) and every connection's request counter mirrors into it,
+    tagged ``t<N>`` with the role's nominal latency as the slowdown
+    denominator.
     """
     kernel = Kernel(cores=spec.cores, seed=spec.seed)
     manager = PBoxManager(kernel, enabled=spec.manager_enabled)
@@ -226,7 +258,10 @@ def build_scale_scenario(spec, kernel_binder=None):
                           enabled=spec.manager_enabled)
     if kernel_binder is not None:
         kernel_binder(kernel, manager)
+    if telemetry is not None:
+        telemetry.attach(kernel.trace, manager=manager)
     scenario = ScaleScenario(spec, kernel, manager, runtime)
+    scenario.telemetry = telemetry
     stop_us = spec.duration_us
     for tenant in range(spec.tenants):
         kind = APP_KINDS[tenant % len(APP_KINDS)]
@@ -237,7 +272,9 @@ def build_scale_scenario(spec, kernel_binder=None):
         # so every tenant contributes cross-pBox defer/blame traffic.
         for role, noisy in (("oltp", False), ("batch", True)):
             conn_rng = kernel.rng("scale.t%d.%s" % (tenant, role))
-            counter = RequestCounter()
+            counter = RequestCounter(
+                telemetry=telemetry, tenant="t%d" % tenant,
+                nominal_us=NOMINAL_REQUEST_US[(kind, role)])
             scenario.request_counters.append(counter)
             body = closed_loop_client(
                 kernel,

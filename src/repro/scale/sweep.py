@@ -17,9 +17,20 @@ import json
 import os
 import time
 
+from repro.obs.slo import BurnRatePolicy, SLObjective, SLOEvaluator
+from repro.obs.telemetry import TelemetryPipeline
 from repro.scale.scenario import ScaleSpec, build_scale_scenario
 
-SCALE_SCHEMA = 1
+#: Schema 2 adds the optional per-point ``telemetry`` section
+#: (per-tenant sketches + windowed time-series + SLO events) written by
+#: ``--telemetry`` runs; schema-1 consumers must treat it as absent.
+SCALE_SCHEMA = 2
+
+#: Per-point byte budget for the telemetry section, sized so a full
+#: six-point sweep with telemetry stays inside the repo-wide 64 KiB
+#: results cap (tools/check_results_size.py) with headroom for the
+#: timing fields and the throughput guard snapshot.
+TELEMETRY_BUDGET_BYTES = 8 * 1024
 
 #: The tentpole sweep: ~100 threads (5 tenants) to 10,000 (500 tenants).
 DEFAULT_THREAD_COUNTS = (100, 500, 1000, 2000, 5000, 10000)
@@ -43,13 +54,54 @@ def _run_spec(spec):
     return wall_s, events, run_events, scenario
 
 
-def measure_scale_point(threads, seed=1, event_budget=250_000, rounds=2):
+def default_scale_evaluator():
+    """The sweep's SLO configuration: slowdown-based, one default.
+
+    Every tenant shares one objective -- at most 10% of requests slower
+    than 5x the role's nominal latency -- with a short/long burn-rate
+    policy sized to the ~100ms windows of a scale run (a few hundred
+    milliseconds of sustained burn to alert, one quiet short-window to
+    clear).  At the default sweep parameters this separates tenants:
+    heavily contended ones latch into breach while lighter ones stay
+    within budget, which is the story the dashboard is for.
+    """
+    return SLOEvaluator(
+        objectives={},
+        default=SLObjective(slowdown=5.0, target=0.9),
+        policy=BurnRatePolicy(short_windows=3, long_windows=10,
+                              threshold=2.0, clear_below=1.0),
+    )
+
+
+def collect_scale_telemetry(threads, seed=1, event_budget=250_000,
+                            budget_bytes=TELEMETRY_BUDGET_BYTES):
+    """One untimed telemetry run of a sweep point; returns the section.
+
+    Telemetry is collected in its own run, *not* during the timed
+    rounds: the manager-cost number is a wall-clock subtraction between
+    two runs of the identical event stream, and an attached subscriber
+    would pollute both sides of that subtraction.  Virtual time is
+    deterministic, so the untimed run sees exactly the same simulation
+    the timed rounds measured.
+    """
+    spec = ScaleSpec(threads, seed=seed, manager_enabled=True,
+                     event_budget=event_budget)
+    pipeline = TelemetryPipeline(evaluator=default_scale_evaluator())
+    scenario = build_scale_scenario(spec, telemetry=pipeline)
+    scenario.run()
+    return pipeline.to_json_dict(budget_bytes=budget_bytes)
+
+
+def measure_scale_point(threads, seed=1, event_budget=250_000, rounds=2,
+                        telemetry=False):
     """Measure one sweep point; returns a JSON-ready dict.
 
     The manager's detection cost is a wall-clock subtraction (enabled
     minus disabled run of the identical event stream), so both variants
     run ``rounds`` times interleaved and the minimum wall per variant
     is used -- the standard noise floor for timing on a shared host.
+    ``telemetry`` adds the per-tenant section from a separate untimed
+    run (see :func:`collect_scale_telemetry`).
     """
     spec = ScaleSpec(threads, seed=seed, manager_enabled=True,
                      event_budget=event_budget)
@@ -65,7 +117,7 @@ def measure_scale_point(threads, seed=1, event_budget=250_000, rounds=2):
     wall_s, base_wall_s = min(walls), min(base_walls)
     manager_cost_s = max(0.0, wall_s - base_wall_s)
     manager_stats = dict(scenario.manager.stats)
-    return {
+    point = {
         "threads": spec.threads,
         "tenants": spec.tenants,
         "pboxes": 2 * spec.tenants,  # two connection pBoxes per tenant
@@ -89,17 +141,22 @@ def measure_scale_point(threads, seed=1, event_budget=250_000, rounds=2):
         },
         "baseline_requests": base_scenario.total_requests(),
     }
+    if telemetry:
+        point["telemetry"] = collect_scale_telemetry(
+            threads, seed=seed, event_budget=event_budget)
+    return point
 
 
 def run_scale_sweep(thread_counts=DEFAULT_THREAD_COUNTS, seed=1,
-                    event_budget=250_000, rounds=2, progress=None):
+                    event_budget=250_000, rounds=2, progress=None,
+                    telemetry=False):
     """Sweep ``thread_counts`` and return the SCALE.json document."""
     points = []
     start = time.perf_counter()
     for threads in thread_counts:
         point = measure_scale_point(threads, seed=seed,
                                     event_budget=event_budget,
-                                    rounds=rounds)
+                                    rounds=rounds, telemetry=telemetry)
         points.append(point)
         if progress is not None:
             progress(point)
@@ -107,19 +164,42 @@ def run_scale_sweep(thread_counts=DEFAULT_THREAD_COUNTS, seed=1,
         "schema": SCALE_SCHEMA,
         "seed": seed,
         "event_budget": event_budget,
+        "telemetry": bool(telemetry),
         "wall_s": round(time.perf_counter() - start, 2),
         "points": points,
     }
 
 
 def write_scale_json(document, out_path="results/SCALE.json"):
-    """Atomically write the sweep document."""
+    """Atomically write the sweep document.
+
+    Points are one compact line each (no inner indentation): an
+    indented dump would put every delta-encoded sketch integer on its
+    own line, inflating a telemetry sweep ~3x past the repo-wide 64 KiB
+    results cap the per-point budget was sized against.
+    """
     out_dir = os.path.dirname(out_path)
     if out_dir:
         os.makedirs(out_dir, exist_ok=True)
     tmp = out_path + ".tmp"
     with open(tmp, "w") as handle:
-        json.dump(document, handle, indent=1, sort_keys=True)
-        handle.write("\n")
+        handle.write("{\n")
+        keys = sorted(document)
+        for position, key in enumerate(keys):
+            comma = "," if position < len(keys) - 1 else ""
+            if key == "points":
+                handle.write(' "points": [\n')
+                points = document["points"]
+                for index, point in enumerate(points):
+                    line = json.dumps(point, sort_keys=True,
+                                      separators=(",", ":"))
+                    tail = "," if index < len(points) - 1 else ""
+                    handle.write("  %s%s\n" % (line, tail))
+                handle.write(" ]%s\n" % comma)
+            else:
+                handle.write(' "%s": %s%s\n' % (
+                    key, json.dumps(document[key], sort_keys=True,
+                                    separators=(",", ":")), comma))
+        handle.write("}\n")
     os.replace(tmp, out_path)
     return out_path

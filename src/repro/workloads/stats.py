@@ -49,7 +49,8 @@ class LatencyRecorder:
     way the paper's 90-second runs do.
     """
 
-    def __init__(self, name="client", record_from_us=0, histogram=None):
+    def __init__(self, name="client", record_from_us=0, histogram=None,
+                 sink=None):
         self.name = name
         self.record_from_us = record_from_us
         self.samples_us = []
@@ -57,6 +58,11 @@ class LatencyRecorder:
         # Optional obs.metrics.Histogram mirror: every accepted sample
         # also lands in the shared metrics registry.
         self.histogram = histogram
+        # Optional ``sink(latency_us, completed_at_us)`` mirror: the
+        # telemetry pipeline hooks request latencies here, off the
+        # tracepoint bus, so the canonical trace stream never carries
+        # telemetry traffic.
+        self.sink = sink
 
     def record(self, latency_us, completed_at_us):
         """Record one request's latency, honoring the warmup cutoff."""
@@ -66,6 +72,8 @@ class LatencyRecorder:
         self.completion_times_us.append(completed_at_us)
         if self.histogram is not None:
             self.histogram.record(latency_us)
+        if self.sink is not None:
+            self.sink(latency_us, completed_at_us)
 
     @property
     def count(self):

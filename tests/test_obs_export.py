@@ -103,6 +103,32 @@ def test_exporter_trace_object_and_file_roundtrip(tmp_path):
     assert validate_chrome_trace(loaded)["events"] == len(obj["traceEvents"])
 
 
+def test_exporter_drops_unpaired_flow_events():
+    # A detection whose penalty never landed leaves a dangling flow
+    # start; the exporter must omit it so Perfetto's importer (which
+    # rejects finishes without starts and warns on the reverse) always
+    # gets matched pairs.
+    recorder, _manager = run_interference_scenario()
+    recorder.flow_starts.append(("thread", 1, "dangling-flow", 123))
+    events = chrome_trace_events(recorder)
+    flow_ids = [e["id"] for e in events if e["ph"] in ("s", "f")]
+    assert "dangling-flow" not in flow_ids
+    assert validate_chrome_trace(events)["flows_paired"] >= 1
+
+
+def test_flow_pairs_share_id_and_are_causally_ordered():
+    recorder, _manager = run_interference_scenario()
+    events = chrome_trace_events(recorder)
+    starts = {e["id"]: e for e in events if e["ph"] == "s"}
+    ends = {e["id"]: e for e in events if e["ph"] == "f"}
+    assert starts and set(starts) == set(ends)
+    for flow, start in starts.items():
+        end = ends[flow]
+        assert start["name"] == end["name"] == "detection->penalty"
+        # Detection happens at or before the penalty it caused.
+        assert start["ts"] <= end["ts"]
+
+
 def test_validate_rejects_malformed_traces():
     with pytest.raises(ValueError):
         validate_chrome_trace("nope")

@@ -88,6 +88,37 @@ def test_histogram_merge_equals_combined_recording():
     assert first.percentile_bounds(95) == combined.percentile_bounds(95)
 
 
+def test_histogram_merge_is_order_independent():
+    # Merging is bucket-count addition, so any fold order produces the
+    # same histogram -- the property the telemetry sketches inherit.
+    rng = random.Random(13)
+    parts = [[rng.randint(0, 100_000) for _ in range(50)] for _ in range(4)]
+
+    def fold(order):
+        merged = Histogram("m")
+        for index in order:
+            part = Histogram("p")
+            part.record_many(parts[index])
+            merged.merge(part)
+        return merged
+
+    forward = fold([0, 1, 2, 3])
+    shuffled = fold([2, 0, 3, 1])
+    assert forward.buckets == shuffled.buckets
+    assert forward.count == shuffled.count
+    assert forward.min_value == shuffled.min_value
+    assert forward.max_value == shuffled.max_value
+
+
+def test_histogram_merge_with_empty_is_identity():
+    histogram = Histogram("h")
+    histogram.record_many([5, 10, 20])
+    before = dict(histogram.buckets)
+    histogram.merge(Histogram("empty"))
+    assert histogram.buckets == before
+    assert histogram.count == 3
+
+
 def test_histogram_empty_raises():
     histogram = Histogram("h")
     with pytest.raises(ValueError):

@@ -1,0 +1,131 @@
+"""Tests for the mergeable quantile sketch: merge algebra, canonical
+bytes, percentile agreement with the exact metrics histogram."""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import Histogram
+from repro.obs.sketch import QuantileSketch, merge_all
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+values_lists = st.lists(st.integers(0, 2_000_000), max_size=120)
+
+
+def _sketch_of(values, name="s"):
+    sketch = QuantileSketch(name)
+    for value in values:
+        sketch.record(value)
+    return sketch
+
+
+def test_record_tracks_count_total_and_extremes():
+    sketch = _sketch_of([5, 100, 7_000])
+    assert sketch.count == 3
+    assert len(sketch) == 3
+    assert sketch.total == 7_105
+    assert sketch.min_value == 5
+    assert sketch.max_value == 7_000
+    assert sketch.mean() == pytest.approx(7_105 / 3)
+
+
+def test_negative_values_clamp_to_zero():
+    sketch = _sketch_of([-42])
+    assert sketch.count == 1
+    assert sketch.min_value == 0
+    assert sketch.total == 0
+
+
+def test_empty_sketch_is_benign():
+    sketch = QuantileSketch()
+    assert sketch.mean() == 0.0
+    assert sketch.percentile(95) == 0
+    assert sketch.to_bytes() == merge_all([]).to_bytes()
+
+
+def test_percentile_matches_histogram_convention():
+    # The sketch shares the metrics histogram's bucket layout and
+    # nearest-rank upper-bound convention, so on the same samples the
+    # two must agree exactly.
+    rng = random.Random(11)
+    samples = [rng.randint(0, 500_000) for _ in range(3_000)]
+    sketch = _sketch_of(samples)
+    histogram = Histogram("h")
+    histogram.record_many(samples)
+    for p in (0, 50, 90, 95, 99, 100):
+        assert sketch.percentile(p) == histogram.percentile(p)
+
+
+def test_percentile_rejects_out_of_range():
+    sketch = _sketch_of([1])
+    with pytest.raises(ValueError):
+        sketch.percentile(101)
+
+
+def test_merge_equals_combined_recording():
+    rng = random.Random(3)
+    first = [rng.randint(0, 50_000) for _ in range(400)]
+    second = [rng.randint(0, 50_000) for _ in range(300)]
+    merged = _sketch_of(first).merge(_sketch_of(second))
+    combined = _sketch_of(first + second)
+    assert merged.buckets == combined.buckets
+    assert merged.to_bytes() == combined.to_bytes()
+
+
+def test_copy_is_independent():
+    sketch = _sketch_of([10, 20])
+    duplicate = sketch.copy()
+    duplicate.record(30)
+    assert sketch.count == 2
+    assert duplicate.count == 3
+
+
+def test_compact_roundtrip_preserves_bytes():
+    sketch = _sketch_of([0, 3, 17, 17, 40_000, 2_000_000])
+    rebuilt = QuantileSketch.from_compact(sketch.to_compact())
+    assert rebuilt.buckets == sketch.buckets
+    assert rebuilt.to_bytes() == sketch.to_bytes()
+
+
+def test_compact_delta_encoding_shape():
+    sketch = _sketch_of([0, 1, 1, 100])
+    compact = sketch.to_compact()
+    # Gaps after the first index are positive (sorted, deduplicated).
+    assert all(delta > 0 for delta in compact["b"][1:])
+    assert sum(compact["c"]) == sketch.count
+    # Canonical bytes are minified, key-sorted JSON of this form.
+    assert json.loads(sketch.to_bytes().decode()) == compact
+
+
+@SETTINGS
+@given(values_lists, st.randoms(use_true_random=False))
+def test_any_merge_order_yields_identical_bytes(values, rng):
+    """The tentpole property: merge is an associative, commutative fold,
+    so any partition of the samples merged in any order -- pairwise,
+    shuffled, tree-shaped -- serializes to identical bytes."""
+    reference = _sketch_of(values).to_bytes()
+
+    # Random partition into chunks, each chunk its own sketch.
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    chunks, position = [], 0
+    while position < len(shuffled):
+        size = rng.randint(1, 5)
+        chunks.append(shuffled[position:position + size])
+        position += size
+    sketches = [_sketch_of(chunk) for chunk in chunks]
+
+    # Left-to-right fold over a shuffled chunk order.
+    rng.shuffle(sketches)
+    assert merge_all(sketches).to_bytes() == reference
+
+    # Tree-shaped: merge random pairs until one sketch remains.
+    pool = [_sketch_of(chunk) for chunk in chunks]
+    while len(pool) > 1:
+        rng.shuffle(pool)
+        pool.append(pool.pop().merge(pool.pop()))
+    survivor = pool[0] if pool else QuantileSketch()
+    assert survivor.to_bytes() == reference

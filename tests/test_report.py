@@ -48,6 +48,66 @@ def test_report_renders_attribution_snapshot(tmp_path):
     assert "n/a" in report  # c2 has no recovered estimate
 
 
+def test_report_skips_corrupt_json_artifact(tmp_path):
+    # Truncated JSON (a killed benchmark mid-write) degrades to the
+    # one-line skip note instead of crashing the whole report.
+    (tmp_path / "SCALE.json").write_text('{"schema": 2, "points": [{"thr')
+    report = generate_report(str(tmp_path))
+    assert "section skipped" in report
+    assert "`results/SCALE.json`" in report
+    assert "JSONDecodeError" in report
+
+
+def test_report_skips_older_schema_artifact(tmp_path):
+    import json
+
+    # A pre-schema artifact with the wrong value shapes (points as
+    # dicts of strings) raises inside the renderer; the report keeps
+    # going and still renders neighbouring sections.
+    (tmp_path / "SWEEP.json").write_text(json.dumps({
+        "solutions": ["pbox"],
+        "cases": {"c1": {"seeds": {"1": {"to_us": "old-schema"}}}},
+    }))
+    (tmp_path / "fig16_overhead.txt").write_text("a\tb\n1\t2\n")
+    report = generate_report(str(tmp_path))
+    assert "section skipped" in report
+    assert "`results/SWEEP.json`" in report
+    assert "| a | b |" in report     # neighbours unaffected
+
+
+def test_report_counts_skipped_sections_as_present(tmp_path):
+    # A skipped (corrupt) section is not "missing": the file exists and
+    # the note tells the reader how to regenerate it.
+    (tmp_path / "CHAOS.json").write_text("not json at all")
+    report = generate_report(str(tmp_path))
+    total = len(SECTIONS) + 5
+    assert "%d of %d sections missing" % (total - 1, total) in report
+
+
+def test_scale_section_renders_telemetry_table(tmp_path):
+    import json
+
+    (tmp_path / "SCALE.json").write_text(json.dumps({
+        "schema": 2, "telemetry": True,
+        "points": [{
+            "threads": 200, "tenants": 10, "pboxes": 20, "cores": 25,
+            "duration_virtual_ms": 100.0, "events_per_sec": 1000,
+            "requests": 2290, "manager": {"cost_per_event_us": 0.1,
+                                          "overhead_frac": 0.02},
+            "telemetry": {
+                "totals": {"requests": 2290, "bad": 579,
+                           "breaches": 7, "recovers": 2},
+                "dropped": {"tenants_recorded": 10},
+                "windows": {"rows": [[0, 100, 10, 1, 2, 3, 0, 0, 5,
+                                      14, 4]]},
+            },
+        }],
+    }))
+    report = generate_report(str(tmp_path))
+    assert "Per-tenant SLO telemetry" in report
+    assert "| 200 | 2,290 | 579 | 7 | 2 | 14 | 10 |" in report
+
+
 def test_write_report_creates_file(tmp_path):
     (tmp_path / "fig16_overhead.txt").write_text("a\tb\n1\t2\n")
     path = write_report(str(tmp_path))
