@@ -11,8 +11,9 @@ test:
 # Tier-1 tests, then a trace-export smoke run validated against the
 # Chrome trace-event schema, then a contention-attribution profiler
 # smoke run over the buffer-pool motivation case, then a live-dashboard
-# smoke (`watch --once` with HTML export).  PYTHONPATH=src so it also
-# works on a fresh checkout without `make install`.
+# smoke (`watch --once` with HTML export), then a request-tracing smoke
+# (`why` writing WHY.json with the exact-sum check).  PYTHONPATH=src so
+# it also works on a fresh checkout without `make install`.
 verify:
 	PYTHONPATH=src python -m pytest -x -q tests/
 	PYTHONPATH=src python -m repro trace c5 --duration 2 \
@@ -35,6 +36,12 @@ verify:
 	  html = io.open('/tmp/pbox-watch.html').read(); \
 	  assert html.startswith('<!DOCTYPE html>') and '<svg' in html; \
 	  print('watch OK:', len(html), 'bytes of dashboard')"
+	PYTHONPATH=src python -m repro why c5 --duration 2 --slowest 3 \
+	  --json /tmp/pbox-why.json | tail -n 3
+	PYTHONPATH=src python -c "import json; \
+	  doc = json.load(open('/tmp/pbox-why.json')); \
+	  assert doc['completed'] > 0 and doc['tenants']; \
+	  print('why OK:', doc['completed'], 'requests traced')"
 
 # Documentation checks: every relative markdown link resolves, every
 # fenced `python -m repro ...` example runs (smoke mode, scratch cwd).

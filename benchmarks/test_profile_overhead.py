@@ -142,6 +142,7 @@ def _case_snapshot(case_id):
         "penalty_us": sum(cell.penalty_us for cell in matrix.rows()
                           if cell.aggressor == top),
         "recovered_est_us": matrix.recovered_us(top),
+        "unattributed_us": matrix.unknown_us,
     }
 
 

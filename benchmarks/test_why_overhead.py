@@ -1,0 +1,188 @@
+"""Per-request causal tracer overhead guard + the committed snapshot.
+
+Two guards and one artifact:
+
+- **attached**: a :class:`~repro.obs.critpath.CritPathTracer` attached
+  to the live bus activates the ``req.*`` client/pool tracepoints plus
+  the scheduler/futex/cgroup/penalty points it replays, and records one
+  flat tuple per firing.  "Trace every request" only holds if that
+  costs the modeled system under 5% -- the Figure 16 normalization used
+  by the attribution and telemetry guards: added wall time is charged
+  against the modeled second, not the compressed simulator wall time.
+- **detached**: a constructed-but-unattached tracer must cost nothing;
+  the only residual at each firing site is the inactive-tracepoint
+  guard plus the kernel's unconditional request-id bookkeeping.
+- **snapshot**: ``results/BENCH_why.json`` records the overhead ratios
+  and the guarded case's trace totals (completed requests, retained
+  traces, sum-identity check) so future PRs have a baseline to diff.
+"""
+
+import gc
+import json
+import time
+
+from _common import once, write_result
+
+from repro.cases import Solution, get_case, run_case
+from repro.obs import CritPathTracer
+
+#: Same pairing as the telemetry guard: c5 (dense request traffic,
+#: clear victim/noisy split) carries the strict budget; c17 -- the
+#: buffer-pool motivation case with long multi-segment requests -- is
+#: reported with a loose regression cap.
+GUARDED_CASE = "c5"
+OVERHEAD_CASES = ("c5", "c17")
+TIMING_DURATION_S = 2
+REPEATS = 5
+ATTACHED_BUDGET = 0.05   # of the modeled (simulated) second
+STRESS_CAP = 0.15        # regression backstop for the second case
+DETACHED_BUDGET = 0.02   # measurement noise floor
+
+_cache = {}
+
+
+def _timed(fn):
+    gc.collect()    # start every run from the same allocator state
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _sum_mismatches(tracer):
+    """Traces whose segment buckets do not sum to the recorded latency."""
+    bad = 0
+    for tenant in tracer.tenants():
+        for trace in tracer.slowest(tenant):
+            if sum(trace.buckets.values()) != trace.latency_us:
+                bad += 1
+    return bad
+
+
+def _measure_case(case_id):
+    """Best-of interleaved plain / attached / detached wall times."""
+    case = get_case(case_id)
+
+    def plain():
+        run_case(case, Solution.PBOX, duration_s=TIMING_DURATION_S, seed=1)
+
+    def attached():
+        tracer = CritPathTracer()
+
+        def observer(env):
+            tracer.attach(env.kernel.trace)
+
+        run_case(case, Solution.PBOX, duration_s=TIMING_DURATION_S, seed=1,
+                 observer=observer)
+        return tracer
+
+    def detached():
+        CritPathTracer()  # never attached
+        run_case(case, Solution.PBOX, duration_s=TIMING_DURATION_S, seed=1)
+
+    plain()                     # warm caches before timing
+    tracer = attached()
+    completed = tracer.completed_count()
+    retained = sum(len(tracer.slowest(t)) for t in tracer.tenants())
+    mismatches = _sum_mismatches(tracer)
+    best = {}
+    for _ in range(REPEATS):
+        # Interleaved so clock-speed drift hits every variant equally.
+        for name, fn in (("plain", plain), ("attached", attached),
+                         ("detached", detached)):
+            elapsed = _timed(fn)
+            if name not in best or elapsed < best[name]:
+                best[name] = elapsed
+    added_attached = best["attached"] - best["plain"]
+    added_detached = best["detached"] - best["plain"]
+    return {
+        "completed": completed,
+        "retained": retained,
+        "sum_mismatches": mismatches,
+        "plain_s": best["plain"],
+        "attached_s": best["attached"],
+        "detached_s": best["detached"],
+        # Cost charged against the modeled time being traced.
+        "attached_ratio": max(0.0, added_attached) / TIMING_DURATION_S,
+        "detached_ratio": max(0.0, added_detached) / TIMING_DURATION_S,
+        # Raw wall-clock slowdowns, for transparency.
+        "attached_wall_ratio": best["attached"] / best["plain"] - 1.0,
+        "detached_wall_ratio": best["detached"] / best["plain"] - 1.0,
+    }
+
+
+def overhead():
+    if "overhead" not in _cache:
+        _cache["overhead"] = {cid: _measure_case(cid)
+                              for cid in OVERHEAD_CASES}
+    return _cache["overhead"]
+
+
+def test_why_overhead_within_budget(benchmark):
+    measured = once(benchmark, overhead)
+    lines = [
+        "# Per-request causal tracer overhead at %ds simulated (best of"
+        % TIMING_DURATION_S,
+        "# %d interleaved runs).  attached%% / detached%% charge the added"
+        % REPEATS,
+        "# wall time against the modeled second being traced (the same",
+        "# normalization as telemetry_overhead.txt); wall% is the raw",
+        "# slowdown of the compressed simulator run.  budget:",
+        "# attached < %d%%, detached < %d%%."
+        % (int(ATTACHED_BUDGET * 100), int(DETACHED_BUDGET * 100)),
+        "case\tcompleted\tretained\tmismatches\tattached%\tdetached%\twall%",
+    ]
+    for case_id, m in measured.items():
+        lines.append("%s\t%d\t%d\t%d\t%.2f%%\t%.2f%%\t%+.1f%%" % (
+            case_id, m["completed"], m["retained"], m["sum_mismatches"],
+            m["attached_ratio"] * 100, m["detached_ratio"] * 100,
+            m["attached_wall_ratio"] * 100,
+        ))
+    write_result("why_overhead.txt", lines)
+
+    for case_id, m in measured.items():
+        budget = ATTACHED_BUDGET if case_id == GUARDED_CASE else STRESS_CAP
+        assert m["attached_ratio"] < budget, (
+            "%s: tracer costs %.2f%% of the modeled second (budget %d%%)"
+            % (case_id, m["attached_ratio"] * 100, budget * 100)
+        )
+        assert m["detached_ratio"] < DETACHED_BUDGET, (
+            "%s: detached tracer costs %.2f%% (should be ~0)"
+            % (case_id, m["detached_ratio"] * 100)
+        )
+        # The tracer really observed the run (the cost bought data) and
+        # every retained trace satisfies the exact-sum identity.
+        assert m["completed"] > (100 if case_id == GUARDED_CASE else 20), \
+            case_id
+        assert m["retained"] > 0, case_id
+        assert m["sum_mismatches"] == 0, case_id
+
+
+def test_why_snapshot_persisted(benchmark):
+    measured = once(benchmark, overhead)
+    guarded = measured[GUARDED_CASE]
+    snapshot = {
+        "duration_s": TIMING_DURATION_S,
+        "seed": 1,
+        "overhead": {
+            "case": GUARDED_CASE,
+            "attached_ratio": guarded["attached_ratio"],
+            "detached_ratio": guarded["detached_ratio"],
+            "attached_wall_ratio": guarded["attached_wall_ratio"],
+            "normalization": "added wall time / modeled second",
+            "stress": {
+                case_id: {"attached_ratio": m["attached_ratio"],
+                          "completed": m["completed"]}
+                for case_id, m in measured.items()
+                if case_id != GUARDED_CASE
+            },
+        },
+        "trace": {
+            "completed": guarded["completed"],
+            "retained": guarded["retained"],
+            "sum_mismatches": guarded["sum_mismatches"],
+        },
+    }
+    write_result("BENCH_why.json",
+                 [json.dumps(snapshot, indent=2, sort_keys=True)])
+    assert guarded["completed"] > 100
+    assert guarded["sum_mismatches"] == 0

@@ -30,17 +30,24 @@ from repro.sim.syscalls import FutexWait
 
 
 class Task:
-    """One queued unit of work: a request on behalf of a connection."""
+    """One queued unit of work: a request on behalf of a connection.
+
+    ``rid`` carries the submitting client's request id (from
+    ``kernel.active_requests``) so worker-side ``req.serve`` /
+    ``req.done`` events join the client's ``req.begin``/``req.end``
+    timeline; None when the submitter is not a traced request.
+    """
 
     __slots__ = ("connection", "request", "enqueued_at_us", "done",
-                 "finished_at_us")
+                 "finished_at_us", "rid")
 
-    def __init__(self, connection, request, enqueued_at_us):
+    def __init__(self, connection, request, enqueued_at_us, rid=None):
         self.connection = connection
         self.request = request
         self.enqueued_at_us = enqueued_at_us
         self.done = False
         self.finished_at_us = None
+        self.rid = rid
 
 
 class PBoxWorkerPool:
@@ -74,6 +81,8 @@ class PBoxWorkerPool:
         self._tp_enqueue = kernel.trace.point("pool.enqueue")
         self._tp_dispatch = kernel.trace.point("pool.dispatch")
         self._tp_complete = kernel.trace.point("pool.complete")
+        self._tp_serve = kernel.trace.point("req.serve")
+        self._tp_done = kernel.trace.point("req.done")
 
     # ------------------------------------------------------------------
     # Kernel-side state-event tracing (Section 5)
@@ -98,7 +107,10 @@ class PBoxWorkerPool:
         PREPARE event transparently -- no update_pbox call needed in the
         application (the paper's patched accept/epoll behaviour).
         """
-        task = Task(connection, request, self.kernel.now_us)
+        submitter = self.kernel.current_thread
+        rid = (self.kernel.active_requests.get(submitter.tid)
+               if submitter is not None else None)
+        task = Task(connection, request, self.kernel.now_us, rid=rid)
         pbox = self._pbox_of(task)
         if pbox is not None:
             self.manager.activate(pbox)
@@ -137,6 +149,12 @@ class PBoxWorkerPool:
                     dispatched_at, pool=self.name, psid=task.connection.psid,
                     queued_us=dispatched_at - task.enqueued_at_us,
                 )
+            if task.rid is not None and self._tp_serve.active:
+                self._tp_serve.fire(
+                    dispatched_at, rid=task.rid,
+                    tid=self.kernel.current_thread.tid, pool=self.name,
+                    queued_us=dispatched_at - task.enqueued_at_us,
+                )
             pbox = self._pbox_of(task)
             if pbox is not None:
                 self.manager.update(pbox, self, StateEvent.ENTER)
@@ -162,6 +180,12 @@ class PBoxWorkerPool:
                 self._tp_complete.fire(
                     task.finished_at_us, pool=self.name,
                     psid=task.connection.psid,
+                    service_us=task.finished_at_us - dispatched_at,
+                )
+            if task.rid is not None and self._tp_done.active:
+                self._tp_done.fire(
+                    task.finished_at_us, rid=task.rid,
+                    tid=self.kernel.current_thread.tid, pool=self.name,
                     service_us=task.finished_at_us - dispatched_at,
                 )
             self.kernel.futex_wake(task, n=1 << 30)

@@ -130,6 +130,9 @@ class CaseEnv:
             rng=rng,
             policy=self.policy,
             policy_ctx=ctx,
+            # req.begin groups requests by role, matching the tenant
+            # labels the telemetry pipeline uses for case runs.
+            tenant=group,
         )
         options = self.policy.thread_options(group, "client")
         return self.kernel.spawn(body, name=name, **options)

@@ -43,6 +43,15 @@ Commands:
                                       --once prints a single final
                                       frame, --html exports a self-
                                       contained dashboard
+- ``why c5 [--slowest K]``            run a case (or one scale point)
+                                      with the per-request causal tracer
+                                      attached and print the slowest
+                                      requests' critical-path latency
+                                      decomposition (on-CPU, runnable,
+                                      lock -- blamed on holder pBoxes --
+                                      pool queue, throttle, penalty);
+                                      writes results/WHY.json, --html
+                                      exports a standalone report
 - ``chaos [--faults k1,k2]``          sweep cases x fault kinds x seeds
                                       through the deterministic fault-
                                       injection harness; exits non-zero
@@ -502,11 +511,10 @@ def cmd_scale(args):
     return 0
 
 
-def _watch_case(args, pipeline, frame):
-    """Drive one case run under ``watch``; returns final virtual time."""
+def _case_evaluator(case):
+    """Default SLO evaluator for watching/explaining one case run."""
     from repro.obs.slo import BurnRatePolicy, SLObjective, SLOEvaluator
 
-    case = get_case(args.target)
     nominal = case.nominal_baseline_us
     objectives = {}
     if nominal:
@@ -514,11 +522,19 @@ def _watch_case(args, pipeline, frame):
         # bad = slower than 3x nominal, with a 90% target.
         objectives["victim"] = SLObjective(latency_us=int(nominal * 3),
                                            slowdown=3.0, target=0.9)
-    pipeline.evaluator = SLOEvaluator(
+    return SLOEvaluator(
         objectives, policy=BurnRatePolicy(short_windows=3, long_windows=10,
                                           threshold=2.0, clear_below=1.0))
 
+
+def _watch_case(args, pipeline, frame):
+    """Drive one case run under ``watch``; returns final virtual time."""
+    case = get_case(args.target)
+    pipeline.evaluator = _case_evaluator(case)
+    state = {}
+
     def observer(env):
+        state["env"] = env
         env.telemetry = pipeline
         pipeline.attach(env.kernel.trace, manager=env.runtime.manager)
 
@@ -531,8 +547,19 @@ def _watch_case(args, pipeline, frame):
             until += step_us
         env.kernel.run(until_us=env.duration_us)
 
-    run = run_case(case, Solution.PBOX, duration_s=args.duration,
-                   seed=args.seed, observer=observer, driver=driver)
+    try:
+        run = run_case(case, Solution.PBOX, duration_s=args.duration,
+                       seed=args.seed, observer=observer, driver=driver)
+    except RuntimeError as exc:
+        # A run shorter than the warmup records zero requests; the
+        # dashboard still has whatever windows the pipeline saw, so
+        # render those instead of crashing (telemetry was finalized
+        # before run_case raised).
+        if "no victim samples" not in str(exc):
+            raise
+        env = state.get("env")
+        print("warning: %s -- showing telemetry collected so far" % exc)
+        return env.kernel.now_us if env is not None else 0
     return run.env.kernel.now_us
 
 
@@ -604,6 +631,122 @@ def cmd_watch(args):
              ", ".join(breached) if breached else "none"))
     if args.html:
         write_html(snapshot, args.html, title=title)
+        print("wrote %s" % args.html)
+    return 0
+
+
+#: Byte budget for the tracer portion of results/WHY.json; leaves
+#: headroom for breach explanations under the repo-wide 64 KiB
+#: per-artifact ceiling enforced by tools/check_results_size.py.
+WHY_TRACER_BUDGET = 56 * 1024
+
+
+def _why_render_html(path, title, table, explanations):
+    """Write a minimal self-contained HTML view of a ``why`` run."""
+    import html as _html
+
+    lines = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'><title>%s</title>"
+        % _html.escape(title),
+        "<style>body{font-family:sans-serif;margin:2em;}"
+        "pre{background:#f6f6f6;padding:1em;overflow-x:auto;}</style>",
+        "</head><body>",
+        "<h1>%s</h1>" % _html.escape(title),
+        "<pre>%s</pre>" % _html.escape(table),
+    ]
+    if explanations:
+        lines.append("<h2>SLO breach explanations</h2><ul>")
+        for entry in explanations:
+            tops = ", ".join(
+                "req %d: %s %.2f ms" % (rid, kind, us / 1_000)
+                for rid, _lat, kind, us in entry["top"]
+            ) or "no traced requests in window"
+            lines.append("<li>%s @ %.2fs: %s</li>"
+                         % (_html.escape(str(entry["tenant"])),
+                            entry["at_us"] / 1e6, _html.escape(tops)))
+        lines.append("</ul>")
+    lines.append("</body></html>")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def cmd_why(args):
+    """Explain where request latency went in a case (or scale) run.
+
+    Attaches the per-request causal tracer plus the telemetry pipeline
+    and breach explainer, runs the target under pBox, and prints the
+    slowest requests' critical-path decomposition: on-CPU, runnable
+    wait, lock wait (blamed on the holder's pBox), pool queueing,
+    sleep, cgroup throttle, and injected penalty segments that sum
+    exactly to each request's recorded latency.  Writes the machine-
+    readable summary to ``--json`` (default ``results/WHY.json``).
+    """
+    from repro.obs import BreachExplainer, CritPathTracer, TelemetryPipeline
+
+    tracer = CritPathTracer(slowest=max(args.slowest, 8))
+    pipeline = TelemetryPipeline()
+    explainer = BreachExplainer(tracer)
+
+    if args.target == "scale":
+        from repro.scale.scenario import ScaleSpec, build_scale_scenario
+        from repro.scale.sweep import default_scale_evaluator
+
+        pipeline.evaluator = default_scale_evaluator()
+        event_budget = args.event_budget
+        if _smoke_mode():
+            event_budget = min(event_budget, 40_000)
+        spec = ScaleSpec(args.threads, seed=args.seed,
+                         event_budget=event_budget)
+        scenario = build_scale_scenario(spec, telemetry=pipeline)
+        tracer.attach(scenario.kernel.trace)
+        explainer.attach(scenario.kernel.trace)
+        scenario.kernel.run(until_us=spec.duration_us)
+        pipeline.finalize(scenario.kernel.now_us)
+        title = "repro why scale (%d threads)" % args.threads
+    else:
+        case = get_case(args.target)
+        pipeline.evaluator = _case_evaluator(case)
+
+        def observer(env):
+            env.telemetry = pipeline
+            pipeline.attach(env.kernel.trace, manager=env.runtime.manager)
+            tracer.attach(env.kernel.trace)
+            explainer.attach(env.kernel.trace)
+
+        run_case(case, Solution.PBOX, duration_s=args.duration,
+                 seed=args.seed, observer=observer)
+        title = "repro why %s" % args.target
+
+    table = tracer.format_table(slowest=args.slowest, tenant=args.tenant)
+    print(table)
+    if explainer.explanations:
+        print("slo breach explanations (last %d of %d):"
+              % (min(5, len(explainer.explanations)),
+                 len(explainer.explanations)))
+        for entry in explainer.explanations[-5:]:
+            tops = ", ".join(
+                "req %d: %s %.2f ms" % (rid, kind, us / 1_000)
+                for rid, _lat, kind, us in entry["top"]
+            ) or "no traced requests in window"
+            print("  %s @ %.2fs: %s"
+                  % (entry["tenant"], entry["at_us"] / 1e6, tops))
+
+    doc = tracer.to_json_dict(budget_bytes=WHY_TRACER_BUDGET,
+                              slowest=args.slowest)
+    doc["target"] = args.target
+    doc["explanations"] = explainer.explanations[-20:]
+    if args.json:
+        import json as _json
+        out_dir = os.path.dirname(args.json)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.json, "w") as handle:
+            _json.dump(doc, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.json)
+    if args.html:
+        _why_render_html(args.html, title, table, explainer.explanations[-20:])
         print("wrote %s" % args.html)
     return 0
 
@@ -791,6 +934,33 @@ def build_parser():
     watch_parser.add_argument("--html", metavar="PATH", default=None,
                               help="write a self-contained HTML dashboard")
 
+    why_parser = sub.add_parser(
+        "why", help="per-request critical-path latency decomposition "
+                    "for a case run or a scale point")
+    why_parser.add_argument(
+        "target", choices=sorted(ALL_CASES, key=_case_order) + ["scale"],
+        help="a case id (runs under pBox) or 'scale'")
+    why_parser.add_argument("--slowest", type=int, default=5,
+                            help="requests to show per tenant (default: 5)")
+    why_parser.add_argument("--tenant", default=None,
+                            help="only show this tenant's requests")
+    why_parser.add_argument("--duration", type=float, default=6,
+                            help="simulated seconds for case targets "
+                                 "(default: 6)")
+    why_parser.add_argument("--seed", type=int, default=1)
+    why_parser.add_argument("--threads", type=int, default=200,
+                            help="thread count for the scale target "
+                                 "(default: 200)")
+    why_parser.add_argument("--event-budget", type=int, default=120_000,
+                            help="kernel event budget for the scale "
+                                 "target (default: 120000)")
+    why_parser.add_argument("--json", metavar="PATH",
+                            default="results/WHY.json",
+                            help="machine-readable summary path (default: "
+                                 "results/WHY.json; empty string skips)")
+    why_parser.add_argument("--html", metavar="PATH", default=None,
+                            help="write a self-contained HTML report")
+
     report_parser = sub.add_parser("report",
                                    help="aggregate results/ into a report")
     report_parser.add_argument("--results-dir", default="results")
@@ -809,6 +979,7 @@ COMMANDS = {
     "chaos": cmd_chaos,
     "scale": cmd_scale,
     "watch": cmd_watch,
+    "why": cmd_why,
     "report": cmd_report,
 }
 

@@ -30,7 +30,13 @@ provides both halves for the reproduction:
   burn-rate alerting.
 - :mod:`repro.obs.telemetry` -- the always-on per-tenant telemetry
   pipeline: sketches + windowed time-series + SLO evaluation, emitting
-  derived ``slo.*`` tracepoints (excluded from golden digests).
+  derived ``slo.*`` tracepoints (excluded from golden digests); plus
+  the :class:`~repro.obs.telemetry.BreachExplainer` bridging breaches
+  to per-request causes via derived ``why.explain`` points.
+- :mod:`repro.obs.critpath` -- per-request causal tracing: rebuilds
+  each traced request's timeline from ``req.*`` + scheduler/futex/
+  cgroup/penalty tracepoints and decomposes its latency into an
+  exactly-summing segment breakdown (the ``repro why`` engine).
 - :mod:`repro.obs.dashboard` -- terminal and self-contained HTML
   renderers over telemetry snapshots (the ``repro watch`` views).
 """
@@ -65,15 +71,18 @@ from repro.obs.metrics import (
 )
 from repro.obs.sketch import QuantileSketch, merge_all
 from repro.obs.slo import BurnRatePolicy, SLObjective, SLOEvaluator
-from repro.obs.telemetry import TelemetryPipeline, tenant_of
+from repro.obs.telemetry import BreachExplainer, TelemetryPipeline, tenant_of
+from repro.obs.critpath import CritPathTracer, RequestTrace
 from repro.obs.dashboard import render_frame, render_html, write_html
 
 __all__ = [
     "AttributionProfiler",
     "BlameMatrix",
+    "BreachExplainer",
     "BurnRatePolicy",
     "CATALOG",
     "Counter",
+    "CritPathTracer",
     "DERIVED_PREFIXES",
     "FoldedProfile",
     "WaitForGraph",
@@ -82,6 +91,7 @@ __all__ = [
     "MetricsCollector",
     "MetricsRegistry",
     "QuantileSketch",
+    "RequestTrace",
     "SLOEvaluator",
     "SLObjective",
     "SpanRecorder",

@@ -73,6 +73,10 @@ class SpanRecorder:
             "pbox.penalty": self._on_penalty,
             "pool.enqueue": self._on_pool_enqueue,
             "pool.dispatch": self._on_pool_dispatch,
+            "req.begin": self._on_req_begin,
+            "req.end": self._on_req_end,
+            "req.serve": self._on_req_serve,
+            "req.done": self._on_req_done,
         }
         self._handlers = handlers
         for name, handler in handlers.items():
@@ -244,6 +248,36 @@ class SpanRecorder:
         psid = fields.get("psid")
         if psid is not None and psid >= 0:
             self._close_span(PBOX_TRACK, psid, "queued", now)
+
+    # -- request lanes ---------------------------------------------------
+
+    def _on_req_begin(self, _name, now, fields):
+        tid = fields["tid"]
+        rid = fields["rid"]
+        self._open_span(THREAD_TRACK, tid, "req", "req %d" % rid, "req",
+                        now, {"rid": rid, "tenant": fields.get("tenant")})
+        # Flow start: paired with the worker-side req.serve when the
+        # request runs on an event-driven pool (dedicated-thread
+        # requests stay unpaired and are filtered by the exporter).
+        if not self._full():
+            self.flow_starts.append((THREAD_TRACK, tid, "req-%d" % rid, now))
+
+    def _on_req_end(self, _name, now, fields):
+        self._close_span(THREAD_TRACK, fields["tid"], "req", now)
+
+    def _on_req_serve(self, _name, now, fields):
+        tid = fields["tid"]
+        rid = fields["rid"]
+        self._open_span(THREAD_TRACK, tid, ("serve", rid),
+                        "serve %d" % rid, "req", now,
+                        {"rid": rid, "pool": fields.get("pool"),
+                         "queued_us": fields.get("queued_us")})
+        if not self._full():
+            self.flow_ends.append((THREAD_TRACK, tid, "req-%d" % rid, now))
+
+    def _on_req_done(self, _name, now, fields):
+        self._close_span(THREAD_TRACK, fields["tid"],
+                         ("serve", fields["rid"]), now)
 
     # -- introspection ---------------------------------------------------
 

@@ -440,6 +440,66 @@ class TelemetryPipeline:
         }
 
 
+class BreachExplainer:
+    """Answers "why did this tenant breach?" the moment it happens.
+
+    A small bridge between the SLO pipeline and the per-request causal
+    tracer (:class:`~repro.obs.critpath.CritPathTracer`): on every
+    ``slo.breach`` it pulls the tenant's slowest requests completed in
+    the breach window and fires a derived ``why.explain`` tracepoint
+    carrying their critical-path breakdowns -- JSON-safe tuples of
+    ``(rid, latency_us, dominant_segment, dominant_us)``.  Like every
+    ``why.*``/``slo.*`` point it is golden-excluded, so wiring the
+    explainer cannot perturb a canonical trace.
+
+    Parameters
+    ----------
+    tracer:
+        An attached :class:`~repro.obs.critpath.CritPathTracer`.
+    top:
+        Requests per explanation (the ISSUE's "top-3").
+    window_us:
+        Breach window looked at, ending at the breach time; defaults to
+        the burn-rate policy's short horizon (3 telemetry windows).
+    """
+
+    def __init__(self, tracer, top=3, window_us=3 * WINDOW_US):
+        self.tracer = tracer
+        self.top = top
+        self.window_us = window_us
+        self.explanations = []   # [{"tenant", "at_us", "top"}]
+        self._bus = None
+        self._tp_explain = None
+
+    def attach(self, bus):
+        """Subscribe to ``slo.breach``; register the ``why.explain`` point."""
+        bus.subscribe("slo.breach", self._on_breach)
+        self._tp_explain = bus.point("why.explain")
+        self._bus = bus
+        return self
+
+    def detach(self):
+        """Unsubscribe (recorded explanations are kept)."""
+        if self._bus is None:
+            return
+        self._bus.unsubscribe("slo.breach", self._on_breach)
+        self._bus = None
+
+    def _on_breach(self, _name, now, fields):
+        tenant = fields.get("tenant")
+        top = self.tracer.explain(tenant, until_us=now,
+                                  window_us=self.window_us, top=self.top)
+        record = {"tenant": tenant, "at_us": now,
+                  "top": [list(entry) for entry in top]}
+        self.explanations.append(record)
+        if self._tp_explain is not None and self._tp_explain.active:
+            self._tp_explain.fire(now, tenant=tenant, at_us=now,
+                                  top=record["top"])
+
+    def __repr__(self):
+        return "BreachExplainer(explanations=%d)" % len(self.explanations)
+
+
 def coalesce_rows(rows, max_rows):
     """Merge adjacent windows until at most ``max_rows`` remain.
 

@@ -56,19 +56,28 @@ CATALOG = [
     ("pool.dispatch", "worker picks a task (pool, psid, queued_us)"),
     ("pool.complete", "task finished (pool, psid, service_us)"),
     ("app.note", "application state note (what, plus point-specific fields)"),
+    ("req.begin", "client request issued (rid, tid, tenant)"),
+    ("req.end", "client request completed (rid, tid, latency_us)"),
+    ("req.serve", "pool worker starts serving a request (rid, tid, pool, "
+                  "queued_us)"),
+    ("req.done", "pool worker finished serving a request (rid, tid, pool, "
+                 "service_us)"),
     ("slo.breach", "tenant SLO burn-rate breach -- derived (tenant, "
                    "burn_short, burn_long)"),
     ("slo.recover", "tenant SLO recovered -- derived (tenant, "
                     "burn_short, breach_us)"),
+    ("why.explain", "critical-path explanation of an SLO breach -- "
+                    "derived (tenant, at_us, top)"),
 ]
 
 #: Namespaces of *derived* tracepoints: points fired by observability
-#: subscribers (the SLO evaluator) rather than by the simulation
-#: itself.  The golden digest excludes them from the canonical stream,
-#: so attaching telemetry can never flip a golden trace -- and derived
-#: emissions stay consumable by everything else on the bus (chaos
-#: invariants, the attribution profiler, ``repro watch``).
-DERIVED_PREFIXES = ("slo.",)
+#: subscribers (the SLO evaluator, the breach explainer) rather than by
+#: the simulation itself.  The golden digest excludes them from the
+#: canonical stream, so attaching telemetry can never flip a golden
+#: trace -- and derived emissions stay consumable by everything else on
+#: the bus (chaos invariants, the attribution profiler, ``repro
+#: watch``).
+DERIVED_PREFIXES = ("slo.", "why.")
 
 
 def is_derived(name):

@@ -47,6 +47,9 @@ CHAOS_SNAPSHOT = "CHAOS.json"
 #: Machine-readable scalability sweep (``python -m repro scale``).
 SCALE_SNAPSHOT = "SCALE.json"
 
+#: Per-request critical-path summary (``python -m repro why``).
+WHY_SNAPSHOT = "WHY.json"
+
 
 def load_section(results_dir, filename):
     """Return the file's lines, or None if it has not been generated."""
@@ -124,6 +127,9 @@ JSON_SECTIONS = [
     ("Scale — multi-tenant kernel scalability",
      lambda d: _load_scale_section(d), SCALE_SNAPSHOT,
      "run `python -m repro scale --telemetry`"),
+    ("Why — per-request critical-path decomposition",
+     lambda d: _load_why_section(d), WHY_SNAPSHOT,
+     "run `python -m repro why c5`"),
 ]
 
 
@@ -200,22 +206,88 @@ def _load_attribution_section(results_dir):
     cases = snapshot.get("cases", {})
     if cases:
         lines.append("| case | victim p95 (ms) | blamed on top aggressor "
-                     "| top aggressor | actions | penalty (ms) | "
-                     "recovered est. (ms) |")
-        lines.append("|---|---|---|---|---|---|---|")
+                     "| top aggressor | unattributed (ms) | actions | "
+                     "penalty (ms) | recovered est. (ms) |")
+        lines.append("|---|---|---|---|---|---|---|---|")
         for case_id in sorted(cases):
             entry = cases[case_id]
             recovered = entry.get("recovered_est_us")
-            lines.append("| %s | %.2f | %.0f%% | %s | %d | %.2f | %s |" % (
-                case_id,
-                entry.get("victim_p95_us", 0) / 1_000,
-                100.0 * entry.get("top_share", 0),
-                entry.get("top_aggressor", "?"),
-                entry.get("actions", 0),
-                entry.get("penalty_us", 0) / 1_000,
-                ("n/a" if recovered is None
-                 else "%.2f" % (recovered / 1_000)),
-            ))
+            # Older snapshots predate the unattributed column; degrade
+            # to n/a instead of skipping the whole section.
+            unattributed = entry.get("unattributed_us")
+            lines.append("| %s | %.2f | %.0f%% | %s | %s | %d | %.2f | "
+                         "%s |" % (
+                             case_id,
+                             entry.get("victim_p95_us", 0) / 1_000,
+                             100.0 * entry.get("top_share", 0),
+                             entry.get("top_aggressor", "?"),
+                             ("n/a" if unattributed is None
+                              else "%.2f" % (unattributed / 1_000)),
+                             entry.get("actions", 0),
+                             entry.get("penalty_us", 0) / 1_000,
+                             ("n/a" if recovered is None
+                              else "%.2f" % (recovered / 1_000)),
+                         ))
+    return lines
+
+
+def _load_why_section(results_dir):
+    """Render the ``repro why`` snapshot, or None if absent."""
+    path = os.path.join(results_dir, WHY_SNAPSHOT)
+    if not os.path.exists(path):
+        return None
+    import json
+
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    tenants = snapshot.get("tenants", {})
+    lines = [
+        "`repro why %s`: %s requests traced; latency decomposed into "
+        "exactly-summing critical-path segments (%s)." % (
+            snapshot.get("target", "?"),
+            "{:,}".format(snapshot.get("completed", 0)),
+            ", ".join(snapshot.get("segments", [])),
+        ),
+        "",
+        "| tenant | requests | dominant segment | segment totals (ms) |",
+        "|---|---|---|---|",
+    ]
+    for tenant in sorted(tenants):
+        entry = tenants[tenant]
+        totals = entry.get("totals_us", {})
+        nonzero = sorted(((seg, us) for seg, us in totals.items() if us),
+                         key=lambda item: -item[1])
+        dominant = nonzero[0][0] if nonzero else "idle"
+        shown = ", ".join("%s %.2f" % (seg, us / 1_000)
+                          for seg, us in nonzero[:4]) or "none"
+        lines.append("| %s | %s | %s | %s |" % (
+            tenant, "{:,}".format(entry.get("requests", 0)),
+            dominant, shown))
+    slowest = []
+    for tenant in sorted(tenants):
+        slowest.extend(tenants[tenant].get("slowest", []))
+    slowest.sort(key=lambda t: -t.get("latency_us", 0))
+    if slowest:
+        lines.append("")
+        lines.append("| slowest rid | tenant | latency (ms) | "
+                     "critical path |")
+        lines.append("|---|---|---|---|")
+        for trace in slowest[:10]:
+            path_cells = ", ".join(
+                "%s %.2f" % (seg.get("kind", "?"),
+                             seg.get("dur_us", 0) / 1_000)
+                for seg in trace.get("critical_path", [])[:3])
+            lines.append("| %d | %s | %.2f | %s |" % (
+                trace.get("rid", 0), trace.get("tenant", "?"),
+                trace.get("latency_us", 0) / 1_000, path_cells or "n/a"))
+    explanations = snapshot.get("explanations", [])
+    if explanations:
+        lines.append("")
+        lines.append("%d SLO breach(es) explained; last: tenant %s at "
+                     "%.2fs." % (
+                         len(explanations),
+                         explanations[-1].get("tenant", "?"),
+                         explanations[-1].get("at_us", 0) / 1e6))
     return lines
 
 

@@ -285,6 +285,7 @@ def build_scale_scenario(spec, kernel_binder=None, telemetry=None):
                 stop_us=stop_us,
                 think_us=200,
                 rng=conn_rng,
+                tenant="t%d" % tenant,
             )
             kernel.spawn(body, name="t%d-%s" % (tenant, role))
         # Remaining workers: one notifier broadcasting to the tenant's

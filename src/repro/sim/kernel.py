@@ -141,6 +141,14 @@ class Kernel:
         self.wake_filter = None
         self._wheel = TimerWheel()
         self._seq = itertools.count()
+        # Request tracing: ids handed out by next_request_id() and the
+        # tid -> rid map maintained by closed-loop clients while a
+        # request is in flight.  Pure bookkeeping for the req.* points
+        # and pool tagging -- never consulted by the scheduler, so it
+        # cannot perturb timing.  Kept separate from ``_seq`` (timer
+        # ordering) so request tracing never shifts timer tie-breaks.
+        self._req_seq = itertools.count(1)
+        self.active_requests = {}
         # Scheduler hot path: which cores are idle, as a bitmask (bit i
         # set while core i has no running thread).  _dispatch iterates
         # set bits in ascending index order -- the same visit order as
@@ -168,6 +176,15 @@ class Kernel:
     def rng(self, name):
         """Named deterministic RNG stream (see :class:`RngRegistry`)."""
         return self.rngs.stream(name)
+
+    def next_request_id(self):
+        """Allocate the next request id (monotonic, starts at 1).
+
+        Ids are drawn unconditionally by the closed-loop clients --
+        not only while a ``req.*`` subscriber is attached -- so the
+        numbering is identical whether or not anyone is listening.
+        """
+        return next(self._req_seq)
 
     def create_cgroup(self, name, quota_us=None, period_us=Cgroup.DEFAULT_PERIOD_US):
         """Create and register a CPU bandwidth cgroup."""

@@ -6,9 +6,9 @@ from repro.report import SECTIONS, generate_report, load_section, write_report
 
 
 def test_report_handles_missing_results(tmp_path):
-    # +5: the metrics-registry, attribution, sweep, chaos, and scale
-    # snapshot sections are tracked alongside the SECTIONS files.
-    total = len(SECTIONS) + 5
+    # +6: the metrics-registry, attribution, sweep, chaos, scale, and
+    # why snapshot sections are tracked alongside the SECTIONS files.
+    total = len(SECTIONS) + 6
     report = generate_report(str(tmp_path))
     assert "not yet generated" in report
     assert "%d of %d sections missing" % (total, total) in report
@@ -80,7 +80,7 @@ def test_report_counts_skipped_sections_as_present(tmp_path):
     # the note tells the reader how to regenerate it.
     (tmp_path / "CHAOS.json").write_text("not json at all")
     report = generate_report(str(tmp_path))
-    total = len(SECTIONS) + 5
+    total = len(SECTIONS) + 6
     assert "%d of %d sections missing" % (total - 1, total) in report
 
 

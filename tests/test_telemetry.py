@@ -418,6 +418,19 @@ def test_watch_scale_once_smoke(capsys, monkeypatch):
     assert "slo event" in out
 
 
+def test_watch_degrades_gracefully_with_zero_requests(capsys):
+    """A run shorter than the warmup records zero requests; the watch
+    dashboard must still render its (empty-series) final frame instead
+    of crashing on the harness's no-victim-samples error."""
+    from repro.cli import main
+
+    assert main(["watch", "c5", "--once", "--duration", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "warning:" in out and "no victim samples" in out
+    assert "final: t=0.50s" in out
+    assert "in breach: none" in out
+
+
 # -- golden purity ---------------------------------------------------------
 
 def _assert_golden_unchanged_with_telemetry(case_id):

@@ -12,6 +12,9 @@ mechanically checkable:
    fenced code block is executed (in a temporary working directory,
    under ``REPRO_SMOKE=1`` so durations are clamped and sweeps are
    restricted to two cases) and must exit 0.
+3. **Catalog drift** — a tracepoint added to ``CATALOG`` without a row
+   in docs/OBSERVABILITY.md's catalog table.  Every catalog name must
+   appear as inline code in that file.
 
 Usage::
 
@@ -88,6 +91,31 @@ def fenced_repro_commands(path):
             yield lineno, command
 
 
+def check_catalog():
+    """Yield errors for tracepoints missing from the OBSERVABILITY docs.
+
+    The catalog table in ``docs/OBSERVABILITY.md`` is the reference for
+    every tracepoint the stack fires; a point added to ``CATALOG``
+    without a documented row silently drifts.  Each catalog name must
+    appear as inline code (`` `name` ``) somewhere in the file.
+    """
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    try:
+        from repro.obs.tracepoints import CATALOG
+    finally:
+        sys.path.pop(0)
+    doc_path = os.path.join(REPO, "docs", "OBSERVABILITY.md")
+    if not os.path.exists(doc_path):
+        yield "docs/OBSERVABILITY.md: missing (tracepoint catalog docs)"
+        return
+    with open(doc_path) as handle:
+        text = handle.read()
+    for name, _desc in CATALOG:
+        if "`%s`" % name not in text:
+            yield ("docs/OBSERVABILITY.md: tracepoint `%s` is in the "
+                   "CATALOG but undocumented" % name)
+
+
 def run_commands(path, workdir, env):
     """Yield error strings for fenced commands that exit non-zero."""
     for lineno, command in fenced_repro_commands(path):
@@ -112,6 +140,9 @@ def main():
     print("checking links in %d markdown files" % len(files))
     for path in files:
         errors.extend(check_links(path))
+
+    print("checking the tracepoint catalog against docs/OBSERVABILITY.md")
+    errors.extend(check_catalog())
 
     env = dict(os.environ)
     env["REPRO_SMOKE"] = "1"
