@@ -1,6 +1,6 @@
 # Convenience targets for the pBox reproduction.
 
-.PHONY: install test verify docs-check bench report examples clean regen-golden
+.PHONY: install test verify docs-check scale-guard bench report examples clean regen-golden
 
 install:
 	pip install -e .
@@ -47,6 +47,12 @@ verify:
 # fenced `python -m repro ...` example runs (smoke mode, scratch cwd).
 docs-check:
 	python tools/check_docs.py
+
+# Smoke-sized scale sweep + the manager-overhead floor (the CI
+# scale-guard leg; docs/PERFORMANCE.md documents the model it pins).
+scale-guard:
+	REPRO_SMOKE=1 PYTHONPATH=src python -m pytest \
+	  benchmarks/test_scale_throughput.py -q --benchmark-disable
 
 # Regenerate the golden-trace corpus after an INTENTIONAL behavior
 # change; review the tests/golden/ diff before committing it.

@@ -153,6 +153,13 @@ def bind_legacy(kernel, manager=None):
     # core._slice_timer closures call self._slice_end dynamically, so
     # the existing per-core timers dispatch to the legacy version.
     if manager is not None:
-        manager._attribute_blame = types.MethodType(
-            _legacy_attribute_blame, manager)
+        if hasattr(manager, "add_shard_patch"):
+            # Sharded facade: shards are created lazily after this
+            # binder runs, so register a patch applied to each one.
+            manager.add_shard_patch(lambda shard: setattr(
+                shard, "_attribute_blame",
+                types.MethodType(_legacy_attribute_blame, shard)))
+        else:
+            manager._attribute_blame = types.MethodType(
+                _legacy_attribute_blame, manager)
     return kernel

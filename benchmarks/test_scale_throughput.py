@@ -14,12 +14,20 @@ rather than described:
 2. **manager detection cost** -- the manager's per-event cost must not
    grow linearly with the pBox population: going 1,000 -> 10,000
    threads (100 -> 1,000 pBoxes) may at most triple the per-event
-   cost (the O(pboxes) blame scan it replaced would grow ~10x).
+   cost (the O(pboxes) blame scan it replaced would grow ~10x), and
+   across the whole sweep (10 -> 1,000 pBoxes, 100x) the per-event
+   cost may grow at most :data:`SWEEP_GROWTH_CEILING` x.
+3. **manager overhead fraction** -- relative overhead at the top of
+   the sweep must not exceed the bottom: with dirty-set scans,
+   per-tenant shards and batched penalty arming, a 100x bigger
+   population may not cost a larger *fraction* of the run.
 
 The full sweep (100 -> 10,000 threads) is recorded to
 ``results/SCALE.json`` for ``repro report``; under ``REPRO_SMOKE`` a
-two-point smoke sweep runs and the throughput floor is recorded but
-not asserted (the smoke points are too small to saturate the host).
+two-point smoke sweep runs, the throughput and growth floors are
+recorded but not asserted (the smoke points are too small to saturate
+the host), and the overhead floor is asserted with smoke-sized slack
+-- that assertion is the CI ``scale-guard`` leg's teeth.
 """
 
 import os
@@ -51,6 +59,19 @@ MANAGER_GROWTH_CEILING = 3.0
 #: Below this per-event cost (us) the manager delta is timer noise on
 #: the enabled-vs-disabled wall-clock subtraction, not a real trend.
 MANAGER_NOISE_FLOOR_US = 1.0
+#: Overhead floor (full sweep): the 10k-thread overhead fraction may
+#: exceed the 100-thread one by at most this much -- i.e. relative
+#: manager overhead must be flat-or-falling across a 100x pBox growth.
+OVERHEAD_SLACK = 0.02
+#: Overhead floor (smoke sweep): the two smoke points are tiny, so the
+#: floor only guards against gross regressions (top <= 2x bottom plus
+#: an absolute cushion for sub-second runs on a noisy CI host).
+SMOKE_OVERHEAD_RATIO = 2.0
+SMOKE_OVERHEAD_SLACK = 0.05
+#: Sub-linear growth guard across the whole sweep: 100x the pBoxes
+#: (bottom -> top of the sweep) may cost at most this factor more per
+#: event.  A linear-in-pBoxes manager would grow ~100x.
+SWEEP_GROWTH_CEILING = 3.0
 
 
 def _timed_run(threads, legacy):
@@ -108,7 +129,7 @@ def test_scale_sweep_and_throughput_guard(benchmark):
         document = run_scale_sweep(
             thread_counts=thread_counts, seed=1,
             event_budget=GUARD_EVENT_BUDGET,
-            rounds=1 if smoke else 2, telemetry=True,
+            rounds=1 if smoke else 3, telemetry=True,
             progress=lambda p: print(
                 "  %6d threads: %7d ev/s, manager %+.1f%%"
                 % (p["threads"], p["events_per_sec"],
@@ -127,7 +148,23 @@ def test_scale_sweep_and_throughput_guard(benchmark):
 
     points = {p["threads"]: p for p in document["points"]}
     top = points[guard_threads]
+    bottom = points[thread_counts[0]]
     assert top["events"] > 0 and top["requests"] > 0
+
+    # Guard 3 (runs in smoke too -- this is the CI scale-guard leg):
+    # relative manager overhead must not grow with the population.
+    top_frac = top["manager"]["overhead_frac"]
+    bottom_frac = bottom["manager"]["overhead_frac"]
+    if smoke:
+        overhead_ceiling = (SMOKE_OVERHEAD_RATIO * bottom_frac
+                            + SMOKE_OVERHEAD_SLACK)
+    else:
+        overhead_ceiling = bottom_frac + OVERHEAD_SLACK
+    assert top_frac <= overhead_ceiling, (
+        "manager overhead grew with scale: %.1f%% at %d threads vs "
+        "%.1f%% at %d (ceiling %.1f%%)"
+        % (100 * top_frac, top["threads"], 100 * bottom_frac,
+           bottom["threads"], 100 * overhead_ceiling))
     if smoke:
         return  # smoke points are too small to saturate the host
 
@@ -145,3 +182,13 @@ def test_scale_sweep_and_throughput_guard(benchmark):
     assert high <= ceiling, (
         "manager detection cost grew super-linearly: %.3f us/event at "
         "10k threads vs %.3f at 1k (ceiling %.3f)" % (high, low, ceiling))
+
+    # Guard 4: sub-linear growth across the full sweep.  Bottom to top
+    # is a 100x pBox growth (10 -> 1,000); per-event cost may grow at
+    # most SWEEP_GROWTH_CEILING x over it.
+    base = bottom["manager"]["cost_per_event_us"]
+    sweep_ceiling = max(SWEEP_GROWTH_CEILING * base, MANAGER_NOISE_FLOOR_US)
+    assert high <= sweep_ceiling, (
+        "manager cost is not sub-linear in pBoxes: %.3f us/event at %d "
+        "threads vs %.3f at %d (ceiling %.3f over a 100x pBox growth)"
+        % (high, top["threads"], base, bottom["threads"], sweep_ceiling))

@@ -22,6 +22,8 @@ from repro.core.penalty import (
     PenaltyPolicy,
 )
 from repro.core.manager import PBoxManager
+from repro.core.budget import PenaltyBudget
+from repro.core.shards import ShardedPBoxManager
 from repro.core.runtime import BindFlag, OperationCosts, PBoxRuntime
 
 __all__ = [
@@ -34,8 +36,10 @@ __all__ = [
     "PBoxManager",
     "PBoxRuntime",
     "PBoxStatus",
+    "PenaltyBudget",
     "PenaltyDecision",
     "PenaltyPolicy",
     "RuleType",
+    "ShardedPBoxManager",
     "StateEvent",
 ]

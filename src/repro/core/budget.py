@@ -1,0 +1,83 @@
+"""Shared penalty budget: bound the application-wide outstanding delay.
+
+One pBox can never be over-penalized -- the manager refuses to queue a
+second penalty while one is pending, and every decision is clamped at
+``PENALTY_CAP_US``.  What *sharding* the manager per tenant removes is
+the one place that used to see every penalty: with hundreds of shards
+detecting independently, nothing bounds how much of the application can
+be parked at once.  :class:`PenaltyBudget` is that bound, shared by
+every shard of one application (see
+:class:`~repro.core.shards.ShardedPBoxManager`): shards reserve from it
+before queuing a delay penalty and release as penalties are delivered,
+decayed, or clamped.
+
+Accounting is best-effort by design: fault-injected penalties
+(``inject_penalty``) bypass ``reserve``, so ``release`` saturates at
+zero instead of going negative.  The budget keeps its own counters --
+manager ``stats`` dicts are pinned by the golden corpus and must not
+grow keys.
+"""
+
+
+class PenaltyBudget:
+    """Cap on the total outstanding delay-penalty time of one app.
+
+    Parameters
+    ----------
+    cap_us:
+        Maximum outstanding (reserved but not yet delivered) penalty
+        microseconds across all shards; ``None`` means unlimited, which
+        makes the budget a pure accounting shim.
+    """
+
+    __slots__ = ("cap_us", "outstanding_us", "stats")
+
+    def __init__(self, cap_us=None):
+        if cap_us is not None and cap_us <= 0:
+            raise ValueError("budget cap must be positive or None")
+        self.cap_us = cap_us
+        self.outstanding_us = 0
+        self.stats = {
+            "reserved_us": 0,    # total granted
+            "released_us": 0,    # total returned
+            "denied": 0,         # reservations refused outright
+            "trimmed": 0,        # reservations granted partially
+            "peak_outstanding_us": 0,
+        }
+
+    def reserve(self, amount_us):
+        """Reserve up to ``amount_us``; returns the granted length.
+
+        Returns 0 (and counts a denial) when the budget is exhausted;
+        a partial grant (counted as trimmed) shortens the penalty to
+        whatever headroom remains.
+        """
+        amount_us = int(amount_us)
+        if amount_us <= 0:
+            return 0
+        if self.cap_us is not None:
+            headroom = self.cap_us - self.outstanding_us
+            if headroom <= 0:
+                self.stats["denied"] += 1
+                return 0
+            if amount_us > headroom:
+                self.stats["trimmed"] += 1
+                amount_us = headroom
+        self.outstanding_us += amount_us
+        self.stats["reserved_us"] += amount_us
+        if self.outstanding_us > self.stats["peak_outstanding_us"]:
+            self.stats["peak_outstanding_us"] = self.outstanding_us
+        return amount_us
+
+    def release(self, amount_us):
+        """Return ``amount_us`` to the budget (saturating at zero)."""
+        amount_us = int(amount_us)
+        if amount_us <= 0:
+            return
+        released = min(amount_us, self.outstanding_us)
+        self.outstanding_us -= released
+        self.stats["released_us"] += released
+
+    def __repr__(self):
+        return "PenaltyBudget(cap_us=%r, outstanding_us=%d)" % (
+            self.cap_us, self.outstanding_us)

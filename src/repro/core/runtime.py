@@ -196,7 +196,7 @@ class PBoxRuntime:
             self.stats["saved_syscalls"] += 1
             self._charge_ns(self.costs.library_ns)
             return
-        contended = key in self.manager.competitor_map
+        contended = self.manager.contended(key, pbox)
         self._charge_ns(
             self.costs.update_contended_ns if contended else self.costs.update_ns
         )

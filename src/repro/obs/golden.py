@@ -172,13 +172,17 @@ def first_divergence(expected, actual):
     return min(len(exp), len(act))
 
 
-def run_golden_case(case_id, duration_s, seed, observer=None):
+def run_golden_case(case_id, duration_s, seed, observer=None,
+                    manager_factory=None):
     """Run ``case_id`` under pBox with a digest attached; returns a doc.
 
     The canonical golden parameters live with the corpus
     (``tests/golden``); this helper only fixes the solution (pBox, the
     full pipeline) and the digest wiring so the regeneration tool and
-    the test suite produce identical documents.
+    the test suite produce identical documents.  ``manager_factory``
+    passes through to :func:`~repro.cases.base.run_case` -- the
+    sharded-manager equivalence suite replays the corpus through a
+    facade and asserts the digests do not move.
     """
     from repro.cases import Solution, get_case, run_case
     from repro.sim.thread import reset_thread_ids
@@ -195,7 +199,8 @@ def run_golden_case(case_id, duration_s, seed, observer=None):
             observer(env)
 
     run = run_case(get_case(case_id), Solution.PBOX, seed=seed,
-                   duration_s=duration_s, observer=_observer)
+                   duration_s=duration_s, observer=_observer,
+                   manager_factory=manager_factory)
     return digest.document(stats=golden_stats(run))
 
 

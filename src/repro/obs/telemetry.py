@@ -139,11 +139,13 @@ class TelemetryPipeline:
     def attach(self, bus, manager=None):
         """Subscribe to the bus; optionally bind the manager's dirty set.
 
-        With ``manager`` given (a :class:`~repro.core.manager.PBoxManager`),
-        the per-window active-set gauge drains the manager's
-        ``dirty_psids`` -- the exact set ROADMAP item 1's dirty-set scan
-        will walk; without it, the gauge falls back to the pBoxes seen
-        in ``pbox.event`` traffic.
+        With ``manager`` given (a :class:`~repro.core.manager.PBoxManager`
+        or the sharded facade), the per-window active-set gauge drains
+        the manager's window set (``drain_active()``) -- the same
+        psid-marking the dirty-set scan consumes, kept in a separate
+        set so the 100ms gauge drain and the detector never steal from
+        each other; without a manager, the gauge falls back to the
+        pBoxes seen in ``pbox.event`` traffic.
         """
         handlers = {
             "sched.enqueue": self._on_enqueue,
@@ -267,7 +269,7 @@ class TelemetryPipeline:
                     tenant, state.win_good, state.win_bad, end_us))
                 state.win_good = state.win_bad = 0
         if self._manager is not None:
-            active = len(self._manager.drain_dirty())
+            active = len(self._manager.drain_active())
         else:
             active = len(self._win_active)
         breached = (len(self.evaluator.breached_tenants())

@@ -13,6 +13,7 @@ every measurement a similar wall-clock size while still holding the
 full thread population live in the kernel.
 """
 
+import gc
 import json
 import os
 import time
@@ -24,7 +25,48 @@ from repro.scale.scenario import ScaleSpec, build_scale_scenario
 #: Schema 2 adds the optional per-point ``telemetry`` section
 #: (per-tenant sketches + windowed time-series + SLO events) written by
 #: ``--telemetry`` runs; schema-1 consumers must treat it as absent.
-SCALE_SCHEMA = 2
+#: Schema 3 adds the sharded-manager columns to each point's
+#: ``manager`` section: ``shards``, ``scans``, ``scanned``, and
+#: ``budget_denied`` (see docs/PERFORMANCE.md for the full glossary).
+SCALE_SCHEMA = 3
+
+#: Field glossary for SCALE.json, mirrored (both directions) by the
+#: glossary table in docs/PERFORMANCE.md -- ``tools/check_docs.py``
+#: fails when either side drifts.  Keys are field names; values are the
+#: one-line meaning the docs table must agree with in spirit (the
+#: checker matches names, humans match meanings).
+SCALE_FIELDS = {
+    # Top-level document keys.
+    "schema": "document schema version (see SCALE_SCHEMA)",
+    "seed": "kernel RNG seed shared by every point",
+    "event_budget": "target kernel events per point",
+    "telemetry": "whether points carry a telemetry section",
+    "wall_s": "wall seconds: sweep total / enabled run / disabled run",
+    "points": "one measurement record per thread count",
+    "throughput_guard": "A/B guard snapshot from the benchmark run",
+    # Per-point keys.
+    "threads": "total worker threads at this point",
+    "tenants": "application instances (threads // workers_per_tenant)",
+    "pboxes": "live pBoxes (two connection pBoxes per tenant)",
+    "cores": "simulated cores backing the point",
+    "duration_virtual_ms": "virtual time simulated, milliseconds",
+    "events": "kernel timer arms (per point) / manager state events (in manager)",
+    "run_events": "kernel timer arms during run() only",
+    "events_per_sec": "run_events / enabled-run wall seconds",
+    "requests": "application requests completed (manager on)",
+    "baseline_requests": "application requests completed (manager off)",
+    "manager": "manager cost breakdown for this point",
+    # point["manager"] keys.
+    "detection_cost_s": "enabled minus disabled wall seconds (min-of-rounds)",
+    "cost_per_event_us": "detection_cost_s spread over run_events, microseconds",
+    "overhead_frac": "detection_cost_s / disabled-run wall seconds",
+    "detections": "pbox-level detections that found a culprit",
+    "penalties_applied": "delay penalties actually delivered",
+    "shards": "per-tenant manager shards created",
+    "scans": "dirty-set scans executed across shards",
+    "scanned": "pBoxes evaluated by those scans",
+    "budget_denied": "penalty reservations denied by the shared budget",
+}
 
 #: Per-point byte budget for the telemetry section, sized so a full
 #: six-point sweep with telemetry stays inside the repo-wide 64 KiB
@@ -44,9 +86,21 @@ def _run_spec(spec):
     scenario = build_scale_scenario(spec)
     kernel = scenario.kernel
     armed_before_run = next(kernel._seq)
+    # The manager-cost number is a subtraction of two timed runs; a
+    # collector pause landing in one of them is pure noise.  Collect
+    # up front, then keep the GC out of the timed window (virtual-time
+    # runs allocate mostly short-lived tuples -- refcounting handles
+    # them without cycles piling up).
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
     start = time.perf_counter()
-    scenario.run()
-    wall_s = time.perf_counter() - start
+    try:
+        scenario.run()
+    finally:
+        wall_s = time.perf_counter() - start
+        if gc_was_enabled:
+            gc.enable()
     # Arms during run() plus the build-time arms it consumed; the two
     # next() probes themselves add 2, which is noise at this scale.
     events = next(kernel._seq) - 1
@@ -117,6 +171,8 @@ def measure_scale_point(threads, seed=1, event_budget=250_000, rounds=2,
     wall_s, base_wall_s = min(walls), min(base_walls)
     manager_cost_s = max(0.0, wall_s - base_wall_s)
     manager_stats = dict(scenario.manager.stats)
+    scan_stats = dict(scenario.manager.scan_stats)
+    budget = scenario.manager.penalty_budget
     point = {
         "threads": spec.threads,
         "tenants": spec.tenants,
@@ -138,6 +194,10 @@ def measure_scale_point(threads, seed=1, event_budget=250_000, rounds=2,
             "events": manager_stats.get("events", 0),
             "detections": manager_stats.get("detections", 0),
             "penalties_applied": manager_stats.get("penalties_applied", 0),
+            "shards": scenario.manager.shard_count,
+            "scans": scan_stats.get("scans", 0),
+            "scanned": scan_stats.get("evaluated", 0),
+            "budget_denied": budget.stats["denied"] if budget else 0,
         },
         "baseline_requests": base_scenario.total_requests(),
     }

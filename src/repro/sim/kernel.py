@@ -86,6 +86,67 @@ class _Timer:
         self.cancelled = True
 
 
+class PenaltyArmer:
+    """Batch same-expiry penalty wake-ups into one timer dispatch.
+
+    When the manager penalizes many pBoxes in the same window, their
+    delays often expire at the same microsecond.  Arming one wheel
+    timer per penalty makes N simultaneous penalties cost N inserts
+    and N dispatches; this armer keeps one bucket per distinct expiry
+    and posts a single timer that fires the bucket's entries in arm
+    order -- the same batching the futex wake-all path uses.
+
+    Equivalence with per-penalty timers is exact under the wheel's
+    ``(when, seq)`` ordering contract: a bucket's entries would have
+    fired back-to-back anyway (each join still consumes a ``_seq``
+    tick, so tie-breaks and event accounting are bit-identical to the
+    unbatched kernel -- the golden corpus is the proof).  Handles
+    support ``cancel()`` like plain timers, so ``kill_thread`` works
+    unchanged.
+    """
+
+    __slots__ = ("kernel", "_buckets", "stats")
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._buckets = {}   # when_us -> [_Timer entries, in arm order]
+        self.stats = {"armed": 0, "batched": 0, "dispatches": 0}
+
+    def arm(self, when_us, fn):
+        """Schedule ``fn()`` at ``when_us``; returns a cancellable handle."""
+        when_us = int(when_us)
+        now = self.kernel.clock.now_us
+        if when_us < now:
+            when_us = now
+        entry = _Timer(fn)
+        self.stats["armed"] += 1
+        bucket = self._buckets.get(when_us)
+        if bucket is None:
+            self._buckets[when_us] = [entry]
+            self.kernel.post(when_us, lambda: self._fire(when_us))
+        else:
+            # Joining an existing bucket: burn the seq tick the
+            # individual post would have consumed, so every later
+            # timer keeps the exact tie-break rank it had before
+            # batching (and event accounting stays comparable).
+            next(self.kernel._seq)
+            self.stats["batched"] += 1
+            bucket.append(entry)
+        return entry
+
+    def _fire(self, when_us):
+        # Pop before iterating: an entry that re-arms at this same
+        # microsecond starts a fresh bucket, which fires strictly
+        # later -- matching what an individual re-posted timer does.
+        bucket = self._buckets.pop(when_us, None)
+        if not bucket:
+            return
+        self.stats["dispatches"] += 1
+        for entry in bucket:
+            if not entry.cancelled:
+                entry.fn()
+
+
 class Kernel:
     """Virtual-time OS kernel.
 
@@ -126,6 +187,10 @@ class Kernel:
         self.current_thread = None
         self.threads = []
         self.resume_hooks = []
+        # Penalty delivery: resume-hook delays are armed through this
+        # batcher (one wheel dispatch per distinct expiry) instead of
+        # one timer per penalty; see PenaltyArmer.
+        self.penalty_armer = PenaltyArmer(self)
         self.stats = {
             "syscalls": 0,
             "context_switches": 0,
@@ -546,7 +611,7 @@ class Kernel:
                             psid=None if pbox is None else pbox.psid,
                         )
                     thread.state = ThreadState.SLEEPING
-                    thread.wakeup_event = self.post(
+                    thread.wakeup_event = self.penalty_armer.arm(
                         self.now_us + delay,
                         lambda: self._advance(thread, send_value),
                     )

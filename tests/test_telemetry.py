@@ -128,11 +128,11 @@ def test_penalty_event_and_active_columns():
 
 class _FakeManager:
     def __init__(self):
-        self.dirty = {10, 11, 12}
+        self.active = {10, 11, 12}
 
-    def drain_dirty(self):
-        dirty, self.dirty = self.dirty, set()
-        return dirty
+    def drain_active(self):
+        active, self.active = self.active, set()
+        return active
 
 
 def test_active_set_prefers_manager_dirty_set():
@@ -144,7 +144,43 @@ def test_active_set_prefers_manager_dirty_set():
     pipeline.finalize(100_000)
     columns = dict(zip(SERIES_COLUMNS, pipeline.rows[0]))
     assert columns["active"] == 3
-    assert manager.dirty == set()    # drained, not just read
+    assert manager.active == set()    # drained, not just read
+
+
+def test_active_window_boundary_no_double_count():
+    """A pBox event at exactly a window boundary counts once.
+
+    The manager fires ``pbox.event`` *before* marking the psid active:
+    the subscriber rolls the outgoing window first, so a psid whose
+    only event lands exactly on the boundary belongs to the window the
+    event opens -- not to both.  (Regression: ``repro scale
+    --telemetry`` double-counted such a pBox in the ``active`` series.)
+    """
+    from repro.core import IsolationRule, PBoxManager, StateEvent
+    from repro.sim import Kernel
+    from repro.sim.syscalls import Sleep
+
+    kernel = Kernel(cores=1, seed=1)
+    manager = PBoxManager(kernel)
+    pipeline = TelemetryPipeline(window_us=100_000).attach(
+        kernel.trace, manager=manager)
+
+    def body():
+        pbox = manager.create(IsolationRule())
+        yield Sleep(us=100_000)        # wake exactly at the boundary
+        manager.update(pbox, "res", StateEvent.HOLD)
+        yield Sleep(us=50_000)
+
+    kernel.spawn(body, name="t0-w")
+    kernel.run(until_us=250_000)
+    pipeline.finalize(kernel.now_us)
+    active = [dict(zip(SERIES_COLUMNS, row))["active"]
+              for row in pipeline.rows]
+    # One event at t=100,000: window [0,100k) saw nothing, window
+    # [100k,200k) saw psid 1 exactly once -- and only once in total
+    # (the pre-fix subscriber counted it in both windows).
+    assert active[:2] == [0, 1]
+    assert sum(active) == 1
 
 
 def test_detach_stops_accounting():

@@ -15,6 +15,11 @@ mechanically checkable:
 3. **Catalog drift** — a tracepoint added to ``CATALOG`` without a row
    in docs/OBSERVABILITY.md's catalog table.  Every catalog name must
    appear as inline code in that file.
+4. **Schema drift** — a SCALE.json field added to ``SCALE_FIELDS``
+   without a glossary row in docs/PERFORMANCE.md, or documented there
+   without existing in the schema.  Checked in both directions, plus
+   the committed ``results/SCALE.json`` may only ship fields the
+   schema declares.
 
 Usage::
 
@@ -116,6 +121,51 @@ def check_catalog():
                    "CATALOG but undocumented" % name)
 
 
+def check_scale_fields():
+    """Yield errors when SCALE_FIELDS and PERFORMANCE.md disagree.
+
+    ``repro.scale.sweep.SCALE_FIELDS`` is the schema's field registry;
+    the glossary tables in ``docs/PERFORMANCE.md`` must list exactly
+    those names (as a leading `` `field` `` table cell), and every key
+    actually present in the committed ``results/SCALE.json`` must be
+    registered.  Both directions fail: an undocumented field and a
+    documented ghost are the same bug seen from opposite ends.
+    """
+    import json
+
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    try:
+        from repro.scale.sweep import SCALE_FIELDS
+    finally:
+        sys.path.pop(0)
+    doc_path = os.path.join(REPO, "docs", "PERFORMANCE.md")
+    if not os.path.exists(doc_path):
+        yield "docs/PERFORMANCE.md: missing (SCALE.json field glossary)"
+        return
+    with open(doc_path) as handle:
+        text = handle.read()
+    documented = set(re.findall(r"^\| `([a-z_]+)` \|", text, re.MULTILINE))
+    for field in sorted(SCALE_FIELDS):
+        if field not in documented:
+            yield ("docs/PERFORMANCE.md: SCALE.json field `%s` is in "
+                   "SCALE_FIELDS but missing from the glossary" % field)
+    for field in sorted(documented - set(SCALE_FIELDS)):
+        yield ("docs/PERFORMANCE.md: glossary documents `%s`, which is "
+               "not in repro.scale.sweep.SCALE_FIELDS" % field)
+    scale_path = os.path.join(REPO, "results", "SCALE.json")
+    if os.path.exists(scale_path):
+        with open(scale_path) as handle:
+            document = json.load(handle)
+        shipped = set(document)
+        for point in document.get("points", []):
+            shipped |= set(point)
+            shipped |= set(point.get("manager", {}))
+        shipped.discard("telemetry")  # per-point section has its own schema
+        for field in sorted(shipped - set(SCALE_FIELDS)):
+            yield ("results/SCALE.json: ships field `%s`, which is not "
+                   "registered in SCALE_FIELDS" % field)
+
+
 def run_commands(path, workdir, env):
     """Yield error strings for fenced commands that exit non-zero."""
     for lineno, command in fenced_repro_commands(path):
@@ -143,6 +193,9 @@ def main():
 
     print("checking the tracepoint catalog against docs/OBSERVABILITY.md")
     errors.extend(check_catalog())
+
+    print("checking SCALE.json fields against docs/PERFORMANCE.md")
+    errors.extend(check_scale_fields())
 
     env = dict(os.environ)
     env["REPRO_SMOKE"] = "1"
