@@ -1,6 +1,6 @@
 # Convenience targets for the pBox reproduction.
 
-.PHONY: install test verify docs-check scale-guard bench report examples clean regen-golden
+.PHONY: install test verify docs-check scale-guard resume-guard bench report examples clean regen-golden
 
 install:
 	pip install -e .
@@ -53,6 +53,11 @@ docs-check:
 scale-guard:
 	REPRO_SMOKE=1 PYTHONPATH=src python -m pytest \
 	  benchmarks/test_scale_throughput.py -q --benchmark-disable
+
+# Two-case checkpoint/restore smoke + crash-resume byte-identity (the
+# CI resume-guard leg; docs/ROBUSTNESS.md documents the contract).
+resume-guard:
+	REPRO_SMOKE=1 PYTHONPATH=src python -m pytest tests/test_ckpt_smoke.py -q
 
 # Regenerate the golden-trace corpus after an INTENTIONAL behavior
 # change; review the tests/golden/ diff before committing it.

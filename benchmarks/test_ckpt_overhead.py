@@ -1,0 +1,128 @@
+"""Checkpoint overhead: cheap to take, small to store.
+
+Two promises from the checkpoint/restore PR:
+
+- **runtime**: taking a checkpoint -- full state walk, canonical JSON,
+  state digest, artifact construction -- at the default 250 ms cadence
+  costs less than 5% of the plain run's wall clock per modeled second.
+  The per-checkpoint cost is measured directly (best-of batch on a
+  finished run's state) because it is ~100x smaller than run-to-run
+  wall-clock jitter; the whole-run A/B wall clocks are reported as
+  context;
+- **footprint**: one compressed checkpoint artifact of a 10,000-thread
+  scale scenario stays under 256 KiB (columnar thread walk, truncated
+  RNG stream fingerprints).
+"""
+
+import time
+import zlib
+
+from _common import once, write_result
+
+from repro.ckpt import CADENCE_US, checkpoint_run
+from repro.ckpt.snapshot import Checkpoint, take_checkpoint
+from repro.ckpt.state import canonical_json, state_digest, walk_state
+from repro.obs.golden import run_golden_case
+
+CASE_ID = "c1"
+DURATION_S = 1.5
+REPEATS = 5
+CHECKPOINT_BATCH = 30
+OVERHEAD_BUDGET = 0.05
+SNAPSHOT_BUDGET_BYTES = 256 * 1024
+SCALE_THREADS = 10_000
+
+
+def _best(fn, repeats=REPEATS):
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _per_checkpoint_s(outcome):
+    """Direct cost of one checkpoint on the finished run's state."""
+    env = outcome["run"].env
+    digest = outcome["driver"].digest
+    spec = outcome["driver"].spec
+
+    def batch():
+        for _ in range(CHECKPOINT_BATCH):
+            take_checkpoint(env, spec, digest)
+
+    return _best(batch) / CHECKPOINT_BATCH
+
+
+def _scale_snapshot_bytes():
+    """Compressed artifact size of a 10k-thread scale checkpoint."""
+    from repro.scale.scenario import ScaleSpec, build_scale_scenario
+
+    spec = ScaleSpec(SCALE_THREADS, seed=1, event_budget=120_000)
+    scenario = build_scale_scenario(spec)
+    kernel = scenario.kernel
+    kernel.run(until_us=spec.duration_us)
+    walk = walk_state(kernel, scenario.manager)
+    checkpoint = Checkpoint(
+        spec={"case_id": "scale-%d" % SCALE_THREADS, "seed": 1},
+        cut_us=kernel.now_us, events=0, cut_digest="",
+        trace_checkpoints=[], state=walk, state_dig=state_digest(walk))
+    payload = zlib.compress(
+        canonical_json(checkpoint.to_json_dict()).encode(), 6)
+    return len(payload), len(kernel.threads)
+
+
+def test_checkpoint_overhead_and_footprint(benchmark):
+    def run():
+        run_golden_case(CASE_ID, DURATION_S, 1)   # warm caches
+        plain_s = _best(lambda: run_golden_case(CASE_ID, DURATION_S, 1))
+        outcome = checkpoint_run(CASE_ID, duration_s=DURATION_S, seed=1,
+                                 cadence_us=CADENCE_US)
+        ckpt_s = _best(lambda: checkpoint_run(CASE_ID,
+                                              duration_s=DURATION_S,
+                                              seed=1,
+                                              cadence_us=CADENCE_US))
+        per_ckpt_s = _per_checkpoint_s(outcome)
+        artifact_bytes, thread_count = _scale_snapshot_bytes()
+        return plain_s, ckpt_s, per_ckpt_s, artifact_bytes, thread_count
+
+    (plain_s, ckpt_s, per_ckpt_s, artifact_bytes,
+     thread_count) = once(benchmark, run)
+    barriers_per_modeled_s = 1e6 / CADENCE_US
+    cost_per_modeled_s = per_ckpt_s * barriers_per_modeled_s
+    wall_per_modeled_s = plain_s / DURATION_S
+    overhead = cost_per_modeled_s / wall_per_modeled_s
+
+    lines = [
+        "# Checkpoint cost at %dms cadence on %s (%.1fs modeled)."
+        % (CADENCE_US // 1_000, CASE_ID, DURATION_S),
+        "# Budget: checkpointing spends <%d%% of the plain run's wall"
+        % int(OVERHEAD_BUDGET * 100),
+        "# clock per modeled second (asserted on the direct",
+        "# per-checkpoint measurement; A/B wall clocks are context).",
+        "metric\tvalue",
+        "per_checkpoint_ms\t%.4f" % (per_ckpt_s * 1e3),
+        "checkpoints_per_modeled_s\t%.1f" % barriers_per_modeled_s,
+        "plain_wall_ms_per_modeled_s\t%.2f" % (wall_per_modeled_s * 1e3),
+        "overhead_fraction\t%.4f" % overhead,
+        "plain_run_s\t%.4f" % plain_s,
+        "checkpointed_run_s\t%.4f" % ckpt_s,
+        "",
+        "# Compressed checkpoint artifact at scale (budget: <%d KiB)."
+        % (SNAPSHOT_BUDGET_BYTES // 1024),
+        "threads\tartifact_bytes",
+        "%d\t%d" % (thread_count, artifact_bytes),
+    ]
+    write_result("ckpt_overhead.txt", lines)
+
+    assert overhead < OVERHEAD_BUDGET, (
+        "checkpointing at %dms cadence costs %.2f%% of the plain run's "
+        "wall clock per modeled second (budget %d%%)"
+        % (CADENCE_US // 1_000, overhead * 100, OVERHEAD_BUDGET * 100))
+    assert thread_count >= SCALE_THREADS
+    assert artifact_bytes < SNAPSHOT_BUDGET_BYTES, (
+        "a %d-thread checkpoint artifact is %d bytes (budget %d)"
+        % (thread_count, artifact_bytes, SNAPSHOT_BUDGET_BYTES))

@@ -1,0 +1,77 @@
+"""Deterministic checkpoint/restore, supervised resume, rule hot-reload.
+
+The paper's isolation machinery only pays off if it survives failure: a
+detector that loses its state on a crash un-isolates every tenant at
+once.  This package is the control plane for that robustness story:
+
+- :mod:`repro.ckpt.state` -- pure, canonical walkers over the full
+  simulation state (kernel + pBox layer);
+- :mod:`repro.ckpt.snapshot` -- versioned, content-addressed checkpoint
+  artifacts and the on-disk store;
+- :mod:`repro.ckpt.driver` -- the stepped case driver that pauses the
+  kernel at quiescent virtual-time barriers to take checkpoints;
+- :mod:`repro.ckpt.restore` -- replay-based restore: re-execute to the
+  cut, verify byte-exactly against the checkpoint, continue;
+- :mod:`repro.ckpt.supervisor` -- :class:`RunSupervisor`, which detects
+  worker crash/timeout and resumes from the last good checkpoint;
+- :mod:`repro.ckpt.reload` -- :class:`RuleReloader`, swapping isolation
+  rules at a checkpoint barrier without restart;
+- :mod:`repro.ckpt.bisect` -- golden-digest divergence localization.
+
+Restore semantics (honest fine print)
+-------------------------------------
+
+Simulated threads are Python generators; their frames cannot be
+serialized.  A checkpoint therefore stores the *replay spec* (case,
+seed, duration, cadence), the cut point, and a canonical walk of every
+piece of observable state -- and restore means deterministic
+re-execution from t=0 to the cut, verified byte-exactly against both
+the trace digest and the state walk, then continuing to completion.
+Because the kernel is bit-for-bit deterministic, the continued stream
+is byte-identical to the uncheckpointed run -- the restore-equality
+suite proves it across the whole golden corpus.  What the checkpoint
+buys is *trust* (divergence is caught at the cut, not at the end) and
+*bounded loss* (a crashed run resumes from its spec instead of being
+re-debugged), at the cost of replayed virtual time.
+"""
+
+from repro.ckpt.bisect import bisect_case
+from repro.ckpt.driver import CADENCE_US, CheckpointingDriver, WorkerKilled
+from repro.ckpt.reload import ReloadResult, RuleReloader
+from repro.ckpt.restore import RestoreMismatch, checkpoint_run, resume_case
+from repro.ckpt.snapshot import (
+    CKPT_SCHEMA,
+    Checkpoint,
+    CheckpointStore,
+    take_checkpoint,
+)
+from repro.ckpt.state import (
+    STATE_SCHEMA,
+    canonical_json,
+    first_difference,
+    state_digest,
+    walk_state,
+)
+from repro.ckpt.supervisor import RunSupervisor
+
+__all__ = [
+    "CADENCE_US",
+    "CKPT_SCHEMA",
+    "Checkpoint",
+    "CheckpointStore",
+    "CheckpointingDriver",
+    "ReloadResult",
+    "RestoreMismatch",
+    "RuleReloader",
+    "RunSupervisor",
+    "STATE_SCHEMA",
+    "WorkerKilled",
+    "bisect_case",
+    "canonical_json",
+    "checkpoint_run",
+    "first_difference",
+    "resume_case",
+    "state_digest",
+    "take_checkpoint",
+    "walk_state",
+]

@@ -1,0 +1,97 @@
+"""The checkpointing case driver: stepped execution with barriers.
+
+``run_case(driver=...)`` replaces the single ``kernel.run`` call with a
+caller-owned loop.  :class:`CheckpointingDriver` steps the kernel in
+``cadence_us`` virtual-time increments; each step boundary is a
+*barrier*: the kernel is quiescent (``run(until_us=T)`` drains every
+event at or before ``T``), so barrier callbacks (rule hot-reload) run
+and a checkpoint is taken.  Stepped execution is byte-identical to a
+monolithic ``run`` -- the event loop processes the exact same events in
+the exact same order either way; the ``repro watch`` driver established
+the pattern and the restore-equality suite re-proves it for every
+registry case.
+
+``kill_at_us`` injects a *worker crash* at the first barrier at or past
+that virtual time: the driver raises :class:`WorkerKilled` carrying the
+last checkpoint taken strictly before the kill, which is precisely what
+a supervisor recovering a genuinely crashed worker would find in the
+store.
+"""
+
+#: Default checkpoint cadence: every 250 ms of virtual time (4 barriers
+#: across the canonical 1 s of modeled load, 5 across the golden 1.5 s).
+CADENCE_US = 250_000
+
+
+class WorkerKilled(RuntimeError):
+    """Injected mid-run worker crash; carries the last good checkpoint."""
+
+    def __init__(self, at_us, checkpoint):
+        super().__init__(
+            "worker killed at t=%dus (last checkpoint: %s)"
+            % (at_us, "none" if checkpoint is None
+               else "t=%dus" % checkpoint.cut_us))
+        self.at_us = at_us
+        self.checkpoint = checkpoint
+
+
+class CheckpointingDriver:
+    """Drive a case in cadence-sized steps, checkpointing at barriers.
+
+    Parameters
+    ----------
+    spec:
+        Replay spec recorded into every checkpoint (``case_id``,
+        ``duration_s``, ``seed``, ``cadence_us``, optional ``faults``).
+    digest:
+        The run's :class:`~repro.obs.golden.TraceDigest` (must be
+        attached before the driver runs; ``run_golden_case`` does
+        this).
+    store:
+        Optional :class:`~repro.ckpt.snapshot.CheckpointStore`; when
+        given, every checkpoint is persisted under the case-id label.
+    kill_at_us:
+        Optional virtual time of an injected worker crash (see
+        :class:`WorkerKilled`).
+    barriers:
+        Optional list of ``callback(env, t_us)`` run at every barrier
+        *before* the checkpoint is taken -- the rule hot-reload hook
+        point, so a reload is always captured by the barrier's own
+        snapshot.
+    """
+
+    def __init__(self, spec, digest, cadence_us=CADENCE_US, store=None,
+                 kill_at_us=None, barriers=None):
+        from repro.ckpt.snapshot import take_checkpoint
+
+        self._take = take_checkpoint
+        self.spec = dict(spec)
+        self.spec.setdefault("cadence_us", cadence_us)
+        self.digest = digest
+        self.cadence_us = cadence_us
+        self.store = store
+        self.kill_at_us = kill_at_us
+        self.barriers = list(barriers or [])
+        self.checkpoints = []
+
+    @property
+    def last_checkpoint(self):
+        return self.checkpoints[-1] if self.checkpoints else None
+
+    def __call__(self, env):
+        kernel = env.kernel
+        duration_us = env.duration_us
+        label = self.spec.get("case_id")
+        t = self.cadence_us
+        while t < duration_us:
+            kernel.run(until_us=t)
+            if self.kill_at_us is not None and t >= self.kill_at_us:
+                raise WorkerKilled(t, self.last_checkpoint)
+            for barrier in self.barriers:
+                barrier(env, t)
+            checkpoint = self._take(env, self.spec, self.digest)
+            self.checkpoints.append(checkpoint)
+            if self.store is not None:
+                self.store.save(checkpoint, label=label)
+            t += self.cadence_us
+        kernel.run(until_us=duration_us)

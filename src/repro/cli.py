@@ -751,6 +751,109 @@ def cmd_why(args):
     return 0
 
 
+def cmd_ckpt(args):
+    """Run a case under the checkpointing supervisor.
+
+    Steps the simulation with checkpoints every ``--cadence-ms`` of
+    virtual time, persisting content-addressed artifacts under
+    ``--dir``.  ``--kill-at`` injects a worker crash at that virtual
+    second; the supervisor resumes from the last good checkpoint and
+    the completed stream is still byte-identical to an uninterrupted
+    run.  ``--verify`` additionally restores the latest checkpoint
+    after the run and checks the resumed digest matches.
+    """
+    from repro.ckpt import CheckpointStore, RunSupervisor, resume_case
+
+    store = CheckpointStore(args.dir)
+    supervisor = RunSupervisor(store,
+                               cadence_us=int(args.cadence_ms * 1_000))
+    kill_at_us = None if args.kill_at is None else int(args.kill_at * 1e6)
+    outcome = supervisor.run(args.case, duration_s=args.duration,
+                             seed=args.seed, kill_at_us=kill_at_us,
+                             faults=args.faults)
+    document = outcome["document"]
+    print("case %s: %d events, digest %s"
+          % (args.case, document["events"], document["digest"][:16]))
+    print("checkpoints: %d stored under %s, resumes: %d"
+          % (len(store.ids()), args.dir, outcome["resumes"]))
+    if outcome["violations"]:
+        for violation in outcome["violations"]:
+            print("invariant violation: %s" % violation)
+        return 1
+    if args.verify:
+        checkpoint = store.latest(args.case)
+        resumed = resume_case(checkpoint)
+        matches = resumed["document"]["digest"] == document["digest"]
+        print("verify: resume from t=%.2fs %s"
+              % (checkpoint.cut_us / 1e6,
+                 "reproduces the run bit-for-bit" if matches
+                 else "DIVERGED"))
+        if not matches:
+            return 1
+    return 0
+
+
+def _golden_corpus_path(case_id):
+    """Locate the committed golden document for ``case_id``.
+
+    Tries the current directory first (a repo checkout), then the
+    checkout the installed package came from, so the command works from
+    any working directory.
+    """
+    rel = os.path.join("tests", "golden", case_id + ".json")
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    for candidate in (rel, os.path.join(repo_root, rel)):
+        if os.path.exists(candidate):
+            return candidate
+    return None
+
+
+def cmd_bisect(args):
+    """Localize the first divergent event window of a golden case.
+
+    Replays ``case`` and compares it against an expected golden
+    document (``--against PATH``, default: the committed corpus
+    document).  On a match, exits 0.  On divergence, prints the first
+    divergent 4096-event window -- index, event range, and the actual
+    event lines from a scoped second replay -- and exits 1.
+    """
+    import json as _json
+
+    from repro.ckpt import bisect_case
+
+    expected_path = args.against or _golden_corpus_path(args.case)
+    if expected_path is None:
+        print("no golden document for %s: pass --against PATH" % args.case)
+        return 2
+    with open(expected_path) as handle:
+        expected = _json.load(handle)
+    report = bisect_case(args.case,
+                         expected,
+                         duration_s=args.duration,
+                         seed=args.seed)
+    if not report["divergent"]:
+        print("case %s matches %s: %d events, digest %s"
+              % (args.case, expected_path, report["events"],
+                 report["digest"][:16]))
+        return 0
+    print("case %s DIVERGED from %s" % (args.case, expected_path))
+    print("  expected: %d events, digest %s"
+          % (report["expected_events"], report["expected_digest"][:16]))
+    print("  actual:   %d events, digest %s"
+          % (report["actual_events"], report["actual_digest"][:16]))
+    print("  first divergent window: #%d (events %d..%d)"
+          % (report["window_index"], report["start_event"],
+             report["start_event"] + report["window_events"] - 1))
+    shown = report["lines"][:args.lines]
+    for line in shown:
+        print("  %s" % line)
+    if len(report["lines"]) > len(shown):
+        print("  ... %d more line(s) in this window"
+              % (len(report["lines"]) - len(shown)))
+    return 1
+
+
 def cmd_report(args):
     """Aggregate benchmark outputs into a markdown report."""
     path = write_report(args.results_dir)
@@ -961,6 +1064,52 @@ def build_parser():
     why_parser.add_argument("--html", metavar="PATH", default=None,
                             help="write a self-contained HTML report")
 
+    ckpt_parser = sub.add_parser(
+        "ckpt", help="checkpointed (and optionally crash-resumed) case "
+                     "run under the supervisor")
+    ckpt_parser.add_argument(
+        "case", choices=sorted(ALL_CASES, key=_case_order),
+        help="case id (runs under pBox)")
+    ckpt_parser.add_argument("--duration", type=float, default=1.5,
+                             help="simulated seconds (default: 1.5, the "
+                                  "golden-corpus horizon)")
+    ckpt_parser.add_argument("--seed", type=int, default=1)
+    ckpt_parser.add_argument("--cadence-ms", type=float, default=250,
+                             help="checkpoint cadence in virtual "
+                                  "milliseconds (default: 250)")
+    ckpt_parser.add_argument("--kill-at", type=float, default=None,
+                             metavar="S",
+                             help="inject a worker crash at this virtual "
+                                  "second; the supervisor resumes from "
+                                  "the last good checkpoint")
+    ckpt_parser.add_argument("--faults", default=None,
+                             help="chaos cocktail to attach (same syntax "
+                                  "as 'repro chaos --faults')")
+    ckpt_parser.add_argument("--dir", default=".repro-ckpt",
+                             help="checkpoint store directory (default: "
+                                  ".repro-ckpt)")
+    ckpt_parser.add_argument("--verify", action="store_true",
+                             help="after the run, restore the latest "
+                                  "checkpoint and require the resumed "
+                                  "digest to match")
+
+    bisect_parser = sub.add_parser(
+        "bisect", help="localize the first divergent golden event window "
+                       "of a case")
+    bisect_parser.add_argument(
+        "case", choices=sorted(ALL_CASES, key=_case_order),
+        help="case id (runs under pBox)")
+    bisect_parser.add_argument("--against", default=None, metavar="PATH",
+                               help="expected golden document (default: "
+                                    "the committed tests/golden corpus)")
+    bisect_parser.add_argument("--duration", type=float, default=1.5,
+                               help="simulated seconds (default: 1.5, "
+                                    "the golden-corpus horizon)")
+    bisect_parser.add_argument("--seed", type=int, default=1)
+    bisect_parser.add_argument("--lines", type=int, default=20,
+                               help="divergent-window event lines to "
+                                    "print (default: 20)")
+
     report_parser = sub.add_parser("report",
                                    help="aggregate results/ into a report")
     report_parser.add_argument("--results-dir", default="results")
@@ -980,6 +1129,8 @@ COMMANDS = {
     "scale": cmd_scale,
     "watch": cmd_watch,
     "why": cmd_why,
+    "ckpt": cmd_ckpt,
+    "bisect": cmd_bisect,
     "report": cmd_report,
 }
 

@@ -78,6 +78,14 @@ class PenaltyBudget:
         self.outstanding_us -= released
         self.stats["released_us"] += released
 
+    def snapshot_state(self):
+        """JSON-safe walk of the budget (checkpoint walker)."""
+        return {
+            "cap_us": self.cap_us,
+            "outstanding_us": self.outstanding_us,
+            "stats": dict(self.stats),
+        }
+
     def __repr__(self):
         return "PenaltyBudget(cap_us=%r, outstanding_us=%d)" % (
             self.cap_us, self.outstanding_us)

@@ -760,3 +760,45 @@ class PBoxManager:
                                   flow=pbox.pending_penalty_flow)
         pbox.pending_penalty_flow = None
         return delay
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self, label=repr):
+        """JSON-safe walk of the full manager state (checkpoint walker).
+
+        Pure observation: no tracepoints fire, no psids or flow ids are
+        allocated, and every dict iteration is sorted.  The flow-id
+        counter is (like the kernel's ``_seq``) deliberately omitted --
+        ``itertools.count`` cannot be read without advancing it, and
+        replay reconstructs it exactly.
+        """
+        return {
+            "enabled": self.enabled,
+            "scan_policy": self.scan_policy,
+            "stats": dict(self.stats),
+            "scan_stats": dict(self.scan_stats),
+            "dirty_psids": sorted(self.dirty_psids),
+            "active_psids": sorted(self.active_psids),
+            "safe_until": sorted(self._safe_until.items()),
+            "heal_trend": sorted(
+                ("%s/%s" % pair,
+                 [state.last_level, state.fails, state.backoff,
+                  state.actions])
+                for pair, state in self._heal_trend.items()),
+            "competitors": sorted(
+                (label(key), [[entry.pbox.psid, entry.time_us]
+                              for entry in entries])
+                for key, entries in self.competitor_map.items()),
+            "last_releaser": sorted(
+                (label(key), list(releaser))
+                for key, releaser in self.last_releaser.items()),
+            "key_holders": sorted(
+                (label(key), sorted(holders))
+                for key, holders in self._key_holders.items()),
+            "pboxes": [self._pboxes[psid].snapshot_state(label)
+                       for psid in sorted(self._pboxes)],
+            "budget": (None if self.penalty_budget is None
+                       else self.penalty_budget.snapshot_state()),
+        }

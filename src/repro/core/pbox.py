@@ -158,6 +158,39 @@ class PBox:
         """
         return bool(self.holders)
 
+    def snapshot_state(self, label=repr):
+        """JSON-safe walk of the pBox (checkpoint walker).
+
+        Resource keys render through ``label`` for cross-process
+        stability; everything keyed by a dict is sorted so insertion
+        order never leaks into the walk.
+        """
+        return {
+            "psid": self.psid,
+            "rule": self.rule.to_dict(),
+            "status": self.status.value,
+            "thread": None if self.thread is None else self.thread.tid,
+            "activity_start_us": self.activity_start_us,
+            "defer_time_us": self.defer_time_us,
+            "holders": sorted((label(key), t)
+                              for key, t in self.holders.items()),
+            "prepares": sorted((label(key), t)
+                               for key, t in self.prepares.items()),
+            "history": [[rec.defer_us, rec.exec_us] for rec in self.history],
+            "activities_completed": self.activities_completed,
+            "total_defer_us": self.total_defer_us,
+            "total_exec_us": self.total_exec_us,
+            "blame": sorted(("%s/%s" % (psid, label(key)), us)
+                            for (psid, key), us in self.blame.items()),
+            "pending_penalty_us": self.pending_penalty_us,
+            "pending_since_us": self.pending_since_us,
+            "penalty_until_us": self.penalty_until_us,
+            "penalties_received": self.penalties_received,
+            "penalty_total_us": self.penalty_total_us,
+            "shared_thread": self.shared_thread,
+            "detached": self.detached,
+        }
+
     def __repr__(self):
         return "PBox(psid=%d, status=%s, goal=%.2f)" % (
             self.psid,

@@ -68,6 +68,36 @@ class IsolationRule:
         goal = self.goal
         return goal / (1.0 + goal)
 
+    def to_dict(self):
+        """JSON-safe representation (checkpoint / hot-reload payloads)."""
+        return {
+            "isolation_level": self.isolation_level,
+            "rule_type": self.rule_type.value,
+            "metric": self.metric.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a rule from :meth:`to_dict` output."""
+        return cls(
+            isolation_level=data["isolation_level"],
+            rule_type=RuleType(data["rule_type"]),
+            metric=Metric(data["metric"]),
+        )
+
+    def same_as(self, other):
+        """True when ``other`` expresses the identical isolation goal.
+
+        Deliberately not ``__eq__``: rules are used as plain objects
+        (occasionally in identity-keyed maps) and must stay hashable by
+        identity.  The hot-reload path uses this to detect that a
+        swapped-in rule set is a pure no-op.
+        """
+        return (isinstance(other, IsolationRule)
+                and self.isolation_level == other.isolation_level
+                and self.rule_type is other.rule_type
+                and self.metric is other.metric)
+
     def __repr__(self):
         return "IsolationRule(type=%s, isolation_level=%d%%, metric=%s)" % (
             self.rule_type.value,

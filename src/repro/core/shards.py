@@ -266,6 +266,26 @@ class ShardedPBoxManager:
             merged.update(self._shards[key].competitor_map)
         return merged
 
+    def snapshot_state(self, label=repr):
+        """JSON-safe walk of every shard (checkpoint walker).
+
+        Shards are walked in sorted-key order; the psid -> shard routing
+        map is rendered as psid -> shard key (the shard object itself is
+        identity, not state).  Like the plain manager's walker this is
+        pure observation -- nothing is allocated, fired, or consumed.
+        """
+        shard_keys = {id(shard): key for key, shard in self._shards.items()}
+        return {
+            "enabled": self.enabled,
+            "shards": [(key, self._shards[key].snapshot_state(label))
+                       for key in sorted(self._shards)],
+            "pbox_shard": sorted(
+                (psid, shard_keys[id(shard)])
+                for psid, shard in self._pbox_shard.items()),
+            "budget": (None if self.penalty_budget is None
+                       else self.penalty_budget.snapshot_state()),
+        }
+
     def __repr__(self):
         return "ShardedPBoxManager(shards=%d, pboxes=%d)" % (
             len(self._shards), len(self._pbox_shard))

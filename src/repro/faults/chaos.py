@@ -108,16 +108,27 @@ class ChaosResult:
         """Atomically write :meth:`to_json_dict` to ``path``.
 
         Write-to-temp + ``os.replace`` so an interrupt mid-write can
-        never leave a truncated JSON file behind.
+        never leave a truncated JSON file behind.  If serialization or
+        the write itself fails (including KeyboardInterrupt on the
+        partial-result exit-130 path), the temp file is removed so no
+        stale ``.tmp`` sits next to the output.
         """
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
         tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump(self.to_json_dict(), handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(self.to_json_dict(), handle, indent=1,
+                          sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
 

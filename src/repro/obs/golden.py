@@ -111,6 +111,15 @@ class TraceDigest:
         """Unsubscribe from every tracepoint of ``bus``."""
         bus.unsubscribe_all(self)
 
+    def digest_so_far(self):
+        """Current rolling digest without finalizing the stream.
+
+        ``hashlib`` digests are non-consuming, so the checkpoint layer
+        can fingerprint the stream at a barrier and keep feeding the
+        same digest afterwards.
+        """
+        return self._sha.hexdigest()
+
     def document(self, stats=None):
         """JSON-safe golden payload for this stream."""
         return {
@@ -173,16 +182,19 @@ def first_divergence(expected, actual):
 
 
 def run_golden_case(case_id, duration_s, seed, observer=None,
-                    manager_factory=None):
+                    manager_factory=None, driver=None):
     """Run ``case_id`` under pBox with a digest attached; returns a doc.
 
     The canonical golden parameters live with the corpus
     (``tests/golden``); this helper only fixes the solution (pBox, the
     full pipeline) and the digest wiring so the regeneration tool and
     the test suite produce identical documents.  ``manager_factory``
-    passes through to :func:`~repro.cases.base.run_case` -- the
-    sharded-manager equivalence suite replays the corpus through a
-    facade and asserts the digests do not move.
+    and ``driver`` pass through to
+    :func:`~repro.cases.base.run_case` -- the sharded-manager
+    equivalence suite replays the corpus through a facade, and the
+    checkpoint layer replaces the single ``kernel.run`` call with a
+    stepped loop that pauses at barriers; both assert the digests do
+    not move.
     """
     from repro.cases import Solution, get_case, run_case
     from repro.sim.thread import reset_thread_ids
@@ -200,7 +212,7 @@ def run_golden_case(case_id, duration_s, seed, observer=None,
 
     run = run_case(get_case(case_id), Solution.PBOX, seed=seed,
                    duration_s=duration_s, observer=_observer,
-                   manager_factory=manager_factory)
+                   manager_factory=manager_factory, driver=driver)
     return digest.document(stats=golden_stats(run))
 
 

@@ -23,7 +23,9 @@ instead of losing the sweep.
 import multiprocessing
 import os
 import signal
+import threading
 import time
+import warnings
 from collections import deque
 
 from repro.runner.cache import ResultCache, code_fingerprint
@@ -208,14 +210,30 @@ class _job_alarm:
     Works in the parent and in forked pool workers (each runs jobs on
     its main thread).  Platforms without ``SIGALRM`` simply run without
     a budget — the retry/degrade machinery still applies.
+
+    ``signal.signal`` raises ``ValueError`` off the main thread, so a
+    job driven from a worker thread (embedding harnesses, the
+    checkpoint supervisor) cannot use the alarm.  Rather than losing
+    the budget silently, the alarm degrades to a wall-clock *deadline*:
+    the job runs unpreempted, but a budget overrun is still detected on
+    exit and raised as :class:`JobTimeout` (with a warning so the
+    degraded coverage is visible).
     """
 
     def __init__(self, timeout_s):
         self.timeout_s = timeout_s
         self._previous = None
+        self._deadline = None
 
     def __enter__(self):
         if not self.timeout_s or not hasattr(signal, "SIGALRM"):
+            return self
+        if threading.current_thread() is not threading.main_thread():
+            warnings.warn(
+                "job timeout requested off the main thread: SIGALRM is "
+                "unavailable, falling back to a post-hoc deadline check",
+                RuntimeWarning, stacklevel=2)
+            self._deadline = time.perf_counter() + self.timeout_s
             return self
 
         def _expire(signum, frame):
@@ -230,6 +248,11 @@ class _job_alarm:
         if self._previous is not None:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, self._previous)
+        if (self._deadline is not None and exc_type is None
+                and time.perf_counter() > self._deadline):
+            raise JobTimeout(
+                "job exceeded %.1fs wall budget (deadline fallback)"
+                % self.timeout_s)
         return False
 
 

@@ -186,16 +186,25 @@ class SweepResult:
 
         Write-to-temp + ``os.replace``: an interrupt (or crash) during
         serialization can never leave a truncated ``SWEEP.json`` where
-        a previous good one used to be.
+        a previous good one used to be — and the temp file itself is
+        removed on failure rather than left stale beside the output.
         """
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
         tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump(self.to_json_dict(), handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(self.to_json_dict(), handle, indent=1,
+                          sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return path
 
 

@@ -101,6 +101,18 @@ class Cgroup:
         self.runtime_us += us
         self.total_cpu_us += us
 
+    def snapshot_state(self):
+        """JSON-safe walk of the group's accounting (checkpoint walker)."""
+        return {
+            "name": self.name,
+            "quota_us": self.quota_us,
+            "period_us": self.period_us,
+            "runtime_us": self.runtime_us,
+            "period_start_us": self.period_start_us,
+            "throttled": [thread.tid for thread in self.throttled_threads],
+            "total_cpu_us": self.total_cpu_us,
+        }
+
     def __repr__(self):
         return "Cgroup(name=%r, quota_us=%r, period_us=%d)" % (
             self.name,

@@ -169,3 +169,21 @@ class WaitQueueTable:
     def keys(self):
         """Keys that currently have waiters."""
         return list(self._queues.keys())
+
+    def snapshot_state(self, label=repr):
+        """JSON-safe walk of queues and owners (checkpoint walker).
+
+        Pure observation: keys are rendered through ``label`` so the
+        output is stable across processes, queue entries keep their
+        FIFO positions (wake order is part of the determinism
+        contract), and everything is sorted so dict insertion order
+        never leaks into the walk.
+        """
+        queues = sorted(
+            (label(key), [thread.tid for thread in queue])
+            for key, queue in self._queues.items())
+        owners = sorted(
+            (label(key),
+             sorted((thread.tid, count) for thread, count in holders.items()))
+            for key, holders in self._owners.items())
+        return {"queues": queues, "owners": owners, "waiting": self._waiting}

@@ -146,6 +146,18 @@ class PenaltyArmer:
             if not entry.cancelled:
                 entry.fn()
 
+    def snapshot_state(self):
+        """JSON-safe walk of pending buckets (checkpoint walker).
+
+        Records each distinct expiry and how many live entries it
+        holds; the entries themselves (closures) are reconstructed by
+        replay, so their count plus the trace digest pins the ordering.
+        """
+        buckets = sorted(
+            (when, sum(1 for entry in bucket if not entry.cancelled))
+            for when, bucket in self._buckets.items())
+        return {"stats": dict(self.stats), "buckets": buckets}
+
 
 class Kernel:
     """Virtual-time OS kernel.
@@ -834,6 +846,93 @@ class Kernel:
         # raises StopIteration into the normal exit path (_advance ->
         # _exit), which runs the same purge.
         return True
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    @property
+    def quiescent(self):
+        """True when no syscall dispatch is in flight and nothing is due.
+
+        A checkpoint barrier is sound only at a quiescent point: the
+        event loop is not inside a thread body (``current_thread`` is
+        None) and no live timer is due at or before the current virtual
+        time.  ``run(until_us=T)`` establishes exactly this state when
+        it returns -- it drains every event with ``when <= T`` before
+        advancing the clock to ``T``.
+        """
+        if self.current_thread is not None:
+            return False
+        now = self.clock.now_us
+        for when, timer in self._wheel.pending():
+            if when <= now and not timer.cancelled:
+                return False
+        return True
+
+    def snapshot_state(self, label=repr):
+        """JSON-safe walk of the full kernel state (checkpoint walker).
+
+        Pure observation: never consumes ``_seq``/``_req_seq`` ticks,
+        RNG draws, or fires tracepoints, so walking a run cannot perturb
+        it (the restore-equality suite is the proof).  The two
+        ``itertools.count`` counters are deliberately *not* recorded --
+        they cannot be read without advancing them, and replay-based
+        restore reconstructs them exactly (the trace digest pins the
+        ordering they feed).  Resource keys are rendered through
+        ``label`` so the walk is stable across processes.
+        """
+        threads = {
+            "tid": [], "name": [], "state": [], "cgroup": [],
+            "pending_compute_us": [], "cpu_time_us": [], "wait_key": [],
+            "blocked_since_us": [], "overhead_us": [],
+            "demoted_until_us": [], "psid": [], "joiners": [],
+            "started_at_us": [], "exited_at_us": [],
+        }
+        for thread in self.threads:
+            threads["tid"].append(thread.tid)
+            threads["name"].append(thread.name)
+            threads["state"].append(thread.state.value)
+            threads["cgroup"].append(
+                None if thread.cgroup is None else thread.cgroup.name)
+            threads["pending_compute_us"].append(thread.pending_compute_us)
+            threads["cpu_time_us"].append(thread.cpu_time_us)
+            threads["wait_key"].append(
+                None if thread.wait_key is None else label(thread.wait_key))
+            threads["blocked_since_us"].append(thread.blocked_since_us)
+            threads["overhead_us"].append(thread.overhead_us)
+            threads["demoted_until_us"].append(thread.demoted_until_us)
+            threads["psid"].append(
+                None if thread.pbox is None else thread.pbox.psid)
+            threads["joiners"].append([t.tid for t in thread.joiners])
+            threads["started_at_us"].append(thread.started_at_us)
+            threads["exited_at_us"].append(thread.exited_at_us)
+        return {
+            "now_us": self.clock.now_us,
+            "quantum_us": self.quantum_us,
+            "stats": dict(self.stats),
+            "idle_mask": self._idle_mask,
+            "cores": [
+                {
+                    "index": core.index,
+                    "running": (None if core.running is None
+                                else core.running.tid),
+                    "busy_us": core.busy_us,
+                    "reserved_for": core.reserved_for,
+                }
+                for core in self.cores
+            ],
+            "run_queue": [t.tid for t in self.run_queue.threads()],
+            "threads": threads,
+            "cgroups": sorted(
+                (name, group.snapshot_state())
+                for name, group in self.cgroups.items()),
+            "futexes": self.futexes.snapshot_state(label),
+            "timers": self._wheel.snapshot_entries(),
+            "penalty_armer": self.penalty_armer.snapshot_state(),
+            "rngs": self.rngs.snapshot_state(),
+            "active_requests": sorted(self.active_requests.items()),
+        }
 
 
 class IdleWatchdog:

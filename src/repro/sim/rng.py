@@ -86,6 +86,22 @@ class RngStream:
                 hi = mid
         return lo
 
+    def state_digest(self):
+        """64-bit fingerprint of the generator state (checkpoint walker).
+
+        ``random.Random.getstate()`` is ~2.5 KB of Mersenne words per
+        stream; the checkpoint only needs to *verify* that a replayed
+        stream reached the same state, so a truncated digest of the repr
+        (deterministic for the tuple-of-ints state) suffices.  64 bits
+        is ample for drift *detection* -- nothing adversarial hashes
+        here -- and, unlike full hex digests, the truncation keeps
+        scale-scenario artifacts (thousands of streams of incompressible
+        hex) inside the checkpoint size budget.  Reading the state does
+        not advance it.
+        """
+        state = repr(self._rng.getstate()).encode()
+        return hashlib.sha256(state).hexdigest()[:16]
+
 
 class RngRegistry:
     """Factory handing out :class:`RngStream` objects from one root seed."""
@@ -99,3 +115,12 @@ class RngRegistry:
         if name not in self._streams:
             self._streams[name] = RngStream(self.root_seed, name)
         return self._streams[name]
+
+    def snapshot_state(self):
+        """JSON-safe walk of all streams' state digests (checkpoint)."""
+        return {
+            "root_seed": self.root_seed,
+            "streams": sorted(
+                (name, stream.state_digest())
+                for name, stream in self._streams.items()),
+        }

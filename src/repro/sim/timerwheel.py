@@ -256,6 +256,33 @@ class TimerWheel:
                 return True
         return False
 
+    def snapshot_entries(self):
+        """Live ``(when, seq)`` pairs in firing order (checkpoint walker).
+
+        Pure observation for the checkpoint state walk: iterates the
+        same structures :meth:`pending` does but keeps each entry's arm
+        sequence number, so a checkpoint records the exact in-flight
+        event ordering without consuming the kernel's arm counter.
+        Cancelled entries are excluded -- they can never fire, so two
+        runs that differ only in drained-vs-undrained cancellations
+        still walk identically.
+        """
+        entries = []
+        for heap in (self._due, self._overflow):
+            entries.extend((when, seq) for when, seq, timer in heap
+                           if not timer.cancelled)
+        for slots, occ in ((self._slots1, self._occ1),
+                           (self._slots2, self._occ2),
+                           (self._slots3, self._occ3)):
+            m = occ
+            while m:
+                i = (m & -m).bit_length() - 1
+                m &= m - 1
+                entries.extend((when, seq) for when, seq, timer in slots[i]
+                               if not timer.cancelled)
+        entries.sort()
+        return entries
+
     def pending(self):
         """Snapshot of all pending ``(when, timer)`` entries (tests)."""
         entries = [(when, timer) for when, _seq, timer in self._due]

@@ -1,0 +1,88 @@
+"""Atomic result writes: no stale ``.tmp`` debris, ever.
+
+``SWEEP.json`` / ``CHAOS.json`` and checkpoint artifacts are written
+via temp + ``os.replace``.  The failure half of that contract: when
+serialization (or the write itself) blows up, the temp file must be
+unlinked -- a crashed sweep must not leave ``CHAOS.json.tmp`` sitting
+next to a previous good ``CHAOS.json``.
+"""
+
+import os
+import zlib
+
+import pytest
+
+from repro.ckpt import CheckpointStore
+from repro.faults.chaos import ChaosResult
+from repro.runner.sweep import SweepResult
+
+
+def _exploding_payload(self):
+    # json.dump serializes incrementally, so the TypeError fires after
+    # bytes have already landed in the temp file.
+    return {"prefix": list(range(64)), "bad": object()}
+
+
+class _ExplodingChaosResult(ChaosResult):
+    to_json_dict = _exploding_payload
+
+
+class _ExplodingSweepResult(SweepResult):
+    to_json_dict = _exploding_payload
+
+
+def _listdir(path):
+    return sorted(os.listdir(path))
+
+
+def test_chaos_write_failure_leaves_no_tmp(tmp_path):
+    result = _ExplodingChaosResult({}, [], [], 1.5, "fp", {})
+    target = tmp_path / "CHAOS.json"
+    with pytest.raises(TypeError):
+        result.write_json(str(target))
+    assert _listdir(tmp_path) == []
+
+
+def test_chaos_write_failure_keeps_previous_good_file(tmp_path):
+    target = tmp_path / "CHAOS.json"
+    good = ChaosResult({}, [], [], 1.5, "fp", {})
+    good.write_json(str(target))
+    previous = target.read_bytes()
+    with pytest.raises(TypeError):
+        _ExplodingChaosResult({}, [], [], 1.5, "fp", {}).write_json(
+            str(target))
+    assert _listdir(tmp_path) == ["CHAOS.json"]
+    assert target.read_bytes() == previous
+
+
+def test_sweep_write_failure_leaves_no_tmp(tmp_path):
+    result = _ExplodingSweepResult({}, [], [1], 1.5, "fp", {})
+    target = tmp_path / "results" / "SWEEP.json"
+    with pytest.raises(TypeError):
+        result.write_json(str(target))
+    # The directory was created, but holds no debris.
+    assert _listdir(tmp_path / "results") == []
+
+
+def test_sweep_write_success_replaces_atomically(tmp_path):
+    result = SweepResult({}, [], [1], 1.5, "fp", {"jobs": 0})
+    target = tmp_path / "SWEEP.json"
+    result.write_json(str(target))
+    assert _listdir(tmp_path) == ["SWEEP.json"]
+
+
+def test_checkpoint_store_atomic_write_failure_leaves_no_tmp(tmp_path):
+    # A str payload against the binary handle raises after the temp
+    # file was created; the cleanup must unlink it.
+    with pytest.raises(TypeError):
+        CheckpointStore._atomic_write(str(tmp_path / "x.ckpt.z"),
+                                      "not-bytes")
+    assert _listdir(tmp_path) == []
+
+
+def test_checkpoint_store_atomic_write_success(tmp_path):
+    path = str(tmp_path / "x.ckpt.z")
+    CheckpointStore._atomic_write(path, zlib.compress(b"payload"))
+    assert _listdir(tmp_path) == ["x.ckpt.z"]
+    with open(path, "rb") as handle:
+        assert zlib.decompress(handle.read()) == b"payload"

@@ -1,0 +1,79 @@
+"""Penalty-budget edge cases: trim/release boundaries and construction."""
+
+import pytest
+
+from repro.core.budget import PenaltyBudget
+
+
+def test_reserve_exactly_at_cap_is_a_full_grant():
+    budget = PenaltyBudget(cap_us=10_000)
+    assert budget.reserve(10_000) == 10_000
+    assert budget.outstanding_us == 10_000
+    # Exactly consuming the headroom is neither a trim nor a denial.
+    assert budget.stats["trimmed"] == 0
+    assert budget.stats["denied"] == 0
+    # ...but the very next reservation is refused outright.
+    assert budget.reserve(1) == 0
+    assert budget.stats["denied"] == 1
+
+
+def test_reserve_beyond_headroom_is_trimmed_to_remainder():
+    budget = PenaltyBudget(cap_us=10_000)
+    assert budget.reserve(7_000) == 7_000
+    assert budget.reserve(7_000) == 3_000
+    assert budget.outstanding_us == 10_000
+    assert budget.stats["trimmed"] == 1
+    assert budget.stats["reserved_us"] == 10_000
+    assert budget.stats["peak_outstanding_us"] == 10_000
+
+
+def test_release_after_clamp_saturates_at_zero():
+    # Injected penalties bypass reserve(), so a release can exceed the
+    # outstanding total; accounting must saturate, not go negative.
+    budget = PenaltyBudget(cap_us=10_000)
+    budget.reserve(4_000)
+    budget.release(9_000)
+    assert budget.outstanding_us == 0
+    assert budget.stats["released_us"] == 4_000
+    # Releasing against an empty budget is a no-op.
+    budget.release(1_000)
+    assert budget.outstanding_us == 0
+    assert budget.stats["released_us"] == 4_000
+    # Headroom is fully restored.
+    assert budget.reserve(10_000) == 10_000
+
+
+def test_zero_or_negative_cap_is_rejected():
+    with pytest.raises(ValueError):
+        PenaltyBudget(cap_us=0)
+    with pytest.raises(ValueError):
+        PenaltyBudget(cap_us=-5)
+
+
+def test_unlimited_budget_is_pure_accounting():
+    budget = PenaltyBudget(cap_us=None)
+    assert budget.reserve(1_000_000) == 1_000_000
+    assert budget.stats["denied"] == 0
+    assert budget.stats["trimmed"] == 0
+    assert budget.outstanding_us == 1_000_000
+
+
+def test_non_positive_amounts_are_ignored():
+    budget = PenaltyBudget(cap_us=10_000)
+    assert budget.reserve(0) == 0
+    assert budget.reserve(-3) == 0
+    budget.release(0)
+    budget.release(-3)
+    assert budget.outstanding_us == 0
+    assert budget.stats["reserved_us"] == 0
+    assert budget.stats["released_us"] == 0
+
+
+def test_snapshot_state_is_json_safe_copy():
+    budget = PenaltyBudget(cap_us=10_000)
+    budget.reserve(2_500)
+    walk = budget.snapshot_state()
+    assert walk == {"cap_us": 10_000, "outstanding_us": 2_500,
+                    "stats": budget.stats}
+    walk["stats"]["reserved_us"] = -1
+    assert budget.stats["reserved_us"] == 2_500

@@ -1,0 +1,78 @@
+"""Bisection: localize the first divergent golden event window.
+
+Seeds a *known* divergence -- a perturbing barrier spawns one extra
+thread at 750 ms of virtual time, shifting every subsequent event --
+and asserts :func:`repro.ckpt.bisect_case` pins the break to exactly
+the checkpoint window containing the first perturbed event, with the
+actual event lines of that window in the report.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.ckpt import bisect_case
+from repro.obs.golden import CHECKPOINT_EVERY, canonical_names, run_golden_case
+from repro.sim import Compute
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+CASE_ID = "c1"
+PERTURB_AT_US = 750_000
+
+
+def _load_golden(case_id):
+    with open(os.path.join(GOLDEN_DIR, case_id + ".json")) as handle:
+        return json.load(handle)
+
+
+def test_bisect_reports_match_for_clean_run():
+    golden = _load_golden(CASE_ID)
+    report = bisect_case(CASE_ID, golden,
+                         duration_s=golden["duration_s"],
+                         seed=golden["seed"])
+    assert report["divergent"] is False
+    assert report["digest"] == golden["digest"]
+    assert report["events"] == golden["events"]
+
+
+@pytest.mark.slow
+def test_bisect_localizes_seeded_divergence():
+    golden = _load_golden(CASE_ID)
+    counter = {"events": 0, "first_divergent": None}
+
+    def _count(name, time_us, fields):
+        counter["events"] += 1
+
+    def observer(env):
+        env.kernel.trace.subscribe_all(
+            _count, names=canonical_names(env.kernel.trace))
+
+    def _intruder():
+        yield Compute(us=1_000)
+
+    def perturb_driver(env):
+        env.kernel.run(until_us=PERTURB_AT_US)
+        counter["first_divergent"] = counter["events"]
+        env.kernel.spawn(_intruder, name="bisect-intruder")
+        env.kernel.run(until_us=env.duration_us)
+
+    perturbed = run_golden_case(
+        CASE_ID, golden["duration_s"], golden["seed"],
+        observer=observer, driver=perturb_driver)
+    assert perturbed["digest"] != golden["digest"]
+    assert counter["first_divergent"] is not None
+
+    report = bisect_case(CASE_ID, perturbed,
+                         duration_s=golden["duration_s"],
+                         seed=golden["seed"])
+    assert report["divergent"] is True
+    expected_window = counter["first_divergent"] // CHECKPOINT_EVERY
+    assert report["window_index"] == expected_window
+    assert report["start_event"] == expected_window * CHECKPOINT_EVERY
+    assert report["window_events"] == CHECKPOINT_EVERY
+    assert report["expected_digest"] == perturbed["digest"]
+    assert report["actual_digest"] == golden["digest"]
+    assert report["lines"], "divergent window replay captured no events"
+    first_index = int(report["lines"][0].split()[0])
+    assert first_index == report["start_event"]

@@ -1,0 +1,162 @@
+"""Restore equality: checkpointed runs reproduce the golden corpus.
+
+Two corpus-wide contracts from the checkpoint layer:
+
+1. *Checkpoint purity* -- running a case under the stepped
+   :class:`~repro.ckpt.driver.CheckpointingDriver` (pausing every 250 ms
+   of virtual time to walk and serialize the full simulation state)
+   produces a golden document byte-identical to the committed corpus.
+   The walkers consume no entropy: no RNG draws, no sequence numbers,
+   no tracepoints.
+
+2. *Fresh-process restore* -- a checkpoint serialized mid-run can be
+   loaded in a brand-new process, resumed, and the completed run's
+   digest equals the uncheckpointed run's.  One subprocess resumes every
+   case's mid-run checkpoint so the restore path is proven against
+   process boundaries, not just in-memory object reuse.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.ckpt import (
+    Checkpoint,
+    CheckpointStore,
+    checkpoint_run,
+    resume_case,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+_RESUME_SCRIPT = """\
+import json, sys
+from repro.ckpt import CheckpointStore, resume_case
+
+store = CheckpointStore(sys.argv[1])
+manifest = json.loads(sys.argv[2])
+out = {}
+for case_id in sorted(manifest):
+    checkpoint = store.load(manifest[case_id])
+    outcome = resume_case(checkpoint)
+    document = outcome["document"]
+    out[case_id] = {"digest": document["digest"],
+                    "events": document["events"],
+                    "stats": document["stats"]}
+print(json.dumps(out))
+"""
+
+
+def _corpus_case_ids():
+    names = [name for name in os.listdir(GOLDEN_DIR)
+             if name.endswith(".json")]
+    return sorted((name[:-len(".json")] for name in names),
+                  key=lambda cid: int(cid[1:]))
+
+
+def _load_golden(case_id):
+    with open(os.path.join(GOLDEN_DIR, case_id + ".json")) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def corpus_checkpoints(tmp_path_factory):
+    """One checkpointed run per corpus case; returns docs + a store.
+
+    The single expensive pass behind both contracts: each case runs
+    once under the checkpointing driver, its document is kept for the
+    purity comparison, and its middle checkpoint (cut at 750 ms of the
+    1.5 s golden run) is persisted for the fresh-process resume test.
+    """
+    root = str(tmp_path_factory.mktemp("ckpt-corpus"))
+    store = CheckpointStore(root)
+    documents = {}
+    manifest = {}
+    for case_id in _corpus_case_ids():
+        golden = _load_golden(case_id)
+        outcome = checkpoint_run(case_id, duration_s=golden["duration_s"],
+                                 seed=golden["seed"])
+        documents[case_id] = outcome["document"]
+        checkpoints = outcome["driver"].checkpoints
+        assert checkpoints, "no barrier fired for %s" % case_id
+        middle = checkpoints[len(checkpoints) // 2]
+        manifest[case_id] = store.save(middle, label=case_id)
+    return {"documents": documents, "store": store, "manifest": manifest}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("case_id", _corpus_case_ids())
+def test_checkpointed_run_matches_golden(corpus_checkpoints, case_id):
+    """Stepped execution + state walks do not perturb the stream."""
+    golden = _load_golden(case_id)
+    document = corpus_checkpoints["documents"][case_id]
+    assert document["digest"] == golden["digest"], \
+        "checkpointing perturbed %s" % case_id
+    assert document["events"] == golden["events"]
+    assert document["checkpoints"] == golden["checkpoints"]
+    assert document["stats"] == golden["stats"]
+
+
+@pytest.mark.slow
+def test_fresh_process_resume_matches_golden(corpus_checkpoints):
+    """A new process restores every case and completes bit-identically."""
+    store = corpus_checkpoints["store"]
+    manifest = corpus_checkpoints["manifest"]
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _RESUME_SCRIPT, store.root,
+         json.dumps(manifest)],
+        capture_output=True, text=True, env=env, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    resumed = json.loads(proc.stdout)
+    assert sorted(resumed, key=lambda cid: int(cid[1:])) \
+        == _corpus_case_ids()
+    for case_id, summary in sorted(resumed.items()):
+        golden = _load_golden(case_id)
+        assert summary["digest"] == golden["digest"], \
+            "fresh-process resume diverged for %s" % case_id
+        assert summary["events"] == golden["events"]
+        assert summary["stats"] == golden["stats"]
+
+
+def test_checkpoint_json_roundtrip_preserves_identity(corpus_checkpoints):
+    """Serialize -> load returns the same content address and payload."""
+    store = corpus_checkpoints["store"]
+    case_id = _corpus_case_ids()[0]
+    checkpoint_id = corpus_checkpoints["manifest"][case_id]
+    loaded = store.load(checkpoint_id)
+    assert loaded.checkpoint_id == checkpoint_id
+    rebuilt = Checkpoint.from_json_dict(loaded.to_json_dict())
+    assert rebuilt.checkpoint_id == checkpoint_id
+    assert store.latest(case_id).checkpoint_id == checkpoint_id
+
+
+def test_in_process_resume_matches_plain_run(corpus_checkpoints):
+    """resume_case in this process also reproduces the golden digest."""
+    case_id = _corpus_case_ids()[0]
+    golden = _load_golden(case_id)
+    checkpoint = corpus_checkpoints["store"].load(
+        corpus_checkpoints["manifest"][case_id])
+    outcome = resume_case(checkpoint)
+    assert outcome["document"]["digest"] == golden["digest"]
+    assert outcome["document"]["events"] == golden["events"]
+
+
+def test_checkpoint_refuses_unknown_schema():
+    payload = {"schema": 999, "spec": {}, "cut_us": 0, "events": 0,
+               "cut_digest": "", "trace_checkpoints": [], "state": {},
+               "state_digest": ""}
+    with pytest.raises(ValueError):
+        Checkpoint.from_json_dict(payload)
+
+
+def test_store_latest_missing_label(tmp_path):
+    store = CheckpointStore(str(tmp_path / "empty"))
+    assert store.latest("nope") is None
+    assert store.ids() == []

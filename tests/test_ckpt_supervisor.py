@@ -1,0 +1,74 @@
+"""Supervised resume: crashed chaos workers converge byte-identically.
+
+The crash-fault leg of the checkpoint story: a supervised chaos job is
+killed mid-run, resumed from the last good checkpoint, and its final
+CHAOS.json entry digest must equal the digest of an unsupervised worker
+that never crashed -- byte for byte, through
+:func:`repro.faults.chaos.entry_digest`.
+"""
+
+import functools
+
+import pytest
+
+from repro.ckpt import CheckpointStore, RunSupervisor
+from repro.ckpt.supervisor import SupervisorGaveUp
+from repro.faults.chaos import _entry, entry_digest
+from repro.runner.runner import execute_spec
+
+CASE_ID = "c2"
+DURATION_S = 1.5
+FAULTS = "crash"
+
+
+@functools.lru_cache(maxsize=1)
+def _plain_digest():
+    result = execute_spec({
+        "case_id": CASE_ID,
+        "solution": "pbox",
+        "seed": 1,
+        "duration_s": DURATION_S,
+        "faults": FAULTS,
+    })
+    assert result.get("error") is None, result.get("error")
+    return entry_digest(_entry(result))
+
+
+def test_crash_resume_chaos_digest_is_byte_identical(tmp_path):
+    supervisor = RunSupervisor(CheckpointStore(str(tmp_path / "store")))
+    outcome = supervisor.run(CASE_ID, duration_s=DURATION_S, seed=1,
+                             kill_at_us=900_000, faults=FAULTS)
+    assert outcome["resumes"] == 1
+    assert outcome["violations"] == []
+    supervised = entry_digest(_entry(supervisor.chaos_result(outcome)))
+    assert supervised == _plain_digest()
+
+
+def test_clean_supervised_run_needs_no_resume(tmp_path):
+    supervisor = RunSupervisor(CheckpointStore(str(tmp_path / "store")))
+    outcome = supervisor.run(CASE_ID, duration_s=DURATION_S, seed=1,
+                             faults=FAULTS)
+    assert outcome["resumes"] == 0
+    supervised = entry_digest(_entry(supervisor.chaos_result(outcome)))
+    assert supervised == _plain_digest()
+
+
+def test_crash_before_first_barrier_reruns_cleanly(tmp_path):
+    # kill_at_us=1 fires at the very first barrier, before any
+    # checkpoint exists: the resume path degrades to a clean full run.
+    supervisor = RunSupervisor(CheckpointStore(str(tmp_path / "store")))
+    outcome = supervisor.run(CASE_ID, duration_s=DURATION_S, seed=1,
+                             kill_at_us=1, faults=FAULTS)
+    assert outcome["resumes"] == 1
+    supervised = entry_digest(_entry(supervisor.chaos_result(outcome)))
+    assert supervised == _plain_digest()
+
+
+def test_supervisor_gives_up_when_resume_budget_exhausted(tmp_path):
+    supervisor = RunSupervisor(CheckpointStore(str(tmp_path / "store")),
+                               max_resumes=0)
+    with pytest.raises(SupervisorGaveUp) as excinfo:
+        supervisor.run(CASE_ID, duration_s=DURATION_S, seed=1,
+                       kill_at_us=900_000)
+    assert excinfo.value.case_id == CASE_ID
+    assert excinfo.value.resumes == 0

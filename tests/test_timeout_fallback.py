@@ -1,0 +1,107 @@
+"""Job-alarm regression: the non-main-thread deadline fallback.
+
+``signal.signal`` raises ``ValueError`` off the main thread, so a job
+driven from a worker thread (an embedding harness, the checkpoint
+supervisor) cannot arm SIGALRM.  The alarm must degrade to a post-hoc
+deadline check -- warning that preemption is lost, but still raising
+:class:`~repro.runner.runner.JobTimeout` when the budget is blown --
+instead of crashing or silently dropping the budget.
+"""
+
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.runner.runner import JobTimeout, _job_alarm
+
+
+def _run_in_thread(fn):
+    """Run ``fn`` on a worker thread; returns (result, exception)."""
+    box = {}
+
+    def _target():
+        try:
+            box["result"] = fn()
+        except BaseException as exc:
+            box["error"] = exc
+
+    thread = threading.Thread(target=_target)
+    thread.start()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    return box.get("result"), box.get("error")
+
+
+def test_worker_thread_overrun_raises_on_exit():
+    def job():
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with _job_alarm(0.05):
+                time.sleep(0.15)
+        return caught
+
+    _, error = _run_in_thread(job)
+    assert isinstance(error, JobTimeout)
+    assert "deadline fallback" in str(error)
+
+
+def test_worker_thread_warns_about_degraded_budget():
+    def job():
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with _job_alarm(5.0):
+                pass
+        return [str(w.message) for w in caught
+                if issubclass(w.category, RuntimeWarning)]
+
+    messages, error = _run_in_thread(job)
+    assert error is None
+    assert any("SIGALRM is unavailable" in message for message in messages)
+
+
+def test_worker_thread_under_budget_is_clean():
+    def job():
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            with _job_alarm(5.0):
+                return "done"
+
+    result, error = _run_in_thread(job)
+    assert error is None
+    assert result == "done"
+
+
+def test_worker_thread_job_exception_wins_over_deadline():
+    # A job that fails *and* overruns reports its own failure; the
+    # deadline check must not mask it.
+    def job():
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            with _job_alarm(0.05):
+                time.sleep(0.15)
+                raise RuntimeError("the real failure")
+
+    _, error = _run_in_thread(job)
+    assert isinstance(error, RuntimeError)
+    assert not isinstance(error, JobTimeout)
+    assert "the real failure" in str(error)
+
+
+def test_no_budget_is_a_noop_anywhere():
+    def job():
+        with _job_alarm(None):
+            return "ok"
+
+    result, error = _run_in_thread(job)
+    assert error is None
+    assert result == "ok"
+    with _job_alarm(None):
+        pass
+
+
+def test_main_thread_alarm_still_preempts():
+    with pytest.raises(JobTimeout):
+        with _job_alarm(0.05):
+            time.sleep(5)
