@@ -1,0 +1,5 @@
+"""FaaS platform model: trace-driven short-lived function sandboxes."""
+
+from repro.apps.faassim.server import FaasConfig, FaasConnection, FaasServer
+
+__all__ = ["FaasConfig", "FaasConnection", "FaasServer"]

@@ -1,0 +1,146 @@
+"""FaaS server model: short-lived function sandboxes over a worker pool.
+
+Serverless platforms (OpenWhisk, the Azure Functions hosts the trace
+summary in :mod:`repro.workloads.traces` describes) stress a different
+corner of isolation than the long-lived servers in the other app
+models: every invocation *churns threads*.  A dispatcher admits the
+invocation through a bounded pool of concurrency tickets, pays a cold-
+or warm-start cost, then spawns a fresh sandbox thread that runs the
+function to completion and exits.  Two tenant behaviours follow:
+
+- the ticket pool is the contended virtual resource (a noisy tenant's
+  burst of invocations holds every ticket, deferring the victim's), and
+- thread lifetime is an invocation, not a process -- so any per-thread
+  bookkeeping in the kernel, scheduler, or pBox manager sees a steady
+  stream of births and exits instead of a stable roster.
+
+The model reuses :class:`~repro.apps.eventdriven.PBoxWorkerPool` for the
+dispatcher side (ownership transfer, kernel-queue tracing, shared-thread
+penalties all apply: a worker serves many tenants), and adds the
+sandbox spawn -> run-to-completion -> join churn on top.
+"""
+
+from repro.apps.base import AppConfig, Instrumentation
+from repro.apps.eventdriven import EventDrivenConnection, PBoxWorkerPool
+from repro.sim.primitives import Semaphore
+from repro.sim.syscalls import Compute, Join, Spawn
+from repro.sim.thread import SimThread
+
+
+class FaasConfig(AppConfig):
+    """Tuning knobs of the FaaS model."""
+
+    def __init__(self, isolation_level=50, workers=4, slots=4,
+                 cold_start_us=2_000, warm_start_us=100,
+                 keepalive_us=50_000, teardown_us=50):
+        self.isolation_level = isolation_level
+        #: Dispatcher worker threads (shared across tenants).
+        self.workers = workers
+        #: Concurrency tickets: simultaneous sandboxes platform-wide.
+        self.slots = slots
+        #: Sandbox boot cost when no warm container exists.
+        self.cold_start_us = cold_start_us
+        #: Dispatch cost when the tenant ran within ``keepalive_us``.
+        self.warm_start_us = warm_start_us
+        #: Warm-container window after an invocation finishes.
+        self.keepalive_us = keepalive_us
+        #: Sandbox reclaim cost after the function returns.
+        self.teardown_us = teardown_us
+
+
+class FaasServer:
+    """Dispatcher + ticket pool + sandbox churn (cases c18/c20)."""
+
+    def __init__(self, kernel, runtime, config=None):
+        self.kernel = kernel
+        self.runtime = runtime
+        self.config = config or FaasConfig()
+        self.instr = Instrumentation(runtime)
+        self.slots = Semaphore(kernel, units=self.config.slots,
+                               name="faas_slots")
+        self.pool = PBoxWorkerPool(kernel, runtime,
+                                   workers=self.config.workers,
+                                   handler=self._handle_task, name="faas")
+        self.invocations = 0
+        self.cold_starts = 0
+        self._sandbox_seq = 0
+        self._tp_invoke = kernel.trace.point("faas.invoke")
+        self._tp_retire = kernel.trace.point("faas.retire")
+
+    def start(self, spawn=None):
+        """Spawn the dispatcher workers (see ``PBoxWorkerPool.start``)."""
+        return self.pool.start(spawn)
+
+    def connect(self, name):
+        """Create a tenant connection (one function's invocation source)."""
+        return FaasConnection(self, name)
+
+    @property
+    def stats(self):
+        """Final-state counters for golden docs and reports."""
+        return {
+            "invocations": self.invocations,
+            "cold_starts": self.cold_starts,
+            "sandboxes": self._sandbox_seq,
+        }
+
+    def _handle_task(self, task):
+        """One invocation, run by a dispatcher worker.
+
+        Ticket -> cold/warm start -> spawn the sandbox thread -> join it
+        -> teardown -> ticket back.  The sandbox thread is brand new per
+        invocation: run-to-completion churn is the point of the model.
+        """
+        connection = task.connection
+        request = task.request
+        kernel = self.kernel
+        yield from self.instr.acquire_semaphore(self.slots)
+        now = kernel.now_us
+        cold = (connection.last_done_us is None
+                or now - connection.last_done_us > self.config.keepalive_us)
+        self.invocations += 1
+        if cold:
+            self.cold_starts += 1
+            yield Compute(us=self.config.cold_start_us)
+        else:
+            yield Compute(us=self.config.warm_start_us)
+        duration_us = request.get("duration_us", 1_000)
+        if self._tp_invoke.active:
+            self._tp_invoke.fire(kernel.now_us, psid=connection.psid,
+                                 cold=cold, duration_us=duration_us)
+        self._sandbox_seq += 1
+        sandbox = SimThread(
+            _sandbox_body(duration_us),
+            name="faas-fn-%d" % self._sandbox_seq,
+        )
+        sandbox = yield Spawn(sandbox)
+        yield Join(sandbox)
+        yield Compute(us=self.config.teardown_us)
+        self.instr.release_semaphore(self.slots)
+        connection.last_done_us = kernel.now_us
+        if self._tp_retire.active:
+            self._tp_retire.fire(kernel.now_us, psid=connection.psid,
+                                 tid=sandbox.tid)
+
+
+def _sandbox_body(duration_us):
+    """The function itself: compute, return, exit (no blocking)."""
+    yield Compute(us=duration_us)
+
+
+class FaasConnection(EventDrivenConnection):
+    """One tenant function: submits invocations to the shared pool.
+
+    ``execute`` is the closed-loop path (submit and wait, used by the
+    victim client); ``fire`` is the open-loop path the trace replayer
+    uses -- submit without waiting, so a backed-up platform accumulates
+    queued invocations exactly like a real event source.
+    """
+
+    def __init__(self, app, name, rule=None):
+        super().__init__(app, name, rule=rule)
+        self.last_done_us = None
+
+    def fire(self, event):
+        """Open-loop submit of one :class:`TraceEvent` (no wait)."""
+        return self.pool.submit(self, {"duration_us": event.duration_us})

@@ -165,6 +165,10 @@ class InterferenceCase:
     duration_s = 10
     warmup_s = 1
     cores = 4
+    # Scheduler policy the case's kernel runs under ("cfs" | "eevdf").
+    # Part of the case's deterministic identity, like cores: a golden
+    # digest pins the schedule the policy produced.
+    sched = "cfs"
     # Expected interference-free victim latency; used by PARTIES (SLO)
     # and Retro (slowdown baseline).  Filled per case; evaluate_case
     # overrides it with the measured To.
@@ -219,7 +223,7 @@ class CaseRun:
 
 def run_case(case, solution, seed=1, baseline_us=None, duration_s=None,
              penalty_engine=None, call_filter=None, isolation_level=None,
-             observer=None, driver=None, manager_factory=None):
+             observer=None, driver=None, manager_factory=None, sched=None):
     """Run ``case`` once under ``solution`` and return a :class:`CaseRun`.
 
     ``penalty_engine`` (Table 4), ``call_filter`` (Section 6.8), and
@@ -234,9 +238,13 @@ def run_case(case, solution, seed=1, baseline_us=None, duration_s=None,
     step the kernel in window-sized increments and render between
     steps.  ``manager_factory(kernel, enabled=..., penalty_engine=...)``
     swaps the manager construction -- the sharded-manager equivalence
-    tests run the whole corpus through it.
+    tests run the whole corpus through it.  ``sched`` overrides the
+    case's scheduler policy (``case.sched``, default ``"cfs"``) -- the
+    scheduler differential suite replays the corpus with the policy
+    spelled out explicitly.
     """
-    kernel = Kernel(cores=case.cores, seed=seed)
+    kernel = Kernel(cores=case.cores, seed=seed,
+                    sched=sched or getattr(case, "sched", "cfs"))
     pbox_on = solution is Solution.PBOX
     if manager_factory is not None:
         manager = manager_factory(kernel, enabled=pbox_on,

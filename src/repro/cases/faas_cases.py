@@ -1,0 +1,107 @@
+"""FaaS interference cases c18/c20 (trace-driven sandbox churn).
+
+These extend the Table 3 corpus past the paper's long-lived servers:
+the contended resource is a serverless platform's concurrency-ticket
+pool, the noisy activity is an open-loop replay of an Azure-Functions-
+style invocation trace (:mod:`repro.workloads.traces`), and -- unlike
+every other case -- the worker side churns threads, one fresh sandbox
+per invocation.
+
+c20 is the same scenario pinned to the EEVDF scheduler policy: its
+golden digest locks the deadline-based schedule the policy produces,
+so the scheduler seam is covered by the determinism net on both sides
+of the default.
+"""
+
+from repro.apps.faassim import FaasConfig, FaasServer
+from repro.cases.base import InterferenceCase
+from repro.sim.syscalls import Sleep
+from repro.workloads.traces import TraceEvent, generate_trace, replay_trace
+
+
+class FaasChurnCase(InterferenceCase):
+    """c18: invocation bursts exhaust the sandbox concurrency tickets."""
+
+    case_id = "c18"
+    app_name = "faas"
+    from_bug_report = False
+    virtual_resource = "concurrency tickets"
+    description = "trace-replay invocation bursts starve the sandbox pool"
+    paper_interference_level = None  # beyond the Table 3 corpus
+    duration_s = 6
+    #: Noisy trace tenants and their rate profiles.  Sized so the
+    #: offered noisy load keeps the ticket pool under pressure without
+    #: starving the victim outright (a fully wedged queue records no
+    #: victim samples at all, which measures nothing).
+    noisy_profiles = (
+        ("tenant-a", "periodic"),
+        ("tenant-b", "periodic"),
+        ("tenant-c", "periodic"),
+        ("tenant-d", "periodic"),
+    )
+    #: Virtual time at which the noisy replay starts firing.
+    noisy_start_us = 200_000
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        config = FaasConfig(isolation_level=env.isolation_level)
+        server = FaasServer(env.kernel, env.runtime, config)
+        server.start(
+            spawn=lambda body, name: env.spawn_background(
+                body, name, group="server"
+            )
+        )
+        victim = env.recorder("fn-victim", victim=True)
+        env.spawn_client(
+            "fn-victim",
+            server.connect("fn-victim"),
+            lambda: {"kind": "invoke", "duration_us": 400},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=200,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            for tenant, profile in self.noisy_profiles:
+                self._spawn_replayer(env, server, tenant, profile)
+
+    def _spawn_replayer(self, env, server, tenant, profile):
+        """Open-loop noisy tenant: replay one generated trace."""
+        start_us = self.noisy_start_us
+        connection = server.connect(tenant)
+        events = [
+            TraceEvent(event.at_us + start_us, event.duration_us, event.index)
+            for event in generate_trace(
+                env.kernel, tenant, profile=profile,
+                horizon_us=max(0, env.duration_us - start_us),
+            )
+        ]
+        replay = replay_trace(env.kernel, events, connection.fire)
+
+        def body():
+            yield Sleep(us=start_us)
+            yield from connection.open()
+            yield from replay()
+
+        env.spawn_background(body, tenant, group="noisy")
+
+
+class FaasChurnEevdfCase(FaasChurnCase):
+    """c20: the c18 scenario scheduled by the EEVDF policy.
+
+    Runs on 3 cores instead of 4: with a spare core the run queue never
+    holds two runnable threads at once and every policy degenerates to
+    "run the only thread", which would pin nothing.  One core short of
+    the offered load, the queue stays occupied and the golden digest
+    locks the deadline-based schedule (it diverges from the same
+    scenario under ``cfs`` within the first checkpoint window).
+    """
+
+    case_id = "c20"
+    sched = "eevdf"
+    cores = 3
+    description = (
+        "trace-replay invocation bursts starve the sandbox pool"
+        " (EEVDF schedule, CPU-saturated)"
+    )

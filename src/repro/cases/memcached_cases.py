@@ -1,9 +1,14 @@
-"""Memcached interference case c16 (Table 3, event-driven).
+"""Memcached interference cases c16 and c19 (event-driven cache tier).
 
-This is the paper's one unmitigated case: light contention on the
+c16 is the paper's one unmitigated case: light contention on the
 cache-replacement lock in a system whose requests complete in tens of
 microseconds, where pBox's own per-operation cost outweighs the benefit
 of its rare mitigation actions.
+
+c19 scales the same cache tier up -- a wider worker pool and a flood of
+set-clients hammering the replacement lock -- turning the light
+contention of c16 into sustained pressure, the shape the scale harness
+replays with hundreds of tenants.
 """
 
 from repro.apps.memcachedsim import MemcachedConfig, MemcachedServer
@@ -52,5 +57,57 @@ class CacheLockCase(InterferenceCase):
                     group="noisy",
                     think_us=150,
                     rng=env.kernel.rng("noisy-think-%d" % index),
+                    start_us=200_000,
+                )
+
+
+class ScaledCacheCase(InterferenceCase):
+    """c19: set-floods on a wide cache tier (the scale-harness tenant)."""
+
+    case_id = "c19"
+    app_name = "memcached"
+    from_bug_report = False
+    virtual_resource = "system lock"
+    description = "set-client floods keep the replacement lock saturated"
+    paper_interference_level = None  # beyond the Table 3 corpus
+    duration_s = 6
+    #: Noisy set-flood clients (each eviction holds the cache lock).
+    flood_clients = 4
+
+    def build(self, env):
+        """Construct the scenario (victims always; noisy if enabled)."""
+        config = MemcachedConfig(
+            isolation_level=env.isolation_level,
+            workers=8,
+            evict_probability=0.9,
+        )
+        server = MemcachedServer(env.kernel, env.runtime, config)
+        server.start(
+            spawn=lambda body, name: env.spawn_background(
+                body, name, group="server"
+            )
+        )
+        victim = env.recorder("get-client", victim=True)
+        env.spawn_client(
+            "get-client",
+            server.connect("get-client"),
+            lambda: {"kind": "get", "type": "get"},
+            victim,
+            group="victim",
+            victim=True,
+            think_us=500,
+            rng=env.kernel.rng("victim-think"),
+        )
+        if env.interference:
+            for index in range(self.flood_clients):
+                noisy = env.recorder("flood-client-%d" % index, noisy=True)
+                env.spawn_client(
+                    "flood-client-%d" % index,
+                    server.connect("flood-client-%d" % index),
+                    lambda: {"kind": "set", "type": "set"},
+                    noisy,
+                    group="noisy",
+                    think_us=300,
+                    rng=env.kernel.rng("flood-think-%d" % index),
                     start_us=200_000,
                 )

@@ -1,6 +1,8 @@
-"""Registry of the interference cases: the 16 Table 3 cases plus c17,
-the Figure 2 buffer-pool motivating case (the attribution profiler's
-reference scenario).
+"""Registry of the interference cases: the 16 Table 3 cases, c17 (the
+Figure 2 buffer-pool motivating case, the attribution profiler's
+reference scenario), and the beyond-the-paper extensions — c18/c20
+(trace-driven FaaS sandbox churn, under the default and EEVDF
+schedulers) and c19 (the scaled-up cache tier).
 
 The registry is the enumeration surface of the experiment runner:
 ``repro.runner.sweep`` walks :data:`ALL_CASES` (in numeric id order)
@@ -32,7 +34,8 @@ from repro.cases.apache_cases import (
     MaxClientsCase,
     PhpPoolCase,
 )
-from repro.cases.memcached_cases import CacheLockCase
+from repro.cases.faas_cases import FaasChurnCase, FaasChurnEevdfCase
+from repro.cases.memcached_cases import CacheLockCase, ScaledCacheCase
 from repro.cases.pg_cases import (
     IndexMVCCCase,
     LockManagerCase,
@@ -60,6 +63,9 @@ _CASE_CLASSES = [
     SumStatCase,
     CacheLockCase,
     BufferPoolCase,
+    FaasChurnCase,
+    ScaledCacheCase,
+    FaasChurnEevdfCase,
 ]
 
 ALL_CASES = {cls.case_id: cls for cls in _CASE_CLASSES}

@@ -468,6 +468,7 @@ def cmd_scale(args):
     """
     from repro.scale import (
         DEFAULT_THREAD_COUNTS,
+        EXTENDED_APP_KINDS,
         SMOKE_THREAD_COUNTS,
         run_scale_sweep,
     )
@@ -494,9 +495,14 @@ def cmd_scale(args):
             point["cores"], point["events_per_sec"], point["requests"],
             100.0 * point["manager"]["overhead_frac"]))
 
+    # The CLI sweep defaults to the full six-family mix; the benchmark
+    # A/B guard keeps exercising the original three-family default via
+    # ScaleSpec directly.
     document = run_scale_sweep(thread_counts=thread_counts,
                                seed=args.seed, event_budget=event_budget,
-                               progress=progress, telemetry=args.telemetry)
+                               progress=progress, telemetry=args.telemetry,
+                               sched=args.sched,
+                               families=EXTENDED_APP_KINDS)
     path = write_scale_json(document, args.out)
     print()
     if args.telemetry:
@@ -1010,6 +1016,10 @@ def build_parser():
     scale_parser.add_argument("--out", default="results/SCALE.json",
                               help="output path (default: "
                                    "results/SCALE.json)")
+    scale_parser.add_argument("--sched", choices=("cfs", "eevdf"),
+                              default="cfs",
+                              help="scheduler policy for every kernel "
+                                   "of the sweep (default: cfs)")
     scale_parser.add_argument("--telemetry", action="store_true",
                               help="collect per-tenant SLO telemetry "
                                    "(sketches, windowed series, breach "

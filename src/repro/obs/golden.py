@@ -182,7 +182,7 @@ def first_divergence(expected, actual):
 
 
 def run_golden_case(case_id, duration_s, seed, observer=None,
-                    manager_factory=None, driver=None):
+                    manager_factory=None, driver=None, sched=None):
     """Run ``case_id`` under pBox with a digest attached; returns a doc.
 
     The canonical golden parameters live with the corpus
@@ -212,7 +212,8 @@ def run_golden_case(case_id, duration_s, seed, observer=None,
 
     run = run_case(get_case(case_id), Solution.PBOX, seed=seed,
                    duration_s=duration_s, observer=_observer,
-                   manager_factory=manager_factory, driver=driver)
+                   manager_factory=manager_factory, driver=driver,
+                   sched=sched)
     return digest.document(stats=golden_stats(run))
 
 

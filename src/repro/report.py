@@ -411,6 +411,19 @@ def _load_scale_section(results_dir):
             )
         )
         lines.append("")
+    sched = snapshot.get("sched")
+    families = snapshot.get("families")
+    if sched or families:
+        # Schema-4 documents carry the scheduler/family axes; older
+        # snapshots simply skip this paragraph.
+        bits = []
+        if sched:
+            bits.append("scheduler policy **%s**" % sched)
+        if families:
+            bits.append("tenant families %s (round-robin across tenants)"
+                        % ", ".join("`%s`" % f for f in families))
+        lines.append("Sweep ran under %s." % " with ".join(bits))
+        lines.append("")
     lines.append("| threads | tenants | pBoxes | cores | virtual (ms) | "
                  "events/s | requests | manager cost/event (us) | "
                  "manager overhead | shards | scans | budget denied |")
@@ -433,10 +446,34 @@ def _load_scale_section(results_dir):
                 "{:,}".format(manager.get("scans", 0)),
                 manager.get("budget_denied", 0),
             ))
+    family_lines = _scale_family_lines(snapshot)
+    if family_lines:
+        lines.append("")
+        lines.extend(family_lines)
     telemetry_lines = _scale_telemetry_lines(snapshot)
     if telemetry_lines:
         lines.append("")
         lines.extend(telemetry_lines)
+    return lines
+
+
+def _scale_family_lines(snapshot):
+    """Per-family request rows for schema-4 scale documents."""
+    points = [p for p in snapshot.get("points", [])
+              if p.get("family_requests")]
+    if not points:
+        return []
+    families = sorted({family for point in points
+                       for family in point["family_requests"]})
+    lines = ["Requests completed per tenant family (manager on):", ""]
+    lines.append("| threads | %s |" % " | ".join(families))
+    lines.append("|---|%s|" % "|".join("---" for _ in families))
+    for point in points:
+        counts = point["family_requests"]
+        lines.append("| %s | %s |" % (
+            "{:,}".format(point.get("threads", 0)),
+            " | ".join("{:,}".format(counts.get(family, 0))
+                       for family in families)))
     return lines
 
 

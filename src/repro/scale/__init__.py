@@ -1,13 +1,19 @@
 """Multi-tenant scalability harness (``repro scale``).
 
-Composes the existing application models (mysqlsim / pgsim / apachesim)
-into one kernel with T tenants x W workers and sweeps the thread count
-from ~100 to 10,000 (10 to 500 pBoxes) under a shared pBox manager,
-recording kernel event throughput and manager detection cost at each
-point into ``results/SCALE.json``.
+Composes the application models (mysqlsim / pgsim / apachesim by
+default; memcachedsim / varnishsim / faassim in the extended mix) into
+one kernel with T tenants x W workers and sweeps the thread count from
+~100 to 10,000 (10 to 500 pBoxes) under a shared pBox manager and a
+selectable scheduler policy, recording kernel event throughput and
+manager detection cost at each point into ``results/SCALE.json``.
 """
 
-from repro.scale.scenario import ScaleSpec, build_scale_scenario
+from repro.scale.scenario import (
+    APP_KINDS,
+    EXTENDED_APP_KINDS,
+    ScaleSpec,
+    build_scale_scenario,
+)
 from repro.scale.sweep import (
     DEFAULT_THREAD_COUNTS,
     SMOKE_THREAD_COUNTS,
@@ -16,6 +22,8 @@ from repro.scale.sweep import (
 )
 
 __all__ = [
+    "APP_KINDS",
+    "EXTENDED_APP_KINDS",
     "ScaleSpec",
     "build_scale_scenario",
     "DEFAULT_THREAD_COUNTS",

@@ -1,7 +1,9 @@
 """Multi-tenant scenario generator for the scalability sweep.
 
-A *tenant* is one application instance (MySQL, PostgreSQL, or Apache,
-assigned round-robin) plus its workers:
+A *tenant* is one application instance (assigned round-robin from the
+spec's family list -- MySQL, PostgreSQL, and Apache by default, plus
+the event-driven cache tier (memcached, varnish) and the FaaS platform
+when the extended mix is selected) plus its workers:
 
 - two **connection clients** driving requests through the application's
   :class:`~repro.apps.base.Connection` -- the pBox-bound path that
@@ -18,8 +20,11 @@ scale run is as deterministic as any registry case.
 """
 
 from repro.apps.apachesim import ApacheConfig, ApacheServer
+from repro.apps.faassim import FaasConfig, FaasServer
+from repro.apps.memcachedsim import MemcachedConfig, MemcachedServer
 from repro.apps.mysqlsim import MySQLConfig, MySQLServer
 from repro.apps.pgsim import PGConfig, PostgresServer
+from repro.apps.varnishsim import VarnishConfig, VarnishServer
 from repro.core import (
     OperationCosts,
     PBoxRuntime,
@@ -29,6 +34,7 @@ from repro.core import (
 from repro.sim import Kernel
 from repro.sim.syscalls import Compute, FutexWait, FutexWake, Now, Sleep
 from repro.workloads import closed_loop_client
+from repro.workloads.traces import sample_duration
 
 #: Worker threads per tenant (one of which is the connection client).
 WORKERS_PER_TENANT = 20
@@ -52,6 +58,12 @@ NOMINAL_REQUEST_US = {
     ("pg", "batch"): 2_200,      # lock_table_scan: 2,000us scan
     ("apache", "oltp"): 300,     # static, 200us service
     ("apache", "batch"): 800,    # static, 700us service
+    ("memcached", "oltp"): 80,   # get: 30us service + lock + dispatch
+    ("memcached", "batch"): 150,  # set: 40us + probable eviction
+    ("varnish", "oltp"): 600,    # small_object: 500us serve + sumstat
+    ("varnish", "batch"): 4_700,  # big_object: 4ms backend + delivery
+    ("faas", "oltp"): 600,       # 400us function, warm start + teardown
+    ("faas", "batch"): 3_300,    # ~3ms function, warm start + teardown
 }
 
 
@@ -70,7 +82,7 @@ class ScaleSpec:
 
     def __init__(self, threads, workers_per_tenant=WORKERS_PER_TENANT,
                  cores=None, duration_us=None, seed=1, manager_enabled=True,
-                 event_budget=250_000):
+                 event_budget=250_000, sched="cfs", families=None):
         if threads < workers_per_tenant:
             raise ValueError("need at least one tenant's worth of threads")
         self.threads = threads
@@ -80,14 +92,23 @@ class ScaleSpec:
         self.seed = seed
         self.manager_enabled = manager_enabled
         self.event_budget = event_budget
+        # Scheduler policy and tenant family mix.  The defaults
+        # reproduce the pre-extension sweep exactly (cfs + the three
+        # dedicated-thread families), which the A/B throughput guard in
+        # benchmarks/ depends on: its before/after kernels must run the
+        # byte-identical scenario.
+        self.sched = sched
+        self.families = tuple(families) if families else APP_KINDS
         if duration_us is None:
             duration_us = duration_for_budget(self.cores, event_budget)
         self.duration_us = duration_us
 
     def describe(self):
         return ("%d threads / %d tenants / %d cores / %.0f ms virtual"
+                " / sched=%s / %d families"
                 % (self.threads, self.tenants, self.cores,
-                   self.duration_us / 1_000))
+                   self.duration_us / 1_000, self.sched,
+                   len(self.families)))
 
 
 def default_cores(threads):
@@ -154,10 +175,21 @@ class ScaleScenario:
         self.runtime = runtime
         self.servers = []
         self.request_counters = []
+        # family -> [RequestCounter]: the sweep reports per-family
+        # request totals so a mixed-family point shows each tenant
+        # family actually ran (an all-zero family is a wiring bug).
+        self.family_counters = {}
         self.telemetry = None
 
     def total_requests(self):
         return sum(counter.count for counter in self.request_counters)
+
+    def requests_by_family(self):
+        """Completed requests per tenant family (sorted keys)."""
+        return {
+            family: sum(counter.count for counter in counters)
+            for family, counters in sorted(self.family_counters.items())
+        }
 
     def run(self):
         """Run to the spec's horizon; returns the kernel for chaining."""
@@ -165,6 +197,13 @@ class ScaleScenario:
         if self.telemetry is not None:
             self.telemetry.finalize(self.kernel.now_us)
         return self.kernel
+
+
+#: Worker-pool threads each event-driven family spawns per tenant;
+#: they count against the tenant's ``workers_per_tenant`` budget (the
+#: cv-waiter pool shrinks to compensate, keeping total thread count the
+#: honest sweep axis).
+POOL_WORKERS = {"memcached": 3, "varnish": 3, "faas": 3}
 
 
 def _make_server(kind, kernel, runtime):
@@ -175,6 +214,18 @@ def _make_server(kind, kernel, runtime):
                            MySQLConfig(buffer_pool_blocks=32))
     if kind == "pg":
         return PostgresServer(kernel, runtime, PGConfig())
+    if kind == "memcached":
+        return MemcachedServer(kernel, runtime,
+                               MemcachedConfig(workers=POOL_WORKERS[kind]))
+    if kind == "varnish":
+        return VarnishServer(kernel, runtime,
+                             VarnishConfig(workers=POOL_WORKERS[kind]))
+    if kind == "faas":
+        # Two tickets: the tenant's oltp/batch connections contend on
+        # admission, mirroring the other families' serialization-point
+        # collisions.
+        return FaasServer(kernel, runtime,
+                          FaasConfig(workers=POOL_WORKERS[kind], slots=2))
     # One worker: the tenant's two connections contend on the pool, so
     # the manager sees cross-pBox HOLD/defer traffic on the semaphore.
     return ApacheServer(kernel, runtime, ApacheConfig(max_workers=1))
@@ -203,6 +254,37 @@ def _request_factory(kind, tenant_index, rng, noisy=False):
         else:
             def make():
                 return {"kind": "other_table_query", "work_us": 150}
+    elif kind == "memcached":
+        if noisy:
+            # Sets evict with high probability, holding the cache lock
+            # the victim's gets need.
+            def make():
+                return {"kind": "set", "type": "set"}
+        else:
+            def make():
+                return {"kind": "get", "type": "get"}
+    elif kind == "varnish":
+        if noisy:
+            # Big objects park a pool worker on a (shortened) backend
+            # fetch, starving the small-object path of workers.
+            def make():
+                return {"kind": "big_object", "backend_us": 4_000,
+                        "deliver_us": 500}
+        else:
+            def make():
+                return {"kind": "small_object", "serve_us": 500}
+    elif kind == "faas":
+        if noisy:
+            # Batch function durations follow the vendored trace
+            # histogram (heavy-tailed), drawn from the tenant's own
+            # seeded stream -- the same distribution the c18 trace
+            # replayer samples.
+            def make():
+                return {"kind": "invoke",
+                        "duration_us": sample_duration(rng)}
+        else:
+            def make():
+                return {"kind": "invoke", "duration_us": 400}
     else:
         if noisy:
             def make():
@@ -247,7 +329,16 @@ def _cv_notifier_body(key, rng, stop_us, period_us=1_000):
     return body
 
 
+#: The original (pre-extension) tenant families; the default for
+#: ``ScaleSpec`` so existing consumers (the A/B throughput guard)
+#: keep their byte-identical scenarios.
 APP_KINDS = ("mysql", "pg", "apache")
+
+#: The full family mix ``repro scale`` sweeps by default: the three
+#: dedicated-thread servers plus the event-driven cache tier and the
+#: sandbox-churning FaaS platform.
+EXTENDED_APP_KINDS = ("mysql", "pg", "apache", "memcached", "varnish",
+                      "faas")
 
 
 def build_scale_scenario(spec, kernel_binder=None, telemetry=None):
@@ -264,7 +355,8 @@ def build_scale_scenario(spec, kernel_binder=None, telemetry=None):
     tagged ``t<N>`` with the role's nominal latency as the slowdown
     denominator.
     """
-    kernel = Kernel(cores=spec.cores, seed=spec.seed)
+    kernel = Kernel(cores=spec.cores, seed=spec.seed,
+                    sched=getattr(spec, "sched", "cfs"))
     # Per-tenant shards behind one facade: every tenant's resource keys
     # are shard-local by construction (each tenant gets its own server
     # instance), so detection state stays tenant-sized while the psid
@@ -281,19 +373,28 @@ def build_scale_scenario(spec, kernel_binder=None, telemetry=None):
     scenario = ScaleScenario(spec, kernel, manager, runtime)
     scenario.telemetry = telemetry
     stop_us = spec.duration_us
+    families = getattr(spec, "families", APP_KINDS)
     for tenant in range(spec.tenants):
-        kind = APP_KINDS[tenant % len(APP_KINDS)]
+        kind = families[tenant % len(families)]
         server = _make_server(kind, kernel, runtime)
         scenario.servers.append(server)
+        # Event-driven families run their requests on a worker pool;
+        # spawn it before the clients so its threads exist when the
+        # first request is submitted.
+        pool_workers = POOL_WORKERS.get(kind, 0)
+        if pool_workers:
+            server.start()
         # Two connections per tenant -- a batch-style aggressor and a
         # short-request victim -- contending on the same app resource,
         # so every tenant contributes cross-pBox defer/blame traffic.
+        family_counters = scenario.family_counters.setdefault(kind, [])
         for role, noisy in (("oltp", False), ("batch", True)):
             conn_rng = kernel.rng("scale.t%d.%s" % (tenant, role))
             counter = RequestCounter(
                 telemetry=telemetry, tenant="t%d" % tenant,
                 nominal_us=NOMINAL_REQUEST_US[(kind, role)])
             scenario.request_counters.append(counter)
+            family_counters.append(counter)
             body = closed_loop_client(
                 kernel,
                 server.connect("t%d-%s" % (tenant, role)),
@@ -309,11 +410,13 @@ def build_scale_scenario(spec, kernel_binder=None, telemetry=None):
         # Remaining workers: one notifier broadcasting to the tenant's
         # pool of event-loop workers -- the thread-pool idiom every
         # server here uses (Apache workers, memcached event threads).
+        # Families with an explicit worker pool spend part of the
+        # tenant's thread budget there, so their cv pool is smaller.
         cv_key = "scale.t%d.cv" % tenant
         notifier_rng = kernel.rng("scale.t%d.notify" % tenant)
         kernel.spawn(_cv_notifier_body(cv_key, notifier_rng, stop_us),
                      name="t%d-notify" % tenant)
-        for worker in range(spec.workers_per_tenant - 3):
+        for worker in range(spec.workers_per_tenant - 3 - pool_workers):
             kernel.spawn(_cv_waiter_body(cv_key),
                          name="t%d-cv%d" % (tenant, worker))
     return scenario

@@ -28,7 +28,11 @@ from repro.scale.scenario import ScaleSpec, build_scale_scenario
 #: Schema 3 adds the sharded-manager columns to each point's
 #: ``manager`` section: ``shards``, ``scans``, ``scanned``, and
 #: ``budget_denied`` (see docs/PERFORMANCE.md for the full glossary).
-SCALE_SCHEMA = 3
+#: Schema 4 adds the scheduler/family axes: top-level ``sched`` and
+#: ``families``, plus per-point ``family_requests`` (requests per
+#: tenant family, manager-on run); older consumers must treat all
+#: three as absent (the report renders them defensively).
+SCALE_SCHEMA = 4
 
 #: Field glossary for SCALE.json, mirrored (both directions) by the
 #: glossary table in docs/PERFORMANCE.md -- ``tools/check_docs.py``
@@ -44,6 +48,8 @@ SCALE_FIELDS = {
     "wall_s": "wall seconds: sweep total / enabled run / disabled run",
     "points": "one measurement record per thread count",
     "throughput_guard": "A/B guard snapshot from the benchmark run",
+    "sched": "scheduler policy the sweep's kernels ran under",
+    "families": "tenant family mix assigned round-robin across tenants",
     # Per-point keys.
     "threads": "total worker threads at this point",
     "tenants": "application instances (threads // workers_per_tenant)",
@@ -55,6 +61,7 @@ SCALE_FIELDS = {
     "events_per_sec": "run_events / enabled-run wall seconds",
     "requests": "application requests completed (manager on)",
     "baseline_requests": "application requests completed (manager off)",
+    "family_requests": "requests completed per tenant family (manager on)",
     "manager": "manager cost breakdown for this point",
     # point["manager"] keys.
     "detection_cost_s": "enabled minus disabled wall seconds (min-of-rounds)",
@@ -128,7 +135,8 @@ def default_scale_evaluator():
 
 
 def collect_scale_telemetry(threads, seed=1, event_budget=250_000,
-                            budget_bytes=TELEMETRY_BUDGET_BYTES):
+                            budget_bytes=TELEMETRY_BUDGET_BYTES,
+                            sched="cfs", families=None):
     """One untimed telemetry run of a sweep point; returns the section.
 
     Telemetry is collected in its own run, *not* during the timed
@@ -139,7 +147,8 @@ def collect_scale_telemetry(threads, seed=1, event_budget=250_000,
     the timed rounds measured.
     """
     spec = ScaleSpec(threads, seed=seed, manager_enabled=True,
-                     event_budget=event_budget)
+                     event_budget=event_budget, sched=sched,
+                     families=families)
     pipeline = TelemetryPipeline(evaluator=default_scale_evaluator())
     scenario = build_scale_scenario(spec, telemetry=pipeline)
     scenario.run()
@@ -147,7 +156,7 @@ def collect_scale_telemetry(threads, seed=1, event_budget=250_000,
 
 
 def measure_scale_point(threads, seed=1, event_budget=250_000, rounds=2,
-                        telemetry=False):
+                        telemetry=False, sched="cfs", families=None):
     """Measure one sweep point; returns a JSON-ready dict.
 
     The manager's detection cost is a wall-clock subtraction (enabled
@@ -155,12 +164,16 @@ def measure_scale_point(threads, seed=1, event_budget=250_000, rounds=2,
     run ``rounds`` times interleaved and the minimum wall per variant
     is used -- the standard noise floor for timing on a shared host.
     ``telemetry`` adds the per-tenant section from a separate untimed
-    run (see :func:`collect_scale_telemetry`).
+    run (see :func:`collect_scale_telemetry`).  ``sched`` selects the
+    scheduler policy for every kernel of the point; ``families`` the
+    tenant family mix (both default to the pre-extension sweep).
     """
     spec = ScaleSpec(threads, seed=seed, manager_enabled=True,
-                     event_budget=event_budget)
+                     event_budget=event_budget, sched=sched,
+                     families=families)
     base_spec = ScaleSpec(threads, seed=seed, manager_enabled=False,
-                          event_budget=event_budget)
+                          event_budget=event_budget, sched=sched,
+                          families=families)
     walls, base_walls = [], []
     for _ in range(max(1, rounds)):
         wall_s, events, run_events, scenario = _run_spec(spec)
@@ -184,6 +197,7 @@ def measure_scale_point(threads, seed=1, event_budget=250_000, rounds=2,
         "wall_s": round(wall_s, 4),
         "events_per_sec": round(run_events / wall_s) if wall_s else 0,
         "requests": scenario.total_requests(),
+        "family_requests": scenario.requests_by_family(),
         "manager": {
             "wall_s": round(base_wall_s, 4),
             "detection_cost_s": round(manager_cost_s, 4),
@@ -203,28 +217,36 @@ def measure_scale_point(threads, seed=1, event_budget=250_000, rounds=2,
     }
     if telemetry:
         point["telemetry"] = collect_scale_telemetry(
-            threads, seed=seed, event_budget=event_budget)
+            threads, seed=seed, event_budget=event_budget, sched=sched,
+            families=families)
     return point
 
 
 def run_scale_sweep(thread_counts=DEFAULT_THREAD_COUNTS, seed=1,
                     event_budget=250_000, rounds=2, progress=None,
-                    telemetry=False):
+                    telemetry=False, sched="cfs", families=None):
     """Sweep ``thread_counts`` and return the SCALE.json document."""
     points = []
     start = time.perf_counter()
     for threads in thread_counts:
         point = measure_scale_point(threads, seed=seed,
                                     event_budget=event_budget,
-                                    rounds=rounds, telemetry=telemetry)
+                                    rounds=rounds, telemetry=telemetry,
+                                    sched=sched, families=families)
         points.append(point)
         if progress is not None:
             progress(point)
+    # Record the family mix as actually applied (the spec default when
+    # the caller passed None), so the document is self-describing.
+    applied_families = list(families) if families else list(
+        ScaleSpec(thread_counts[0], seed=seed).families)
     return {
         "schema": SCALE_SCHEMA,
         "seed": seed,
         "event_budget": event_budget,
         "telemetry": bool(telemetry),
+        "sched": sched,
+        "families": applied_families,
         "wall_s": round(time.perf_counter() - start, 2),
         "points": points,
     }

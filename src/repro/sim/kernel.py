@@ -55,7 +55,7 @@ from repro.sim.clock import Clock
 from repro.sim.errors import DeadlockError, ThreadCrashedError
 from repro.sim.futex import WaitQueueTable
 from repro.sim.rng import RngRegistry
-from repro.sim.scheduler import DEFAULT_QUANTUM_US, Core, RunQueue
+from repro.sim.scheduler import DEFAULT_QUANTUM_US, Core, make_run_queue
 from repro.sim.syscalls import (
     Compute,
     FutexWait,
@@ -170,16 +170,29 @@ class Kernel:
         Preemption quantum for the round-robin scheduler.
     seed:
         Root seed for the kernel's RNG registry (handed to workloads).
+    sched:
+        Scheduler policy name (``"cfs"`` round-robin FIFO, the default,
+        or ``"eevdf"`` virtual-deadline; see
+        :data:`~repro.sim.scheduler.SCHED_POLICIES`).
     """
 
-    def __init__(self, cores=4, quantum_us=DEFAULT_QUANTUM_US, seed=0):
+    def __init__(self, cores=4, quantum_us=DEFAULT_QUANTUM_US, seed=0,
+                 sched="cfs"):
         if cores < 1:
             raise ValueError("need at least one core")
         self.clock = Clock()
         self.cores = [Core(i) for i in range(cores)]
         self.quantum_us = quantum_us
-        self.run_queue = RunQueue()
+        self.sched = sched
+        self.run_queue = make_run_queue(sched)
         self.run_queue._now = lambda: self.clock.now_us
+        # Policy capabilities, read once: whether _dispatch may use the
+        # inlined head-of-queue shortcut, and the optional slice-end
+        # virtual-runtime accounting hook.  For the default FIFO policy
+        # these resolve to (True, None) and the hot paths are the same
+        # decisions as before the seam -- the golden corpus pins it.
+        self._fifo_fast_path = self.run_queue.fifo_fast_path
+        self._sched_charge = getattr(self.run_queue, "charge", None)
         # Observability: the tracepoint bus every layer fires into.
         # Firing sites pre-fetch their Tracepoint and guard on its
         # ``active`` flag, so a run with no subscribers pays one
@@ -476,19 +489,27 @@ class Kernel:
         run_queue = self.run_queue
         queue = run_queue._queue
         cores = self.cores
+        fifo = self._fifo_fast_path
         while mask and queue:
             idx = (mask & -mask).bit_length() - 1
             mask &= mask - 1
             core = cores[idx]
             if core.running is not None:
                 continue
-            # Inlined pick_for_core fast path: head thread unconstrained,
-            # core unreserved -- the common case at every scale point.
-            head = queue[0]
-            if (core.reserved_for is None and head.affinity is None
-                    and not head.demoted_until_us):
-                queue.popleft()
-                thread = head
+            if fifo:
+                # Inlined pick_for_core fast path: head thread
+                # unconstrained, core unreserved -- the common case at
+                # every scale point.  Only valid for the FIFO policy;
+                # deadline policies always go through pick_for_core.
+                head = queue[0]
+                if (core.reserved_for is None and head.affinity is None
+                        and not head.demoted_until_us):
+                    queue.popleft()
+                    thread = head
+                else:
+                    thread = run_queue.pick_for_core(core)
+                    if thread is None:
+                        continue
             else:
                 thread = run_queue.pick_for_core(core)
                 if thread is None:
@@ -562,6 +583,11 @@ class Kernel:
             group.runtime_us += ran
             group.total_cpu_us += ran
             thread.pending_compute_us -= ran
+            charge = self._sched_charge
+            if charge is not None:
+                # Deadline policies account virtual runtime here; the
+                # FIFO policy has no hook and pays one None test.
+                charge(thread, ran)
         if self._tp_switchout.active:
             self._tp_switchout.fire(self.clock.now_us, tid=thread.tid,
                                     core=core.index, ran_us=ran,
@@ -910,6 +936,7 @@ class Kernel:
         return {
             "now_us": self.clock.now_us,
             "quantum_us": self.quantum_us,
+            "sched": self.sched,
             "stats": dict(self.stats),
             "idle_mask": self._idle_mask,
             "cores": [

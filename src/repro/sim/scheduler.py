@@ -1,11 +1,37 @@
 """Run-queue and core bookkeeping for the simulated kernel.
 
-The scheduler is deliberately simple -- round-robin with a fixed quantum
-over N cores, plus optional per-thread core affinity and cgroup bandwidth
-limits.  The paper's point does not depend on CFS subtleties: what matters
-is that CPU time is a schedulable, partitionable resource so hardware-
-centric baselines (cgroup, PARTIES, DARC) act on the dimension they act on
-in reality, while virtual-resource waits stay untouched by them.
+Two scheduler policies live behind one seam (:class:`SchedPolicy`):
+
+- ``cfs`` (:class:`RunQueue`, the default): round-robin FIFO with a
+  fixed quantum over N cores -- deliberately simple, because the
+  paper's point does not depend on CFS subtleties.  What matters is
+  that CPU time is a schedulable, partitionable resource so hardware-
+  centric baselines (cgroup, PARTIES, DARC) act on the dimension they
+  act on in reality, while virtual-resource waits stay untouched by
+  them.
+- ``eevdf`` (:class:`EevdfRunQueue`): an EEVDF-style virtual-deadline
+  policy (Earliest Eligible Virtual Deadline First, the post-6.6 Linux
+  default) for the scheduler-interaction experiments: threads carry a
+  virtual runtime, a push computes an eligible time and a virtual
+  deadline, and a core picks the earliest deadline among eligible
+  threads.
+
+Both policies expose the same protocol (``push`` / ``push_front`` /
+``pick_for_core`` / ``remove`` / ``threads``) plus two capability
+attributes the kernel reads once at construction:
+
+- ``fifo_fast_path``: True when the kernel's inlined head-of-queue
+  dispatch shortcut is behaviourally identical to ``pick_for_core``
+  (true only for the FIFO policy).  The CFS hot path is untouched by
+  the seam -- the golden corpus pins that bit-for-bit.
+- ``charge(thread, ran_us)`` (optional): invoked at every slice end
+  with the CPU actually consumed, so a policy can account virtual
+  runtime.  Policies without the attribute pay nothing.
+
+Determinism: a policy may only consult the thread fields the kernel
+maintains (never wall-clock or iteration order of a set), must break
+ties by queue arrival order, and must keep all arithmetic in integer
+microseconds -- the same contract the kernel documents.
 """
 
 from collections import deque
@@ -40,14 +66,50 @@ class Core:
         return "Core(index=%d, running=%r)" % (self.index, self.running)
 
 
-class RunQueue:
-    """Global FIFO ready queue with affinity-aware picking."""
+class SchedPolicy:
+    """Protocol shared by the pluggable run-queue policies.
 
-    def __init__(self):
-        self._queue = deque()
+    Subclasses own a ``_queue`` deque (the kernel's dispatch loop tests
+    its truthiness directly) and implement the push/pick methods.  The
+    bookkeeping helpers below are policy-independent.
+    """
+
+    #: Policy name as selected by ``Kernel(sched=...)``.
+    name = "base"
+
+    #: True when the kernel's inlined head-of-queue dispatch shortcut
+    #: (pop the head if it has no affinity, no demotion, and the core
+    #: has no reservation) is equivalent to ``pick_for_core``.
+    fifo_fast_path = False
 
     def __len__(self):
         return len(self._queue)
+
+    def _now(self):
+        """Current virtual time (patched in by the kernel at attach)."""
+        return 0
+
+    def remove(self, thread):
+        """Remove ``thread`` if queued; returns True if it was present."""
+        try:
+            self._queue.remove(thread)
+        except ValueError:
+            return False
+        return True
+
+    def threads(self):
+        """Snapshot of queued threads."""
+        return list(self._queue)
+
+
+class RunQueue(SchedPolicy):
+    """Global FIFO ready queue with affinity-aware picking (``cfs``)."""
+
+    name = "cfs"
+    fifo_fast_path = True
+
+    def __init__(self):
+        self._queue = deque()
 
     def push(self, thread):
         """Append a READY thread."""
@@ -101,18 +163,172 @@ class RunQueue:
             return thread
         return None
 
-    def _now(self):
-        """Current virtual time (patched in by the kernel at attach)."""
-        return 0
 
-    def remove(self, thread):
-        """Remove ``thread`` if queued; returns True if it was present."""
-        try:
-            self._queue.remove(thread)
-        except ValueError:
+class EevdfRunQueue(SchedPolicy):
+    """EEVDF-style virtual-deadline ready queue (``eevdf``).
+
+    Simplified single-weight EEVDF: the queue keeps a virtual clock
+    ``vtime_us``; a push *places* the thread -- its vruntime catches up
+    to the virtual clock if it fell behind (the ``place_entity`` rule:
+    sleepers and newborns must not hoard an unbounded lag claim) --
+    then stamps eligible time = vruntime and virtual deadline =
+    eligible + slice.  A core picks the earliest deadline among
+    *eligible* threads (``eligible <= vtime``), so a thread that was
+    preempted mid-burst (vruntime ahead of the clock) waits while
+    fresh, behind-the-clock threads leapfrog it -- the lag semantics
+    that distinguish EEVDF from the FIFO policy.  Work conservation is
+    explicit: when every feasible thread is still ineligible, the
+    virtual clock jumps forward to the first eligible point rather
+    than idling the core.  Ties break by queue arrival order (strict
+    ``<`` comparisons over a deterministic scan), and every quantity
+    is an integer microsecond, so the policy inherits the kernel's
+    bit-for-bit determinism contract.
+
+    Invariants the property suite pins (tests/test_sched_policies.py):
+
+    - deadlines are monotone per thread (eligible times never move
+      backwards: ``vruntime`` and ``vtime`` only grow);
+    - no starvation: a picked thread's vruntime grows by the service
+      it received, so a waiting thread's fixed deadline eventually
+      becomes the minimum;
+    - work conservation: ``pick_for_core`` returns a thread whenever
+      any feasible (affinity/reservation) thread is queued.
+    """
+
+    name = "eevdf"
+    fifo_fast_path = False
+
+    def __init__(self, slice_us=DEFAULT_QUANTUM_US):
+        self._queue = deque()
+        self.slice_us = slice_us
+        self.vtime_us = 0
+
+    def _enter(self, thread):
+        thread.state = ThreadState.READY
+        if thread.vruntime_us < self.vtime_us:
+            # place_entity: a thread that slept (or was just born)
+            # re-enters at the virtual clock instead of cashing in the
+            # lag it accumulated off-CPU.
+            thread.vruntime_us = self.vtime_us
+        thread.v_eligible_us = thread.vruntime_us
+        thread.v_deadline_us = thread.vruntime_us + self.slice_us
+
+    def push(self, thread):
+        """Stamp eligibility/deadline and append a READY thread."""
+        self._enter(thread)
+        self._queue.append(thread)
+
+    def push_front(self, thread):
+        """Handed-back slice: same stamping, earlier tie-break rank."""
+        self._enter(thread)
+        self._queue.appendleft(thread)
+
+    def charge(self, thread, ran_us):
+        """Account ``ran_us`` of service against the virtual clocks.
+
+        The thread's vruntime advances by its service; the queue's
+        virtual clock advances by the service spread over the runnable
+        population (single-weight fair rate).  The explicit jump in
+        ``pick_for_core`` keeps work conservation independent of this
+        rate's rounding.
+        """
+        if ran_us <= 0:
+            return
+        thread.vruntime_us += ran_us
+        runnable = len(self._queue) + 1
+        self.vtime_us += max(1, ran_us // runnable)
+
+    def _feasible(self, thread, core, reserved):
+        if thread.affinity is not None and core.index not in thread.affinity:
             return False
+        if reserved is not None:
+            if getattr(thread, "darc_tag", None) != reserved:
+                return False
         return True
 
-    def threads(self):
-        """Snapshot of queued threads."""
-        return list(self._queue)
+    def pick_for_core(self, core):
+        """Dequeue the earliest-deadline eligible thread for ``core``.
+
+        Demoted threads are only picked when no normal feasible thread
+        exists, mirroring the FIFO policy's demotion semantics (with
+        min-deadline order among the demoted).
+        """
+        queue = self._queue
+        if not queue:
+            return None
+        now = self._now()
+        reserved = core.reserved_for
+        min_eligible = None
+        for thread in queue:
+            if not self._feasible(thread, core, reserved):
+                continue
+            if thread.demoted_until_us > now:
+                continue
+            ve = thread.v_eligible_us
+            if min_eligible is None or ve < min_eligible:
+                min_eligible = ve
+        if min_eligible is not None:
+            if self.vtime_us < min_eligible:
+                # Work conservation: never idle a core while a feasible
+                # thread is queued -- jump the virtual clock to the
+                # first eligible point.
+                self.vtime_us = min_eligible
+            vtime = self.vtime_us
+            best = None
+            best_index = -1
+            for i, thread in enumerate(queue):
+                if not self._feasible(thread, core, reserved):
+                    continue
+                if thread.demoted_until_us > now:
+                    continue
+                if thread.v_eligible_us > vtime:
+                    continue
+                if best is None or thread.v_deadline_us < best.v_deadline_us:
+                    best = thread
+                    best_index = i
+            del queue[best_index]
+            return best
+        # Only demoted threads fit (or nothing does): min-deadline
+        # among the feasible demoted threads.
+        best = None
+        best_index = -1
+        for i, thread in enumerate(queue):
+            if not self._feasible(thread, core, reserved):
+                continue
+            if best is None or thread.v_deadline_us < best.v_deadline_us:
+                best = thread
+                best_index = i
+        if best is None:
+            return None
+        del queue[best_index]
+        return best
+
+    def snapshot_state(self):
+        """JSON-safe policy state (checkpoint walker)."""
+        return {
+            "vtime_us": self.vtime_us,
+            "queued": [
+                (t.tid, t.vruntime_us, t.v_eligible_us, t.v_deadline_us)
+                for t in self._queue
+            ],
+        }
+
+
+#: Selectable scheduler policies (``Kernel(sched=...)``, case specs,
+#: ``repro scale --sched``).
+SCHED_POLICIES = {
+    "cfs": RunQueue,
+    "eevdf": EevdfRunQueue,
+}
+
+
+def make_run_queue(sched="cfs"):
+    """Instantiate the run-queue policy registered under ``sched``."""
+    try:
+        policy = SCHED_POLICIES[sched]
+    except KeyError:
+        raise ValueError(
+            "unknown scheduler policy %r; known: %s"
+            % (sched, sorted(SCHED_POLICIES))
+        ) from None
+    return policy()

@@ -81,6 +81,14 @@ class SimThread:
         # runs this thread when no normal thread is runnable.
         self.demoted_until_us = 0
 
+        # EEVDF scheduler policy state (sim.scheduler.EevdfRunQueue):
+        # cumulative virtual runtime plus the eligible/deadline stamps
+        # of the thread's current queue residency.  The FIFO policy
+        # never reads or writes them, so the default path is unchanged.
+        self.vruntime_us = 0
+        self.v_eligible_us = 0
+        self.v_deadline_us = 0
+
         # Slot for the pBox runtime: the pbox currently bound to this
         # thread (the paper binds a pBox to the creating thread).
         self.pbox = None

@@ -19,15 +19,33 @@ from repro.workloads.distributions import (
     uniform_interarrival,
 )
 from repro.workloads.clients import closed_loop_client
+from repro.workloads.traces import (
+    DURATION_BUCKETS,
+    TRACE_PROFILES,
+    TraceEvent,
+    duration_support,
+    generate_trace,
+    replay_trace,
+    sample_duration,
+    trace_stream_name,
+)
 
 __all__ = [
+    "DURATION_BUCKETS",
     "FacebookETC",
     "LatencyRecorder",
+    "TRACE_PROFILES",
     "TimelineSeries",
+    "TraceEvent",
     "closed_loop_client",
+    "duration_support",
     "exponential_interarrival",
+    "generate_trace",
     "interference_level",
     "percentile",
     "reduction_ratio",
+    "replay_trace",
+    "sample_duration",
+    "trace_stream_name",
     "uniform_interarrival",
 ]

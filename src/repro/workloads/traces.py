@@ -1,0 +1,158 @@
+"""Seeded trace-replay generation: Azure-Functions-style invocations.
+
+The serverless workloads (the FaaS tenant family in
+``repro.apps.faassim`` and the ``faas`` scale tenants) are driven by
+synthetic invocation traces shaped like the public Azure Functions
+characterization (Shahrad et al., "Serverless in the Wild", ATC'20):
+Poisson-ish interarrivals whose rate depends on the function's
+popularity class, and heavy-tailed execution durations where most
+invocations are short but a fat tail runs for orders of magnitude
+longer.
+
+What is vendored here is a *summary table*, not the trace: the
+per-class mean interarrival gaps (:data:`TRACE_PROFILES`) and a
+four-bucket execution-duration histogram (:data:`DURATION_BUCKETS`),
+both transcribed as rounded shape parameters and rescaled to
+simulation time (one simulated second stands in for roughly a minute
+of trace time, matching the compressed horizons of the case and scale
+harnesses).
+
+Determinism contract: a trace is a pure function of ``(seed, tenant,
+profile, horizon)``.  All randomness flows through one named
+:class:`~repro.sim.rng.RngRegistry` stream
+(``trace.<profile>.<tenant>``), so two registries built from the same
+root seed produce byte-identical event lists, and adding a new trace
+consumer never perturbs existing streams.  Generated interarrival gaps
+are strictly positive (arrival times strictly increase) and sampled
+durations stay inside the histogram's support -- properties pinned by
+``tests/test_workload_traces.py``.
+"""
+
+from collections import namedtuple
+
+from repro.sim.syscalls import Now, Sleep
+
+#: One invocation: arrival time, execution duration, ordinal index.
+TraceEvent = namedtuple("TraceEvent", ("at_us", "duration_us", "index"))
+
+#: Invocation-rate classes: mean interarrival gap (us, simulation
+#: scale) per function popularity class.  The Azure characterization
+#: splits functions by invocations/minute; rescaled to the simulator's
+#: compressed clock these are the per-tenant gaps.
+TRACE_PROFILES = {
+    "rare": 50_000,      # <= 1 invocation/min class: a few per sim second
+    "periodic": 10_000,  # timer-triggered mid-band
+    "popular": 2_000,    # HTTP-triggered hot functions
+    "burst": 500,        # the top-percentile spike that dominates load
+}
+
+#: Execution-duration histogram: (cumulative probability, low_us,
+#: high_us) rows.  Roughly half the invocations finish within one
+#: simulated millisecond; the tail stretches 200x longer -- the same
+#: orders-of-magnitude spread as the published percentiles.
+DURATION_BUCKETS = (
+    (0.50, 100, 1_000),
+    (0.80, 1_000, 5_000),
+    (0.95, 5_000, 20_000),
+    (1.00, 20_000, 200_000),
+)
+
+
+def duration_support():
+    """Inclusive-exclusive ``[low, high)`` support of sampled durations."""
+    return DURATION_BUCKETS[0][1], DURATION_BUCKETS[-1][2]
+
+
+def trace_stream_name(profile, tenant):
+    """The RNG-registry stream a ``(profile, tenant)`` trace draws from."""
+    return "trace.%s.%s" % (profile, tenant)
+
+
+def _stream(rngs, name):
+    """Resolve a named stream from a registry or a kernel."""
+    getter = getattr(rngs, "stream", None)
+    if getter is None:
+        getter = rngs.rng  # a Kernel
+    return getter(name)
+
+
+def sample_duration(stream):
+    """Draw one execution duration from the vendored histogram.
+
+    Exposed for consumers that want trace-shaped durations without a
+    full trace (the scale harness's faas tenants sample per-request
+    durations from their own tenant stream).
+    """
+    pick = stream.random()
+    for cumulative, low_us, high_us in DURATION_BUCKETS:
+        if pick <= cumulative:
+            return low_us + int(stream.uniform(0, high_us - low_us))
+    low_us, high_us = DURATION_BUCKETS[-1][1:]
+    return low_us + int(stream.uniform(0, high_us - low_us))
+
+
+def generate_trace(rngs, tenant, profile="popular", horizon_us=1_000_000,
+                   max_events=None):
+    """Generate the invocation trace for ``(seed, tenant)``.
+
+    Parameters
+    ----------
+    rngs:
+        An :class:`~repro.sim.rng.RngRegistry` or a
+        :class:`~repro.sim.Kernel` (the seed lives there).
+    tenant:
+        Tenant label; part of the stream name, so distinct tenants draw
+        from independent streams of the same root seed.
+    profile:
+        A :data:`TRACE_PROFILES` rate class.
+    horizon_us:
+        Events are generated strictly before this virtual time.
+    max_events:
+        Optional hard cap on the number of events.
+
+    Returns a list of :class:`TraceEvent` with strictly increasing
+    ``at_us`` (every interarrival gap is at least one microsecond).
+    """
+    try:
+        mean_gap_us = TRACE_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            "unknown trace profile %r; known: %s"
+            % (profile, sorted(TRACE_PROFILES))
+        ) from None
+    stream = _stream(rngs, trace_stream_name(profile, tenant))
+    events = []
+    at_us = 0
+    index = 0
+    while max_events is None or index < max_events:
+        # +1 keeps the gap strictly positive so arrival times strictly
+        # increase -- an exponential draw floors to 0 about 1/mean of
+        # the time.
+        gap_us = int(stream.expovariate(1.0 / mean_gap_us)) + 1
+        at_us += gap_us
+        if at_us >= horizon_us:
+            break
+        events.append(TraceEvent(at_us, sample_duration(stream), index))
+        index += 1
+    return events
+
+
+def replay_trace(kernel, events, fire):
+    """Thread body replaying ``events`` against ``fire(event)``.
+
+    Sleeps the virtual clock to each event's arrival time and invokes
+    ``fire`` synchronously -- the open-loop driver shape the FaaS
+    tenants use (``fire`` submits an invocation without waiting for
+    it).  Events whose arrival already passed fire immediately, in
+    order, so a replay started late stays a prefix-faithful catch-up
+    rather than silently dropping work.
+    """
+
+    def body():
+        for event in events:
+            now = yield Now()
+            if event.at_us > now:
+                yield Sleep(us=event.at_us - now)
+            fire(event)
+
+    return body

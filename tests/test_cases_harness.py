@@ -12,10 +12,11 @@ from repro.cases import ALL_CASES, Solution, evaluate_case, get_case, run_case
 
 
 def test_registry_has_all_cases():
-    # The 16 Table 3 cases plus c17, the Figure 2 buffer-pool
-    # motivating case (the attribution profiler's reference scenario).
+    # The 16 Table 3 cases, c17 (the Figure 2 buffer-pool motivating
+    # case), and the beyond-the-paper extensions: c18/c20 (FaaS churn
+    # under cfs/eevdf) and c19 (the scaled-up cache tier).
     assert sorted(ALL_CASES, key=lambda c: int(c[1:])) == [
-        "c%d" % i for i in range(1, 18)
+        "c%d" % i for i in range(1, 21)
     ]
 
 

@@ -40,6 +40,22 @@ def _all_specs():
     ]
 
 
+def test_sweep_covers_new_tenant_families():
+    """The chaos sweep inherits the FaaS and scaled-cache cases.
+
+    The sweep iterates the registry, so new cases are covered by
+    construction — but silently losing one (a registry refactor, a
+    filtered id list) would shrink coverage without failing anything.
+    Pin the families the fault cocktail must keep exercising: sandbox
+    churn under both scheduler policies, and the wide cache tier.
+    """
+    labels = [spec.label() for spec in _all_specs()]
+    for case_id in ("c18", "c19", "c20"):
+        for kind in DEFAULT_CHAOS_FAULTS:
+            assert any(case_id in label and kind in label
+                       for label in labels), (case_id, kind)
+
+
 def test_registry_survives_default_fault_cocktail():
     specs = _all_specs()
     fingerprint = "f" * 64

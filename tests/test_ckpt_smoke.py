@@ -17,7 +17,11 @@ from repro.ckpt import CheckpointStore, RunSupervisor, checkpoint_run
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 
-SMOKE_CASES = ("c1", "c3")
+#: c1/c3 cover the dedicated-thread servers; c18 covers the FaaS
+#: family, whose per-invocation sandbox churn exercises checkpointing
+#: across thread birth/exit boundaries none of the stable-roster cases
+#: ever cross.
+SMOKE_CASES = ("c1", "c3", "c18")
 
 
 def _load_golden(case_id):

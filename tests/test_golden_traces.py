@@ -29,6 +29,33 @@ from repro.obs.golden import (
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 
+#: The 17 digests of the corpus as committed *before* the scheduler
+#: seam (pluggable run-queue policies) and the FaaS/scale extensions
+#: landed.  They are frozen here, independent of the files on disk, to
+#: prove the default (cfs) path stayed byte-identical without anyone
+#: regenerating the corpus: if a seam change flips one of these, both
+#: the replay test and this table fail, and a sneaky `make
+#: regen-golden` that rewrites the files still trips this table.
+PRE_SEAM_DIGESTS = {
+    "c1": "2f2739f8122db8edbb84754732bedac7c2e590d5bba5b386d62eaceadc4134f1",
+    "c2": "fb94e952da95c4e0cf2ec634d817e8b0c18d94000dcde00ebce8bceef711d6ea",
+    "c3": "e923658f2073e304f2a921b3531674fe80a954e57b02f0dfd294c9879d2f5354",
+    "c4": "c655c14d9226a08c1d91bf69d61e0c264b705e8ea7ac63fa412b3c30d0be0d75",
+    "c5": "6d26321ebbd799c5c22ed4b18b1699c4a6b19c15ad3725bf94de8a3dafc1aece",
+    "c6": "afa36b4c5e4c59522757290ebc5e5ad6652cd6674a86adb06cd8518f78638c08",
+    "c7": "838a93f51bc97aec0b640f5dff18eecebc9672750f778b259599e6f1fa9cf791",
+    "c8": "d1798f7a5f15851a018e47d408aa7d135f009fefe26e83f5ac6d77852bed27d2",
+    "c9": "89eb12fa8addb823a94034a668eed200ea9cc5fd26910b99847c4fc98dda807b",
+    "c10": "0560f87555803d73977221469e07c8f06a5d3b674a095d856f82a00bda0918c0",
+    "c11": "ee07ca24e40b0739c72cdb702856646119095be06e31769c4371582771ef8e3f",
+    "c12": "ac07bb461b4878e1dd8858aa185720d57928afc7b56ba8ee1f6d4710b7794256",
+    "c13": "e106b50f031ab748fd3643ce6d48585a38aa4c94b001011c83ad5c89fb79fa2a",
+    "c14": "31eb3736e2794b0295d7cf3a14df79053b38304139a4c02478d1dd0dc809d926",
+    "c15": "9571dbc0a48537a388f3a78216fad585f727568d6483e72e1252d3254e735a23",
+    "c16": "967cf6aed36e4fab0cf48ffb3d836ee76ef319188a3f0b8f5b09cf38d7b112ca",
+    "c17": "8e712959a4585e5752d125ec143957b989e52ac8d8d7f902205db52a3cfd2d20",
+}
+
 
 def _corpus_case_ids():
     return sorted(
@@ -66,6 +93,22 @@ def test_corpus_covers_registry():
     """Every registry case has a committed golden, and nothing extra."""
     assert _corpus_case_ids() == sorted(
         ALL_CASES, key=lambda cid: int(cid[1:]))
+
+
+def test_pre_seam_corpus_unchanged():
+    """The 17 pre-seam golden files still carry their frozen digests.
+
+    The scheduler seam landed with the claim that the default cfs path
+    is byte-identical to the pre-seam kernel.  The replay test proves
+    the *code* reproduces the *files*; this table proves the files
+    themselves were never regenerated, so the two together pin the
+    claim with no trust in the working tree's history.
+    """
+    for case_id, digest in PRE_SEAM_DIGESTS.items():
+        assert _load_golden(case_id)["digest"] == digest, (
+            "committed golden for %s no longer matches the pre-seam "
+            "corpus; the 17 original cases must not be regenerated"
+            % case_id)
 
 
 @pytest.mark.parametrize("case_id", _corpus_case_ids())

@@ -1,0 +1,140 @@
+"""Property tests for the seeded trace generator (repro.workloads.traces).
+
+The trace contract the FaaS tenants rely on, pinned under hypothesis:
+
+- **determinism**: a trace is a pure function of ``(seed, tenant,
+  profile, horizon)`` -- two registries built from the same root seed
+  produce byte-identical event lists, and generating *other* tenants'
+  traces first never perturbs the result (named-stream independence);
+- **strict monotonicity**: every interarrival gap is at least one
+  microsecond, so arrival times strictly increase and stay inside the
+  horizon;
+- **duration support**: every sampled execution duration lies inside
+  the vendored histogram's ``[low, high)`` support.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import RngRegistry
+from repro.workloads.traces import (
+    DURATION_BUCKETS,
+    TRACE_PROFILES,
+    duration_support,
+    generate_trace,
+    sample_duration,
+    trace_stream_name,
+)
+
+_PROFILES = st.sampled_from(sorted(TRACE_PROFILES))
+_SEEDS = st.integers(0, 2 ** 31 - 1)
+_TENANTS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+    max_size=12)
+_HORIZONS = st.integers(1_000, 2_000_000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=_SEEDS, tenant=_TENANTS, profile=_PROFILES,
+       horizon=_HORIZONS)
+def test_same_seed_tenant_is_byte_identical(seed, tenant, profile,
+                                            horizon):
+    """(seed, tenant, profile, horizon) fully determines the trace."""
+    first = generate_trace(RngRegistry(seed), tenant, profile,
+                           horizon_us=horizon)
+    second = generate_trace(RngRegistry(seed), tenant, profile,
+                            horizon_us=horizon)
+    assert first == second
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=_SEEDS, tenant=_TENANTS, profile=_PROFILES)
+def test_other_streams_never_perturb_a_trace(seed, tenant, profile):
+    """Draining unrelated streams first leaves the trace unchanged.
+
+    This is the named-stream independence property that lets a new
+    trace consumer land without regenerating anything: every trace
+    draws only from ``trace.<profile>.<tenant>``.
+    """
+    clean = generate_trace(RngRegistry(seed), tenant, profile,
+                           horizon_us=500_000)
+    dirty_registry = RngRegistry(seed)
+    # Exhaust sibling tenants and unrelated streams first.
+    generate_trace(dirty_registry, tenant + "-sibling", profile,
+                   horizon_us=500_000)
+    dirty_registry.stream("victim-think").random()
+    dirty = generate_trace(dirty_registry, tenant, profile,
+                           horizon_us=500_000)
+    assert clean == dirty
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=_SEEDS, tenant=_TENANTS, profile=_PROFILES,
+       horizon=_HORIZONS)
+def test_arrivals_strictly_increase_inside_horizon(seed, tenant, profile,
+                                                   horizon):
+    events = generate_trace(RngRegistry(seed), tenant, profile,
+                            horizon_us=horizon)
+    previous = 0
+    for event in events:
+        assert event.at_us > previous, (
+            "interarrival gap must be strictly positive")
+        previous = event.at_us
+    assert all(event.at_us < horizon for event in events)
+    assert [event.index for event in events] == list(range(len(events)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=_SEEDS, tenant=_TENANTS, profile=_PROFILES)
+def test_durations_stay_inside_vendored_support(seed, tenant, profile):
+    low, high = duration_support()
+    events = generate_trace(RngRegistry(seed), tenant, profile,
+                            horizon_us=300_000)
+    for event in events:
+        assert low <= event.duration_us < high
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=_SEEDS, draws=st.integers(1, 200))
+def test_sample_duration_support(seed, draws):
+    """The standalone sampler honors the same histogram support."""
+    low, high = duration_support()
+    stream = RngRegistry(seed).stream("duration-only")
+    for _ in range(draws):
+        assert low <= sample_duration(stream) < high
+
+
+def test_profile_rates_order_event_counts():
+    """Hotter profiles produce more invocations over the same horizon."""
+    registry = RngRegistry(1)
+    counts = {
+        profile: len(generate_trace(registry, "t", profile,
+                                    horizon_us=1_000_000))
+        for profile in TRACE_PROFILES
+    }
+    assert counts["burst"] > counts["popular"] > counts["periodic"] \
+        > counts["rare"]
+
+
+def test_histogram_is_well_formed():
+    """The vendored table is a valid CDF with contiguous buckets."""
+    cumulative = 0.0
+    previous_high = None
+    for prob, low, high in DURATION_BUCKETS:
+        assert prob > cumulative
+        cumulative = prob
+        assert low < high
+        if previous_high is not None:
+            assert low == previous_high
+        previous_high = high
+    assert cumulative == 1.0
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(ValueError):
+        generate_trace(RngRegistry(1), "t", "no-such-profile")
+
+
+def test_stream_name_shape():
+    assert trace_stream_name("popular", "tenant-a") == \
+        "trace.popular.tenant-a"
